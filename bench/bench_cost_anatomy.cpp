@@ -1,0 +1,99 @@
+// E15 — cost anatomy: where do the constants come from?
+//
+// EXPERIMENTS.md cites per-level constants (~4-5 scan-equivalents per
+// recursion level, intermixed-selection recursion ~8-11x its input) to
+// explain where measured costs sit relative to the formulas.  This bench
+// substantiates those numbers: it attaches a PhaseProfile and prints the
+// exclusive per-phase I/O breakdown of each main operation.
+#include "bench_util.hpp"
+
+namespace emsplit::bench {
+namespace {
+
+void report(const char* what, const PhaseProfile& profile,
+            std::uint64_t total, double scan) {
+  std::printf("%s (total %llu I/Os = %.2f scans):\n", what,
+              static_cast<unsigned long long>(total),
+              static_cast<double>(total) / scan);
+  std::uint64_t attributed = 0;
+  for (const auto& [label, ios] : profile.rows()) {
+    std::printf("    %-28s %10llu  (%5.1f%%, %.2f scans)\n", label.c_str(),
+                static_cast<unsigned long long>(ios.total()),
+                100.0 * static_cast<double>(ios.total()) /
+                    static_cast<double>(total),
+                static_cast<double>(ios.total()) / scan);
+    attributed += ios.total();
+  }
+  if (attributed < total) {
+    std::printf("    %-28s %10llu  (%5.1f%%)\n", "(unattributed)",
+                static_cast<unsigned long long>(total - attributed),
+                100.0 * static_cast<double>(total - attributed) /
+                    static_cast<double>(total));
+  }
+  std::printf("\n");
+}
+
+void run() {
+  const Geometry g{};
+  Env env(g);
+  const std::size_t n = 1u << 21;
+  auto host = make_workload(Workload::kUniform, n, 2718, env.b());
+  auto input = materialize<Record>(env.ctx, host);
+  const double scan = static_cast<double>(n) / static_cast<double>(env.b());
+
+  print_header("E15: cost anatomy (exclusive per-phase I/O attribution)",
+               "explains the constants reported in EXPERIMENTS.md", g);
+  std::printf("# N = %zu, one scan = %.0f blocks\n\n", n, scan);
+
+  PhaseProfile profile;
+  profile.attach(env.dev);
+  env.ctx.set_profile(&profile);
+
+  {
+    profile.reset();
+    const auto ios = measure(env, [&] {
+      auto s = external_sort<Record>(env.ctx, input);
+    });
+    report("external_sort", profile, ios, scan);
+  }
+  {
+    profile.reset();
+    const auto ios = measure(env, [&] {
+      [[maybe_unused]] auto v = select_rank<Record>(env.ctx, input, n / 2);
+    });
+    report("select_rank (median)", profile, ios, scan);
+  }
+  {
+    profile.reset();
+    std::vector<std::uint64_t> ranks;
+    for (std::uint64_t i = 1; i <= 64; ++i) ranks.push_back(i * n / 65);
+    const auto ios = measure(env, [&] {
+      auto v = multi_select<Record>(env.ctx, input, ranks);
+    });
+    report("multi_select (K = 64)", profile, ios, scan);
+  }
+  {
+    profile.reset();
+    std::vector<std::uint64_t> ranks;
+    for (std::uint64_t i = 1; i < 64; ++i) ranks.push_back(i * n / 64);
+    const auto ios = measure(env, [&] {
+      auto r = multi_partition<Record>(env.ctx, input, ranks);
+    });
+    report("multi_partition (K = 64)", profile, ios, scan);
+  }
+  {
+    profile.reset();
+    const ApproxSpec spec{.k = 64, .a = 64, .b = n / 8};
+    const auto ios = measure(env, [&] {
+      auto r = approx_partitioning<Record>(env.ctx, input, spec);
+    });
+    report("approx_partitioning 2-sided", profile, ios, scan);
+  }
+
+  env.ctx.set_profile(nullptr);
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

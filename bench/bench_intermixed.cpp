@@ -1,0 +1,66 @@
+// E8 — L-intermixed selection linearity (Lemma 6).
+//
+// Claim: O(|D|/B) I/Os for any L up to Θ(M) concurrent groups.  We sweep
+// |D| at fixed L and L at fixed |D|; measured/( |D|/B ) must stay in a
+// constant band — in particular it must NOT grow with L.
+#include "bench_util.hpp"
+
+#include "select/intermixed.hpp"
+#include "util/rng.hpp"
+
+namespace emsplit::bench {
+namespace {
+
+void run_instance(Env& env, std::size_t l, std::size_t total,
+                  std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<Grouped<Record>> data(total);
+  std::vector<std::uint64_t> counts(l, 0);
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::uint64_t grp = i < l ? i : rng.next_below(l);  // all non-empty
+    data[i] = Grouped<Record>{Record{.key = rng.next(), .payload = i}, grp};
+    ++counts[grp];
+  }
+  for (std::size_t i = total; i > 1; --i) {
+    std::swap(data[i - 1], data[rng.next_below(i)]);
+  }
+  std::vector<std::uint64_t> ranks(l);
+  for (std::size_t grp = 0; grp < l; ++grp) {
+    ranks[grp] = 1 + rng.next_below(counts[grp]);
+  }
+
+  auto d = materialize<Grouped<Record>>(env.ctx, data);
+  const double db = static_cast<double>(total) /
+                    static_cast<double>(env.ctx.block_records<Grouped<Record>>());
+  const std::uint64_t ios = measure(env, [&] {
+    auto got = intermixed_select<Record>(env.ctx, std::move(d), ranks);
+  });
+  print_row({static_cast<double>(l), static_cast<double>(total),
+             static_cast<double>(ios), db,
+             static_cast<double>(ios) / db});
+}
+
+void run() {
+  const Geometry g{.block_bytes = 4096, .mem_blocks = 64};
+  Env env(g);
+  print_header("E8: L-intermixed selection (Lemma 6)",
+               "O(|D|/B) I/Os regardless of L (up to Theta(M) groups)", g);
+  std::printf("# max groups for this geometry: %zu\n",
+              intermixed_max_groups<Record>(env.ctx));
+  print_columns({"L", "|D|", "measured", "|D|/B", "ratio"});
+
+  std::printf("# sweep |D| at L = 64:\n");
+  for (std::size_t total : {1u << 15, 1u << 17, 1u << 19, 1u << 21}) {
+    run_instance(env, 64, total, total);
+  }
+  std::printf("# sweep L at |D| = 2^19:\n");
+  for (std::size_t l : {1u, 4u, 16u, 64u, 256u}) {
+    if (l > intermixed_max_groups<Record>(env.ctx)) break;
+    run_instance(env, l, 1u << 19, l * 7 + 1);
+  }
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

@@ -1,0 +1,106 @@
+// E12 — measured cost between the paper's lower and upper bounds.
+//
+// The paper's other half is lower bounds (Theorems 1-3).  They cannot be
+// "run", but they can be *placed*: for each problem variant we evaluate the
+// lower-bound formula, the upper-bound formula, and the measured cost on
+// the hard-instance family Π_hard (block-striped workload, the permutation
+// family from the paper's own proofs) — the measurement must land between
+// the two bands (up to the implementation constant), and must not collapse
+// toward zero on the adversarial input.
+#include "bench_util.hpp"
+
+namespace emsplit::bench {
+namespace {
+
+void run() {
+  const Geometry g{};
+  Env env(g);
+  const std::size_t n = 1u << 20;
+  // The paper's hard family: stripe i of every block smaller than stripe
+  // i+1, random within stripes.
+  auto host = make_workload(Workload::kBlockStriped, n, 1337, env.b());
+  auto input = materialize<Record>(env.ctx, host);
+
+  print_header("E12: measured cost vs the paper's lower bounds",
+               "lower <= measured/const <= upper on the hard family Pi_hard",
+               g);
+  const double dn = static_cast<double>(n);
+  const double m = static_cast<double>(env.m());
+  const double b = static_cast<double>(env.b());
+  print_columns({"case", "lower", "measured", "upper", "meas/lower"});
+
+  auto row = [&](const char* label, double lower, std::uint64_t measured,
+                 double upper) {
+    std::printf("  %-28s", label);
+    print_row({lower, static_cast<double>(measured), upper,
+               static_cast<double>(measured) / std::max(1.0, lower)});
+  };
+
+  {
+    // Theorem 1: right-grounded splitters, Omega((1 + aK/B) lg(K/B)).
+    const std::uint64_t k = 64, a = 512;
+    const ApproxSpec spec{.k = k, .a = a, .b = n};
+    const auto ios = measure(env, [&] {
+      auto s = approx_splitters<Record>(env.ctx, input, spec);
+      auto c = verify_splitters<Record>(input, s, spec);
+      if (!c.ok) std::printf("!! INVALID: %s\n", c.reason.c_str());
+    });
+    const double lo = (1.0 + static_cast<double>(a * k) / b) *
+                      lg_clamped(m / b, static_cast<double>(k) / b);
+    row("Thm1 splitters right", lo, ios,
+        splitters_right_ios(dn, m, b, 64, 512));
+  }
+  {
+    // Theorem 2: left-grounded splitters, Omega((N/B) lg(N/(bB))).
+    const std::uint64_t bb = n / 64;
+    const ApproxSpec spec{.k = 256, .a = 0, .b = bb};
+    const auto ios = measure(env, [&] {
+      auto s = approx_splitters<Record>(env.ctx, input, spec);
+      auto c = verify_splitters<Record>(input, s, spec);
+      if (!c.ok) std::printf("!! INVALID: %s\n", c.reason.c_str());
+    });
+    const double lo = (dn / b) * lg_clamped(m / b, dn / (static_cast<double>(bb) * b));
+    row("Thm2 splitters left", lo, ios,
+        splitters_left_ios(dn, m, b, 256, static_cast<double>(bb)));
+  }
+  {
+    // Theorem 3: left-grounded partitioning, Omega((N/B) lg min{N/b, N/B}).
+    const std::uint64_t bb = n / 64;
+    const ApproxSpec spec{.k = 64, .a = 0, .b = bb};
+    const auto ios = measure(env, [&] {
+      auto r = approx_partitioning<Record>(env.ctx, input, spec);
+      auto c = verify_partitioning<Record>(input, r.data, r.bounds, spec);
+      if (!c.ok) std::printf("!! INVALID: %s\n", c.reason.c_str());
+    });
+    const double lo = partitioning_left_ios(dn, m, b, static_cast<double>(bb));
+    row("Thm3 partitioning left", lo, ios, lo);
+  }
+  {
+    // Right-grounded partitioning: Omega(N/B) — must see every record.
+    const ApproxSpec spec{.k = 64, .a = 16, .b = n};
+    const auto ios = measure(env, [&] {
+      auto r = approx_partitioning<Record>(env.ctx, input, spec);
+      auto c = verify_partitioning<Record>(input, r.data, r.bounds, spec);
+      if (!c.ok) std::printf("!! INVALID: %s\n", c.reason.c_str());
+    });
+    row("Sec3 partitioning right", dn / b, ios,
+        partitioning_right_ios(dn, m, b, 64, 16));
+  }
+  {
+    // Lemma 5 via sorting: precise K-partitioning with K = N/B must cost
+    // Omega((N/B) lg (N/B)) — i.e. as much as sorting (we run K = N/2^12
+    // to keep the run short; the formula scales accordingly).
+    const std::uint64_t k = n >> 12;
+    const auto ios = measure(env, [&] {
+      auto r = precise_partition<Record>(env.ctx, input, k);
+    });
+    const double lo = (dn / b) * lg_clamped(m / b, static_cast<double>(k));
+    row("Lemma5 precise partition", lo, ios,
+        multi_partition_ios(dn, m, b, static_cast<double>(k)));
+  }
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

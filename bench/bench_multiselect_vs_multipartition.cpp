@@ -1,0 +1,71 @@
+// E7 — the Theorem 4 separation: multi-selection vs multi-partition.
+//
+// The paper's central theory story: multi-selection costs
+// Θ((N/B) lg_{M/B}(K/B)) while multi-partition costs Θ((N/B) lg_{M/B} K) —
+// strictly separated for small K (where lg(K/B) clamps to 1 but lg K does
+// not), converging for large K.  We sweep K, solve both problems at
+// quantile ranks, and also run the repeated-quickselect strawman
+// (O(K N/B)) for small K to show why batching matters.
+#include "bench_util.hpp"
+
+namespace emsplit::bench {
+namespace {
+
+void run() {
+  const Geometry g{};
+  Env env(g);
+  const std::size_t n = 1u << 21;
+  auto host = make_workload(Workload::kUniform, n, 31415, env.b());
+  auto input = materialize<Record>(env.ctx, host);
+  const std::uint64_t sort_cost = measure(env, [&] {
+    auto s = external_sort<Record>(env.ctx, input);
+  });
+
+  print_header("E7: multi-selection vs multi-partition (Theorem 4)",
+               "(N/B) lg_{M/B}(K/B)  vs  (N/B) lg_{M/B} K — separation at "
+               "small K, same at large K",
+               g);
+  std::printf("# N = %zu, measured sort = %llu\n", n,
+              static_cast<unsigned long long>(sort_cost));
+  print_columns({"K", "msel_ios", "msel_form", "mpart_ios", "mpart_form",
+                 "mpart/msel", "naive_ios"});
+
+  for (std::uint64_t k :
+       {2u, 8u, 32u, 128u, 512u, 2048u, 8192u, 32768u, 131072u}) {
+    std::vector<std::uint64_t> ranks;
+    for (std::uint64_t i = 1; i <= k; ++i) ranks.push_back(i * n / k);
+    std::vector<std::uint64_t> split_ranks(ranks.begin(), ranks.end() - 1);
+
+    std::vector<Record> sel;
+    const std::uint64_t msel = measure(env, [&] {
+      sel = multi_select<Record>(env.ctx, input, ranks);
+    });
+    MultiPartitionResult<Record> part;
+    const std::uint64_t mpart = measure(env, [&] {
+      part = multi_partition<Record>(env.ctx, input, split_ranks);
+    });
+    // The strawman is only affordable for small K.
+    double naive = -1.0;
+    if (k <= 32) {
+      naive = static_cast<double>(measure(env, [&] {
+        auto v = naive_multi_select<Record>(env.ctx, input, ranks);
+      }));
+    }
+
+    const double msf = multi_select_ios(
+        static_cast<double>(n), static_cast<double>(env.m()),
+        static_cast<double>(env.b()), static_cast<double>(k));
+    const double mpf = multi_partition_ios(
+        static_cast<double>(n), static_cast<double>(env.m()),
+        static_cast<double>(env.b()), static_cast<double>(k));
+    print_row({static_cast<double>(k), static_cast<double>(msel), msf,
+               static_cast<double>(mpart), mpf,
+               static_cast<double>(mpart) / static_cast<double>(msel),
+               naive});
+  }
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

@@ -1,0 +1,150 @@
+// E16 — why EM algorithms manage their own buffers: LRU paging vs explicit
+// streaming.
+//
+// The PagedArray substrate presents the disk as demand-paged virtual memory
+// (what mmap or a naive buffer pool gives you).  This bench measures three
+// access patterns against their explicit-EM counterparts:
+//
+//   * sequential aggregate  — paging is FINE (equal to the scan),
+//   * in-place quicksort    — paging pays the fan-out penalty: quicksort's
+//     partition passes are sequential, so it does not thrash outright, but
+//     it recurses with fan-out 2 and therefore makes log2(N/M) passes where
+//     the merge sort makes log_{M/B}(N/M) — the measured blowup is almost
+//     exactly log2(M/B),
+//   * point lookups, sorted — paging is fine again (few blocks per probe).
+//
+// The lesson is the founding premise of the EM model: I/O-efficiency comes
+// from the algorithm's structure (fan-out Θ(M/B)), not from caching.
+#include "bench_util.hpp"
+
+#include "em/paged_array.hpp"
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+namespace emsplit::bench {
+namespace {
+
+/// Hoare-partition quicksort over a paged array (records accessed through
+/// get/set; the pool does the I/O).  Depth-limited to keep worst cases off
+/// the stack; the point is the fault pattern, not the pivot policy.
+void paged_quicksort(PagedArray<Record>& arr, std::size_t lo, std::size_t hi) {
+  while (hi - lo > 32) {
+    const Record pivot = arr.get(lo + (hi - lo) / 2);
+    std::size_t i = lo, j = hi - 1;
+    while (i <= j) {
+      while (arr.get(i) < pivot) ++i;
+      while (pivot < arr.get(j)) --j;
+      if (i <= j) {
+        const Record a = arr.get(i), b = arr.get(j);
+        arr.set(i, b);
+        arr.set(j, a);
+        ++i;
+        if (j-- == 0) break;
+      }
+    }
+    if (j + 1 - lo < hi - i) {  // recurse small side, loop the large one
+      if (j + 1 > lo) paged_quicksort(arr, lo, j + 1);
+      lo = i;
+    } else {
+      if (hi > i) paged_quicksort(arr, i, hi);
+      hi = j + 1;
+    }
+  }
+  // Insertion sort for the tail keeps faults local.
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const Record v = arr.get(i);
+    std::size_t j = i;
+    while (j > lo && v < arr.get(j - 1)) {
+      arr.set(j, arr.get(j - 1));
+      --j;
+    }
+    arr.set(j, v);
+  }
+}
+
+void run() {
+  const Geometry g{.block_bytes = 4096, .mem_blocks = 16};
+  print_header("E16: LRU paging vs explicit EM algorithms",
+               "paging matches scans; paged quicksort pays log2 vs log_{M/B} passes", g);
+  const std::size_t n = 1u << 18;  // quicksort-through-a-pager is slow: keep N modest
+  std::printf("# N = %zu\n", n);
+  print_columns({"pattern", "paged_ios", "explicit", "blowup"});
+
+  Env env(g);
+  auto host = make_workload(Workload::kUniform, n, 616, env.b());
+  auto input = materialize<Record>(env.ctx, host);
+  const std::size_t frames = env.m() / env.b() / 2;  // half of memory as pool
+
+  {
+    // Sequential aggregate.
+    auto vec = materialize<Record>(env.ctx, host);
+    std::uint64_t paged = 0, streamed = 0;
+    {
+      PagedArray<Record> arr(vec, frames);
+      paged = measure(env, [&] {
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < n; ++i) sum += arr.get(i).key;
+        if (sum == 42) std::printf("!");
+      });
+    }
+    streamed = measure(env, [&] {
+      StreamReader<Record> r(input);
+      std::uint64_t sum = 0;
+      while (!r.done()) sum += r.next().key;
+      if (sum == 42) std::printf("!");
+    });
+    std::printf("  %-24s", "sequential aggregate");
+    print_row({static_cast<double>(paged), static_cast<double>(streamed),
+               static_cast<double>(paged) / static_cast<double>(streamed)});
+  }
+  {
+    // Sorting.
+    auto vec = materialize<Record>(env.ctx, host);
+    std::uint64_t paged = 0;
+    {
+      PagedArray<Record> arr(vec, frames);
+      paged = measure(env, [&] { paged_quicksort(arr, 0, n); });
+    }
+    const std::uint64_t merge = measure(env, [&] {
+      auto s = external_sort<Record>(env.ctx, input);
+    });
+    std::printf("  %-24s", "sort");
+    print_row({static_cast<double>(paged), static_cast<double>(merge),
+               static_cast<double>(paged) / static_cast<double>(merge)});
+  }
+  {
+    // Point lookups on sorted data (binary search through the pager vs the
+    // information-theoretic floor of blocks touched).
+    auto sorted = external_sort<Record>(env.ctx, input);
+    std::uint64_t paged = 0;
+    {
+      PagedArray<Record> arr(sorted, frames);
+      paged = measure(env, [&] {
+        SplitMix64 rng(9);
+        for (int q = 0; q < 200; ++q) {
+          const Record probe{rng.next_below(4 * n + 1), 0};
+          std::size_t lo = 0, hi = n;
+          while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (arr.get(mid) < probe) {
+              lo = mid + 1;
+            } else {
+              hi = mid;
+            }
+          }
+        }
+      });
+    }
+    const double floor = 200.0 * std::log2(static_cast<double>(n) /
+                                           static_cast<double>(env.b()));
+    std::printf("  %-24s", "200 binary searches");
+    print_row({static_cast<double>(paged), floor,
+               static_cast<double>(paged) / floor});
+  }
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

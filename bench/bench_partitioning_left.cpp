@@ -1,0 +1,54 @@
+// E5 — left-grounded approximate K-partitioning.
+//
+// Claim (Theorems 3 + 6): Θ((N/B) lg_{M/B} min{N/b, N/B}) I/Os.  We sweep b
+// (larger b => fewer mandatory cuts => cheaper) and N; the win over sorting
+// grows as b grows.
+#include "bench_util.hpp"
+
+namespace emsplit::bench {
+namespace {
+
+void run() {
+  const Geometry g{};
+  Env env(g);
+  const std::size_t n = 1u << 21;
+  const std::uint64_t k = 1024;
+  auto host = make_workload(Workload::kUniform, n, 555, env.b());
+  auto input = materialize<Record>(env.ctx, host);
+  const std::uint64_t sort_cost = measure(env, [&] {
+    auto s = external_sort<Record>(env.ctx, input);
+  });
+
+  print_header("E5: left-grounded K-partitioning",
+               "Theta((N/B) lg_{M/B} min{N/b, N/B})", g);
+  std::printf("# N = %zu, K = %llu, measured sort = %llu\n", n,
+              static_cast<unsigned long long>(k),
+              static_cast<unsigned long long>(sort_cost));
+  print_columns({"b", "N/b", "measured", "formula", "ratio", "vs_sort"});
+
+  for (std::uint64_t bb : {n / k, n / 256, n / 64, n / 16, n / 4, n / 2}) {
+    const ApproxSpec spec{.k = k, .a = 0, .b = bb};
+    ApproxPartitioning<Record> result;
+    const std::uint64_t ios = measure(env, [&] {
+      result = approx_partitioning<Record>(env.ctx, input, spec);
+    });
+    auto check =
+        verify_partitioning<Record>(input, result.data, result.bounds, spec);
+    if (!check.ok) {
+      std::printf("!! INVALID OUTPUT: %s\n", check.reason.c_str());
+      continue;
+    }
+    const double f = partitioning_left_ios(
+        static_cast<double>(n), static_cast<double>(env.m()),
+        static_cast<double>(env.b()), static_cast<double>(bb));
+    print_row({static_cast<double>(bb),
+               static_cast<double>(n) / static_cast<double>(bb),
+               static_cast<double>(ios), f, static_cast<double>(ios) / f,
+               static_cast<double>(ios) / static_cast<double>(sort_cost)});
+  }
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

@@ -1,0 +1,61 @@
+// E4 — right-grounded approximate K-partitioning.
+//
+// Claim (Theorem 6 + §3): O(N/B + (aK/B) lg_{M/B} min{K, aK/B}) I/Os, with
+// an Ω(N/B) lower bound (every element must be placed).  We sweep a and K;
+// the measured cost should track max(scan, formula) and stay well below the
+// sort baseline whenever aK << N.
+#include "bench_util.hpp"
+
+namespace emsplit::bench {
+namespace {
+
+void run() {
+  const Geometry g{};
+  Env env(g);
+  const std::size_t n = 1u << 21;
+  auto host = make_workload(Workload::kUniform, n, 2024, env.b());
+  auto input = materialize<Record>(env.ctx, host);
+  const std::uint64_t sort_cost = measure(env, [&] {
+    auto s = external_sort<Record>(env.ctx, input);
+  });
+
+  print_header("E4: right-grounded K-partitioning",
+               "O(N/B + (aK/B) lg_{M/B} min{K, aK/B}), lower bound Omega(N/B)",
+               g);
+  const double nb = static_cast<double>(n) / static_cast<double>(env.b());
+  std::printf("# N = %zu, scan N/B = %.0f, measured sort = %llu\n", n, nb,
+              static_cast<unsigned long long>(sort_cost));
+  print_columns({"a", "K", "aK", "measured", "formula", "ratio", "vs_sort"});
+
+  auto one = [&](std::uint64_t a, std::uint64_t k) {
+    const ApproxSpec spec{.k = k, .a = a, .b = n};
+    ApproxPartitioning<Record> result;
+    const std::uint64_t ios = measure(env, [&] {
+      result = approx_partitioning<Record>(env.ctx, input, spec);
+    });
+    auto check =
+        verify_partitioning<Record>(input, result.data, result.bounds, spec);
+    if (!check.ok) {
+      std::printf("!! INVALID OUTPUT: %s\n", check.reason.c_str());
+      return;
+    }
+    const double f = partitioning_right_ios(
+        static_cast<double>(n), static_cast<double>(env.m()),
+        static_cast<double>(env.b()), static_cast<double>(k),
+        static_cast<double>(a));
+    print_row({static_cast<double>(a), static_cast<double>(k),
+               static_cast<double>(a * k), static_cast<double>(ios), f,
+               static_cast<double>(ios) / f,
+               static_cast<double>(ios) / static_cast<double>(sort_cost)});
+  };
+
+  std::printf("# sweep a at K = 64:\n");
+  for (std::uint64_t a : {1u, 16u, 256u, 4096u, 32768u}) one(a, 64);
+  std::printf("# sweep K at a = 64:\n");
+  for (std::uint64_t k : {4u, 64u, 1024u, 16384u}) one(64, k);
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

@@ -1,0 +1,63 @@
+// E6 — two-sided approximate K-partitioning.
+//
+// Claim (Theorem 6): O((aK/B) lg_{M/B} min{K, aK/B} + (N/B) lg_{M/B}
+// min{N/b, N/B}) I/Os.  (a, b) grid at fixed N, K, as in E3 but with the
+// physical partitioning output verified.
+#include "bench_util.hpp"
+
+namespace emsplit::bench {
+namespace {
+
+void run() {
+  const Geometry g{};
+  Env env(g);
+  const std::size_t n = 1u << 21;
+  const std::uint64_t k = 128;
+  auto host = make_workload(Workload::kUniform, n, 4242, env.b());
+  auto input = materialize<Record>(env.ctx, host);
+  const std::uint64_t sort_cost = measure(env, [&] {
+    auto s = external_sort<Record>(env.ctx, input);
+  });
+
+  print_header("E6: two-sided K-partitioning",
+               "O((aK/B) lg min{K, aK/B} + (N/B) lg min{N/b, N/B})", g);
+  std::printf("# N = %zu, K = %llu, N/K = %llu, measured sort = %llu\n", n,
+              static_cast<unsigned long long>(k),
+              static_cast<unsigned long long>(n / k),
+              static_cast<unsigned long long>(sort_cost));
+  print_columns(
+      {"a", "b", "regime", "measured", "formula", "ratio", "vs_sort"});
+
+  for (std::uint64_t a : {1u, 1024u, 8192u}) {
+    for (std::uint64_t bb :
+         {static_cast<std::uint64_t>(n) / k, 4 * n / k, 64 * n / k,
+          static_cast<std::uint64_t>(n) / 2}) {
+      if (a > n / k || bb < (n + k - 1) / k) continue;
+      const ApproxSpec spec{.k = k, .a = a, .b = bb};
+      ApproxPartitioning<Record> result;
+      const std::uint64_t ios = measure(env, [&] {
+        result = approx_partitioning<Record>(env.ctx, input, spec);
+      });
+      auto check =
+          verify_partitioning<Record>(input, result.data, result.bounds, spec);
+      if (!check.ok) {
+        std::printf("!! INVALID OUTPUT: %s\n", check.reason.c_str());
+        continue;
+      }
+      const bool guard = a * 2 * k >= n || bb * k <= 2 * n;
+      const double f = partitioning_two_sided_ios(
+          static_cast<double>(n), static_cast<double>(env.m()),
+          static_cast<double>(env.b()), static_cast<double>(k),
+          static_cast<double>(a), static_cast<double>(bb));
+      print_row({static_cast<double>(a), static_cast<double>(bb),
+                 guard ? 1.0 : 0.0, static_cast<double>(ios), f,
+                 static_cast<double>(ios) / f,
+                 static_cast<double>(ios) / static_cast<double>(sort_cost)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

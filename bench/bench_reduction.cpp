@@ -1,0 +1,58 @@
+// E11 — the §3 reduction, measured.
+//
+// Claim: precise (N/b)-partitioning = left-grounded approximate
+// K-partitioning + O(N/B) stitch.  We sweep b and report the approximate
+// cost, the end-to-end reduction cost, the stitch overhead in scan units
+// (must be O(1) scans), and the direct precise_partition cost for reference.
+#include "bench_util.hpp"
+
+#include "partition/reduction.hpp"
+
+namespace emsplit::bench {
+namespace {
+
+void run() {
+  const Geometry g{};
+  Env env(g);
+  const std::size_t n = 1u << 20;
+  auto host = make_workload(Workload::kUniform, n, 1618, env.b());
+  auto input = materialize<Record>(env.ctx, host);
+
+  print_header("E11: precise partitioning via the Section-3 reduction",
+               "reduction total = F(N, K, b) + O(N/B)", g);
+  const double nb = static_cast<double>(n) / static_cast<double>(env.b());
+  std::printf("# N = %zu, scan N/B = %.0f\n", n, nb);
+  print_columns({"b", "N/b", "approx_ios", "reduce_ios", "stitch/scan",
+                 "direct_ios"});
+
+  for (std::uint64_t bb : {n / 4096, n / 512, n / 64, n / 8}) {
+    const std::uint64_t parts = n / bb;
+    const std::uint64_t approx = measure(env, [&] {
+      auto r = approx_partitioning<Record>(env.ctx, input,
+                                           {.k = parts, .a = 0, .b = bb});
+    });
+    ApproxPartitioning<Record> reduced;
+    const std::uint64_t total = measure(env, [&] {
+      reduced = precise_partition_via_reduction<Record>(env.ctx, input, bb);
+    });
+    const ApproxSpec exact{.k = parts, .a = bb, .b = bb};
+    auto check =
+        verify_partitioning<Record>(input, reduced.data, reduced.bounds, exact);
+    if (!check.ok) {
+      std::printf("!! INVALID OUTPUT: %s\n", check.reason.c_str());
+      continue;
+    }
+    const std::uint64_t direct = measure(env, [&] {
+      auto r = precise_partition<Record>(env.ctx, input, parts);
+    });
+    print_row({static_cast<double>(bb), static_cast<double>(parts),
+               static_cast<double>(approx), static_cast<double>(total),
+               (static_cast<double>(total) - static_cast<double>(approx)) / nb,
+               static_cast<double>(direct)});
+  }
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

@@ -1,0 +1,104 @@
+// E14 — the practitioner's baseline: one-pass quantile sketch vs
+// approximate K-splitters.
+//
+// For the paper's equi-depth-histogram motivation, what practice typically
+// deploys is a streaming quantile summary: one scan, memory-resident, but
+// only soft bucket guarantees.  This bench quantifies the trade-off the
+// paper's algorithms buy: hard [a, b] guarantees at a (bounded) extra I/O
+// cost.  Columns report construction I/Os and the realized min/max bucket
+// sizes for K buckets.
+#include "bench_util.hpp"
+
+#include "baselines/quantile_sketch.hpp"
+
+#include <algorithm>
+
+namespace emsplit::bench {
+namespace {
+
+struct Quality {
+  std::uint64_t min_bucket = ~0ULL;
+  std::uint64_t max_bucket = 0;
+};
+
+Quality bucket_quality(const std::vector<Record>& host,
+                       const std::vector<Record>& splitters) {
+  auto sorted = host;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint64_t> sizes(splitters.size() + 1, 0);
+  std::size_t j = 0;
+  for (const auto& e : sorted) {
+    while (j < splitters.size() && splitters[j] < e) ++j;
+    ++sizes[j];
+  }
+  Quality q;
+  for (const auto s : sizes) {
+    q.min_bucket = std::min(q.min_bucket, s);
+    q.max_bucket = std::max(q.max_bucket, s);
+  }
+  return q;
+}
+
+void run() {
+  const Geometry g{};
+  Env env(g);
+  const std::size_t n = 1u << 21;
+  const std::uint64_t k = 128;
+  auto host = make_workload(Workload::kZipfian, n, 31, env.b(),
+                            /*distinct=*/1 << 18);
+  auto input = materialize<Record>(env.ctx, host);
+
+  print_header(
+      "E14: quantile sketch vs approximate K-splitters",
+      "hard [a, b] guarantees vs one-pass soft guarantees (K buckets)", g);
+  std::printf("# N = %zu, K = %llu, ideal bucket = %llu (zipfian keys)\n", n,
+              static_cast<unsigned long long>(k),
+              static_cast<unsigned long long>(n / k));
+  print_columns({"method", "ios", "min_bucket", "max_bucket", "hard_guar"});
+
+  auto row = [&](const char* label, std::uint64_t ios,
+                 const std::vector<Record>& splitters, bool hard) {
+    const auto q = bucket_quality(host, splitters);
+    std::printf("  %-26s", label);
+    print_row({static_cast<double>(ios), static_cast<double>(q.min_bucket),
+               static_cast<double>(q.max_bucket), hard ? 1.0 : 0.0});
+  };
+
+  {
+    std::vector<Record> qs;
+    const auto ios = measure(env, [&] {
+      auto sketch = sketch_vector<Record>(env.ctx, input);
+      qs = sketch.quantiles(k);
+    });
+    row("one-pass sketch", ios, qs, false);
+  }
+  {
+    std::vector<Record> s;
+    const ApproxSpec spec{.k = k, .a = n / (4 * k), .b = 4 * n / k};
+    const auto ios = measure(env, [&] {
+      s = approx_splitters<Record>(env.ctx, input, spec);
+    });
+    row("splitters [N/4K, 4N/K]", ios, s, true);
+  }
+  {
+    std::vector<Record> s;
+    const ApproxSpec spec{.k = k, .a = n / k, .b = n / k};
+    const auto ios = measure(env, [&] {
+      s = approx_splitters<Record>(env.ctx, input, spec);
+    });
+    row("exact quantiles (a=b=N/K)", ios, s, true);
+  }
+  {
+    std::vector<Record> s;
+    const auto ios = measure(env, [&] {
+      s = sort_splitters<Record>(env.ctx, input,
+                                 {.k = k, .a = 0, .b = n});
+    });
+    row("full sort", ios, s, true);
+  }
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

@@ -1,0 +1,54 @@
+// E17 — sorting-substrate ablation: merge sort (chunk runs), merge sort
+// (replacement-selection runs), distribution sort.
+//
+// All three are Θ((N/B) lg_{M/B}(N/B)); the constants and the
+// workload-sensitivity differ.  Replacement selection shines on inputs with
+// pre-existing order (one giant run on sorted data); distribution sort
+// rides the multi-partition machinery and inherits its constants.  The
+// baseline all experiments use is the chunk-run merge sort.
+#include "bench_util.hpp"
+
+#include "sort/distribution_sort.hpp"
+
+namespace emsplit::bench {
+namespace {
+
+void run() {
+  const Geometry g{.block_bytes = 4096, .mem_blocks = 8};
+  print_header("E17: sorting-substrate ablation",
+               "merge (chunk runs) vs merge (snow-plow runs) vs distribution",
+               g);
+  const std::size_t n = 1u << 20;
+  std::printf("# N = %zu\n", n);
+  print_columns({"workload", "merge_chunk", "merge_snowplow", "distribution"});
+
+  for (const Workload w :
+       {Workload::kUniform, Workload::kSorted, Workload::kReverse,
+        Workload::kOrganPipe, Workload::kZipfian}) {
+    Env env(g);
+    auto host = make_workload(w, n, 1717, env.b());
+    auto input = materialize<Record>(env.ctx, host);
+
+    const auto chunk = measure(env, [&] {
+      auto s = external_sort<Record>(env.ctx, input);
+      if (!is_sorted_em(s)) std::printf("!! chunk merge failed\n");
+    });
+    const auto snow = measure(env, [&] {
+      auto s = external_sort<Record>(env.ctx, input, std::less<Record>(),
+                                     RunStrategy::kReplacementSelection);
+      if (!is_sorted_em(s)) std::printf("!! snow-plow merge failed\n");
+    });
+    const auto dist = measure(env, [&] {
+      auto s = distribution_sort<Record>(env.ctx, input);
+      if (!is_sorted_em(s)) std::printf("!! distribution failed\n");
+    });
+    std::printf("  %-14s", to_string(w).c_str());
+    print_row({static_cast<double>(chunk), static_cast<double>(snow),
+               static_cast<double>(dist)});
+  }
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

@@ -1,0 +1,70 @@
+// E13 — ablation: deterministic recursive sampler vs randomized reservoir
+// splitters.
+//
+// The multi-selection base case (and multi-partition's cut selection) rests
+// on the linear-splitters engine.  DESIGN.md calls out the design choice:
+// the deterministic recursive sampler (proven bucket bound, ~1.67 scans
+// with writes) versus a one-scan reservoir sample (high-probability bound,
+// no writes).  This bench measures both costs and both *actual* max-bucket
+// qualities across workload shapes.
+#include "bench_util.hpp"
+
+#include "select/sampled_splitters.hpp"
+
+#include <algorithm>
+
+namespace emsplit::bench {
+namespace {
+
+std::uint64_t max_bucket(const std::vector<Record>& host,
+                         const std::vector<Record>& splitters) {
+  auto sorted = host;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint64_t> sizes(splitters.size() + 1, 0);
+  std::size_t j = 0;
+  for (const auto& e : sorted) {
+    while (j < splitters.size() && splitters[j] < e) ++j;
+    ++sizes[j];
+  }
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+void run() {
+  const Geometry g{};
+  print_header("E13: splitter-engine ablation",
+               "deterministic recursive sampler vs one-scan reservoir sample",
+               g);
+  const std::size_t n = 1u << 20;
+  std::printf("# N = %zu; ideal bucket ~ 4N/M = %zu records\n", n,
+              4 * n / (g.mem_bytes() / sizeof(Record)));
+  print_columns({"workload", "det_ios", "det_maxbkt", "det_bound", "rnd_ios",
+                 "rnd_maxbkt", "rnd_bound"});
+
+  for (const Workload w : all_workloads()) {
+    Env env(g);
+    auto host = make_workload(w, n, 99, env.b());
+    auto input = materialize<Record>(env.ctx, host);
+
+    LinearSplittersResult<Record> det;
+    const auto det_ios = measure(env, [&] {
+      det = linear_splitters<Record>(env.ctx, input);
+    });
+    LinearSplittersResult<Record> rnd;
+    const auto rnd_ios = measure(env, [&] {
+      rnd = sampled_splitters<Record>(env.ctx, input, /*seed=*/4242);
+    });
+
+    std::printf("  %-14s", to_string(w).c_str());
+    print_row({static_cast<double>(det_ios),
+               static_cast<double>(max_bucket(host, det.splitters)),
+               static_cast<double>(det.bucket_bound),
+               static_cast<double>(rnd_ios),
+               static_cast<double>(max_bucket(host, rnd.splitters)),
+               static_cast<double>(rnd.bucket_bound)});
+  }
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

@@ -1,0 +1,71 @@
+// E2 — left-grounded approximate K-splitters.
+//
+// Claim (Theorems 2 + 5): Θ((N/B) lg_{M/B}(N/(bB))) I/Os.  We sweep b from
+// N/K up to N/2 at fixed K (cost falls as b grows: fewer mandatory cuts),
+// and sweep N at fixed b/N ratio (cost scales like a scan times the log).
+#include "bench_util.hpp"
+
+namespace emsplit::bench {
+namespace {
+
+void run() {
+  const Geometry g{};
+  print_header("E2: left-grounded K-splitters",
+               "Theta((N/B) lg_{M/B}(N/(bB)))", g);
+  print_columns({"N", "K", "b", "measured", "formula", "ratio", "vs_sort"});
+
+  auto one = [&](std::size_t n, std::uint64_t k, std::uint64_t bb,
+                 Env& env, const EmVector<Record>& input,
+                 std::uint64_t sort_cost) {
+    const ApproxSpec spec{.k = k, .a = 0, .b = bb};
+    std::vector<Record> splitters;
+    const std::uint64_t ios = measure(env, [&] {
+      splitters = approx_splitters<Record>(env.ctx, input, spec);
+    });
+    auto check = verify_splitters<Record>(input, splitters, spec);
+    if (!check.ok) {
+      std::printf("!! INVALID OUTPUT: %s\n", check.reason.c_str());
+      return;
+    }
+    const double f = splitters_left_ios(
+        static_cast<double>(n), static_cast<double>(env.m()),
+        static_cast<double>(env.b()), static_cast<double>(k),
+        static_cast<double>(bb));
+    print_row({static_cast<double>(n), static_cast<double>(k),
+               static_cast<double>(bb), static_cast<double>(ios), f,
+               static_cast<double>(ios) / f,
+               static_cast<double>(ios) / static_cast<double>(sort_cost)});
+  };
+
+  {
+    Env env(g);
+    const std::size_t n = 1u << 21;
+    auto host = make_workload(Workload::kUniform, n, 77, env.b());
+    auto input = materialize<Record>(env.ctx, host);
+    const std::uint64_t sort_cost = measure(env, [&] {
+      auto s = external_sort<Record>(env.ctx, input);
+    });
+    std::printf("# sweep b at N = %zu, K = 512 (measured sort = %llu):\n", n,
+                static_cast<unsigned long long>(sort_cost));
+    for (std::uint64_t bb :
+         {n / 512, n / 128, n / 32, n / 8, n / 4, n / 2}) {
+      one(n, 512, bb, env, input, sort_cost);
+    }
+  }
+
+  std::printf("# sweep N at K = 256, b = N/64:\n");
+  for (std::size_t n : {1u << 17, 1u << 18, 1u << 19, 1u << 20, 1u << 21}) {
+    Env env(g);
+    auto host = make_workload(Workload::kUniform, n, 78, env.b());
+    auto input = materialize<Record>(env.ctx, host);
+    const std::uint64_t sort_cost = measure(env, [&] {
+      auto s = external_sort<Record>(env.ctx, input);
+    });
+    one(n, 256, n / 64, env, input, sort_cost);
+  }
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

@@ -1,0 +1,64 @@
+// E1 — right-grounded approximate K-splitters.
+//
+// Claim (Theorems 1 + 5): Θ((1 + aK/B) lg_{M/B}(K/B)) I/Os — *sublinear*
+// whenever aK << N.  We sweep a at fixed K and K at fixed a, report the
+// measured-to-formula ratio (shape: roughly constant), and print the full
+// scan N/B and the measured sort baseline to expose the sublinear gap.
+#include "bench_util.hpp"
+
+namespace emsplit::bench {
+namespace {
+
+void run() {
+  const Geometry g{};
+  Env env(g);
+  const std::size_t n = 1u << 21;  // 2M records = 32 MiB of data
+  auto host = make_workload(Workload::kUniform, n, /*seed=*/1234, env.b());
+  auto input = materialize<Record>(env.ctx, host);
+
+  print_header("E1: right-grounded K-splitters",
+               "Theta((1 + aK/B) lg_{M/B}(K/B)) — sublinear when aK << N", g);
+  const double nb = static_cast<double>(n) / static_cast<double>(env.b());
+  const std::uint64_t sort_cost = measure(env, [&] {
+    auto s = external_sort<Record>(env.ctx, input);
+  });
+  std::printf("# full scan N/B = %.0f, measured sort = %llu\n", nb,
+              static_cast<unsigned long long>(sort_cost));
+  print_columns({"a", "K", "aK", "measured", "formula", "ratio", "vs_scan"});
+
+  auto one = [&](std::uint64_t a, std::uint64_t k) {
+    const ApproxSpec spec{.k = k, .a = a, .b = n};
+    std::uint64_t ios = 0;
+    std::vector<Record> splitters;
+    ios = measure(env, [&] {
+      splitters = approx_splitters<Record>(env.ctx, input, spec);
+    });
+    auto check = verify_splitters<Record>(input, splitters, spec);
+    if (!check.ok) {
+      std::printf("!! INVALID OUTPUT: %s\n", check.reason.c_str());
+      return;
+    }
+    const double f = splitters_right_ios(
+        static_cast<double>(n), static_cast<double>(env.m()),
+        static_cast<double>(env.b()), static_cast<double>(k),
+        static_cast<double>(a));
+    print_row({static_cast<double>(a), static_cast<double>(k),
+               static_cast<double>(a * k), static_cast<double>(ios), f,
+               static_cast<double>(ios) / f,
+               static_cast<double>(ios) / nb});
+  };
+
+  std::printf("# sweep a at K = 64:\n");
+  for (std::uint64_t a : {2u, 8u, 32u, 128u, 512u, 2048u, 8192u, 32768u}) {
+    one(a, 64);
+  }
+  std::printf("# sweep K at a = 16:\n");
+  for (std::uint64_t k : {4u, 16u, 64u, 256u, 1024u, 4096u, 16384u}) {
+    one(16, k);
+  }
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

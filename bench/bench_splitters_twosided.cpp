@@ -1,0 +1,65 @@
+// E3 — two-sided approximate K-splitters.
+//
+// Claim (Theorems 1 + 2 + 5): Θ((aK/B) lg_{M/B}(K/B) + (N/B) lg_{M/B}(N/(bB)))
+// I/Os.  We sweep an (a, b) grid at fixed N, K and report the measured cost
+// against the combined formula; the cheap-guard regimes (a >= N/2K or
+// b <= 2N/K) and the general regime are both exercised.
+#include "bench_util.hpp"
+
+namespace emsplit::bench {
+namespace {
+
+void run() {
+  const Geometry g{};
+  Env env(g);
+  const std::size_t n = 1u << 21;
+  const std::uint64_t k = 128;
+  auto host = make_workload(Workload::kUniform, n, 99, env.b());
+  auto input = materialize<Record>(env.ctx, host);
+  const std::uint64_t sort_cost = measure(env, [&] {
+    auto s = external_sort<Record>(env.ctx, input);
+  });
+
+  print_header(
+      "E3: two-sided K-splitters",
+      "Theta((aK/B) lg_{M/B}(K/B) + (N/B) lg_{M/B}(N/(bB)))", g);
+  std::printf("# N = %zu, K = %llu, N/K = %llu, measured sort = %llu\n", n,
+              static_cast<unsigned long long>(k),
+              static_cast<unsigned long long>(n / k),
+              static_cast<unsigned long long>(sort_cost));
+  print_columns(
+      {"a", "b", "regime", "measured", "formula", "ratio", "vs_sort"});
+
+  for (std::uint64_t a : {1u, 64u, 1024u, 4096u, 12288u}) {
+    for (std::uint64_t bb :
+         {static_cast<std::uint64_t>(n) / k, 2 * n / k, 8 * n / k, 64 * n / k,
+          static_cast<std::uint64_t>(n) / 2}) {
+      if (a > n / k || bb < (n + k - 1) / k) continue;
+      const ApproxSpec spec{.k = k, .a = a, .b = bb};
+      std::vector<Record> splitters;
+      const std::uint64_t ios = measure(env, [&] {
+        splitters = approx_splitters<Record>(env.ctx, input, spec);
+      });
+      auto check = verify_splitters<Record>(input, splitters, spec);
+      if (!check.ok) {
+        std::printf("!! INVALID OUTPUT: %s\n", check.reason.c_str());
+        continue;
+      }
+      // Regime flag: 1 = cheap guard (exact quantile), 0 = general path.
+      const bool guard = a * 2 * k >= n || bb * k <= 2 * n;
+      const double f = splitters_two_sided_ios(
+          static_cast<double>(n), static_cast<double>(env.m()),
+          static_cast<double>(env.b()), static_cast<double>(k),
+          static_cast<double>(a), static_cast<double>(bb));
+      print_row({static_cast<double>(a), static_cast<double>(bb),
+                 guard ? 1.0 : 0.0, static_cast<double>(ios), f,
+                 static_cast<double>(ios) / f,
+                 static_cast<double>(ios) / static_cast<double>(sort_cost)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

@@ -1,0 +1,81 @@
+// E9 — everything vs the sort baseline: who wins, by what factor, where the
+// gap closes.
+//
+// The paper's practical pitch in one table: for each problem variant we run
+// the specialized algorithm and the sort-everything baseline on identical
+// inputs and report the win factor.  Expected shape: large wins for
+// right-grounded splitters (sublinear), solid wins for loose [a, b], and
+// convergence toward 1x as [a, b] tightens to exact balance (where the
+// problems genuinely cost as much as multi-partition).
+#include "bench_util.hpp"
+
+namespace emsplit::bench {
+namespace {
+
+struct Row {
+  const char* label;
+  std::uint64_t fast;
+  std::uint64_t base;
+};
+
+void run() {
+  const Geometry g{.block_bytes = 4096, .mem_blocks = 8};  // N >> M, M/B = 8
+  Env env(g);
+  const std::size_t n = 1u << 21;
+  const std::uint64_t k = 64;
+  auto host = make_workload(Workload::kUniform, n, 8086, env.b());
+  auto input = materialize<Record>(env.ctx, host);
+
+  print_header("E9: specialized algorithms vs the sort baseline",
+               "win = sort_ios / specialized_ios per Table-1 row", g);
+  std::printf("# N = %zu, K = %llu\n", n, static_cast<unsigned long long>(k));
+  print_columns({"case", "fast_ios", "sort_ios", "win"});
+
+  std::vector<Row> rows;
+  auto run_case = [&](const char* label, const ApproxSpec& spec,
+                      bool partitioning) {
+    std::uint64_t fast = 0, base = 0;
+    if (partitioning) {
+      fast = measure(env, [&] {
+        auto r = approx_partitioning<Record>(env.ctx, input, spec);
+        auto c = verify_partitioning<Record>(input, r.data, r.bounds, spec);
+        if (!c.ok) std::printf("!! INVALID %s: %s\n", label, c.reason.c_str());
+      });
+      base = measure(env, [&] {
+        auto r = sort_partitioning<Record>(env.ctx, input, spec);
+      });
+    } else {
+      fast = measure(env, [&] {
+        auto s = approx_splitters<Record>(env.ctx, input, spec);
+        auto c = verify_splitters<Record>(input, s, spec);
+        if (!c.ok) std::printf("!! INVALID %s: %s\n", label, c.reason.c_str());
+      });
+      base = measure(env, [&] {
+        auto s = sort_splitters<Record>(env.ctx, input, spec);
+      });
+    }
+    std::printf("  %-34s", label);
+    print_row({static_cast<double>(fast), static_cast<double>(base),
+               static_cast<double>(base) / static_cast<double>(fast)});
+  };
+
+  std::printf("# splitters:\n");
+  run_case("splitters right (a=16)", {.k = k, .a = 16, .b = n}, false);
+  run_case("splitters left  (b=N/8)", {.k = k, .a = 0, .b = n / 8}, false);
+  run_case("splitters 2-sided loose", {.k = k, .a = 64, .b = n / 8}, false);
+  run_case("splitters 2-sided tight", {.k = k, .a = n / k - 64, .b = n / k + 64},
+           false);
+  run_case("splitters exact (a=b=N/K)", {.k = k, .a = n / k, .b = n / k},
+           false);
+  std::printf("# partitioning:\n");
+  run_case("partitioning right (a=16)", {.k = k, .a = 16, .b = n}, true);
+  run_case("partitioning left  (b=N/8)", {.k = k, .a = 0, .b = n / 8}, true);
+  run_case("partitioning 2-sided loose", {.k = k, .a = 64, .b = n / 8}, true);
+  run_case("partitioning exact (a=b=N/K)", {.k = k, .a = n / k, .b = n / k},
+           true);
+}
+
+}  // namespace
+}  // namespace emsplit::bench
+
+int main() { emsplit::bench::run(); }

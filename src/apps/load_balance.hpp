@@ -1,0 +1,77 @@
+// load_balance.hpp — order-preserving load balancing across K machines.
+//
+// The paper's first motivating application (§1): distribute S onto K
+// machines for parallel processing so that machine i receives a contiguous
+// range of the order and every machine's load is within [a, b].  Perfect
+// balance (a = b = N/K) costs Θ((N/B) log_{M/B} K); tolerating a fractional
+// imbalance makes the job strictly cheaper — exactly the approximate
+// K-partitioning trade-off.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/partitioning.hpp"
+#include "em/context.hpp"
+#include "em/em_vector.hpp"
+
+namespace emsplit {
+
+/// A load-balanced assignment: machine i owns records
+/// [plan.bounds[i], plan.bounds[i+1]) of plan.data.
+template <EmRecord T>
+struct LoadBalancePlan {
+  ApproxPartitioning<T> assignment;
+  std::uint64_t min_load = 0;
+  std::uint64_t max_load = 0;
+
+  /// max load divided by the perfectly balanced load N/K.
+  [[nodiscard]] double imbalance() const {
+    const double ideal =
+        static_cast<double>(assignment.bounds.back()) /
+        static_cast<double>(assignment.partitions());
+    return ideal == 0.0 ? 1.0 : static_cast<double>(max_load) / ideal;
+  }
+};
+
+/// Distribute `data` over `machines` machines, allowing every load to
+/// deviate from N/K by at most the fraction `tolerance` (0 = perfect
+/// balance).  Returns the physical assignment plus load statistics.
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] LoadBalancePlan<T> balance_load(Context& ctx,
+                                              const EmVector<T>& data,
+                                              std::uint64_t machines,
+                                              double tolerance = 0.0,
+                                              Less less = {}) {
+  const std::uint64_t n = data.size();
+  if (machines == 0 || machines > n) {
+    throw std::invalid_argument("balance_load: machines must be in [1, N]");
+  }
+  if (tolerance < 0.0) {
+    throw std::invalid_argument("balance_load: tolerance must be >= 0");
+  }
+  const double ideal = static_cast<double>(n) / static_cast<double>(machines);
+  ApproxSpec spec{
+      .k = machines,
+      .a = tolerance >= 1.0
+               ? 0
+               : static_cast<std::uint64_t>((1.0 - tolerance) * ideal),
+      .b = static_cast<std::uint64_t>((1.0 + tolerance) * ideal) + 1};
+  spec.a = std::min<std::uint64_t>(spec.a, n / machines);
+  spec.b = std::max<std::uint64_t>(spec.b, (n + machines - 1) / machines);
+
+  LoadBalancePlan<T> plan;
+  plan.assignment = approx_partitioning<T, Less>(ctx, data, spec, less);
+  plan.min_load = ~0ULL;
+  for (std::size_t i = 0; i < plan.assignment.partitions(); ++i) {
+    const auto load = plan.assignment.partition_size(i);
+    plan.min_load = std::min(plan.min_load, load);
+    plan.max_load = std::max(plan.max_load, load);
+  }
+  return plan;
+}
+
+}  // namespace emsplit

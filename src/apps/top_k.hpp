@@ -1,0 +1,73 @@
+// top_k.hpp — external top-K extraction via threshold selection.
+//
+// A small composition exercise over the selection machinery: report the K
+// largest (or smallest) records of an external dataset in O(N/B + K/B)
+// I/Os — one rank selection for the threshold plus one filter scan —
+// instead of the sort-based O((N/B) log_{M/B}(N/B)) or the heap-based
+// O((N/B) log K) comparisons with a K-record memory footprint (which
+// breaks the budget once K > M).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "em/context.hpp"
+#include "em/em_vector.hpp"
+#include "em/stream.hpp"
+#include "select/base_case.hpp"
+
+namespace emsplit {
+
+/// The K largest records of `input`, as a new external vector (unordered
+/// within; sort it if order matters — it is only K records).
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] EmVector<T> top_k_largest(Context& ctx, const EmVector<T>& input,
+                                        std::uint64_t k, Less less = {}) {
+  const std::uint64_t n = input.size();
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("top_k: K must be in [1, N]");
+  }
+  // Threshold: the element of rank N-K+1; the top K are everything >= it.
+  const T threshold = select_rank<T, Less>(ctx, input, n - k + 1, less);
+  EmVector<T> out(ctx, static_cast<std::size_t>(k));
+  StreamReader<T> reader(input);
+  StreamWriter<T> writer(out);
+  while (!reader.done()) {
+    const T e = reader.next();
+    if (!less(e, threshold)) writer.push(e);  // e >= threshold
+  }
+  writer.finish();
+  if (out.size() != k) {
+    throw std::logic_error(
+        "top_k: filter count mismatch (duplicate records? the library "
+        "requires a strict total order)");
+  }
+  return out;
+}
+
+/// The K smallest records of `input`.
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] EmVector<T> top_k_smallest(Context& ctx,
+                                         const EmVector<T>& input,
+                                         std::uint64_t k, Less less = {}) {
+  const std::uint64_t n = input.size();
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("top_k: K must be in [1, N]");
+  }
+  const T threshold = select_rank<T, Less>(ctx, input, k, less);
+  EmVector<T> out(ctx, static_cast<std::size_t>(k));
+  StreamReader<T> reader(input);
+  StreamWriter<T> writer(out);
+  while (!reader.done()) {
+    const T e = reader.next();
+    if (!less(threshold, e)) writer.push(e);  // e <= threshold
+  }
+  writer.finish();
+  if (out.size() != k) {
+    throw std::logic_error("top_k: filter count mismatch");
+  }
+  return out;
+}
+
+}  // namespace emsplit

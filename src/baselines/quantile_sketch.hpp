@@ -1,0 +1,184 @@
+// quantile_sketch.hpp — one-pass merge-collapse quantile summary
+// (Munro–Paterson / MRL style), the streaming baseline for the splitters
+// problem.
+//
+// This is what practice reaches for when it wants nearly-equi-depth bucket
+// boundaries of a big file: one read-only scan, memory-resident summary,
+// answers any quantile afterwards.  Its guarantee is weaker than approximate
+// K-splitters': rank error grows with the number of collapse levels
+// (ε ≈ L / (2k) per element with buffer size k and L = log2(n/k) levels),
+// so bucket sizes are only approximately bounded — no hard [a, b] promise.
+// Experiment E14 measures both cost and quality against approx_splitters.
+//
+// Structure: a binomial-heap-like set of sorted buffers.  Each buffer holds
+// exactly `k` records and carries weight 2^level.  New records fill a
+// level-0 staging buffer; whenever two buffers share a level they collapse:
+// merge the 2k records, keep alternating elements (odd positions on odd
+// collapses, even on even, halving the systematic bias), at level + 1.
+// A rank query sums weights of summary elements below the probe.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "em/context.hpp"
+#include "em/em_vector.hpp"
+#include "em/stream.hpp"
+
+namespace emsplit {
+
+template <EmRecord T, typename Less = std::less<T>>
+class QuantileSketch {
+ public:
+  /// `buffer_records` is k, the size of one buffer.  Total memory grows by
+  /// one buffer per level, reserved against the budget as levels appear.
+  QuantileSketch(Context& ctx, std::size_t buffer_records, Less less = {})
+      : ctx_(&ctx), k_(buffer_records), less_(less) {
+    if (k_ < 2) {
+      throw std::invalid_argument("QuantileSketch: buffer_records must be >= 2");
+    }
+    staging_res_ = ctx_->budget().reserve(k_ * sizeof(T));
+    staging_.reserve(k_);
+  }
+
+  /// Number of records summarized so far.
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// Summary footprint in records (all live buffers + staging).
+  [[nodiscard]] std::size_t footprint_records() const noexcept {
+    return (buffers_.size() + 1) * k_;
+  }
+
+  void insert(const T& v) {
+    staging_.push_back(v);
+    ++count_;
+    if (staging_.size() == k_) flush_staging();
+  }
+
+  /// Rank estimate: approximate #{e <= probe} among all inserted records.
+  [[nodiscard]] std::uint64_t estimate_rank(const T& probe) const {
+    std::uint64_t rank = 0;
+    for (const auto& buf : buffers_) {
+      const auto it = std::upper_bound(
+          buf.records.begin(), buf.records.end(), probe,
+          [&](const T& x, const T& y) { return less_(x, y); });
+      rank += static_cast<std::uint64_t>(it - buf.records.begin())
+              << buf.level;
+    }
+    // Staging records count with weight 1.
+    for (const auto& e : staging_) {
+      if (!less_(probe, e)) ++rank;
+    }
+    return rank;
+  }
+
+  /// The K-1 approximate (1/K)-quantile boundaries, ascending.
+  [[nodiscard]] std::vector<T> quantiles(std::uint64_t parts) const {
+    if (parts == 0) {
+      throw std::invalid_argument("QuantileSketch: parts must be >= 1");
+    }
+    // Weighted merge of all buffers (CPU-side; the summary is in memory).
+    std::vector<std::pair<T, std::uint64_t>> weighted;
+    for (const auto& buf : buffers_) {
+      for (const auto& e : buf.records) {
+        weighted.emplace_back(e, 1ULL << buf.level);
+      }
+    }
+    for (const auto& e : staging_) weighted.emplace_back(e, 1);
+    std::sort(weighted.begin(), weighted.end(),
+              [&](const auto& x, const auto& y) {
+                return less_(x.first, y.first);
+              });
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(parts - 1));
+    std::uint64_t acc = 0;
+    std::size_t i = 0;
+    for (std::uint64_t q = 1; q < parts; ++q) {
+      const std::uint64_t target = q * count_ / parts;
+      while (i < weighted.size() && acc + weighted[i].second <= target) {
+        acc += weighted[i].second;
+        ++i;
+      }
+      out.push_back(weighted[std::min(i, weighted.size() - 1)].first);
+    }
+    return out;
+  }
+
+ private:
+  struct Buffer {
+    std::uint32_t level = 0;
+    std::vector<T> records;  // sorted, exactly k entries
+    MemoryReservation reservation;
+  };
+
+  void flush_staging() {
+    std::sort(staging_.begin(), staging_.end(), less_);
+    Buffer b{0, std::move(staging_), ctx_->budget().reserve(k_ * sizeof(T))};
+    staging_ = {};
+    staging_.reserve(k_);
+    insert_buffer(std::move(b));
+  }
+
+  void insert_buffer(Buffer b) {
+    for (;;) {
+      auto same = std::find_if(
+          buffers_.begin(), buffers_.end(),
+          [&](const Buffer& o) { return o.level == b.level; });
+      if (same == buffers_.end()) break;
+      b = collapse(std::move(*same), std::move(b));
+      buffers_.erase(same);
+    }
+    buffers_.push_back(std::move(b));
+  }
+
+  /// Merge two k-buffers at one level into one k-buffer one level up.
+  Buffer collapse(Buffer x, Buffer y) {
+    std::vector<T> merged(2 * k_);
+    std::merge(x.records.begin(), x.records.end(), y.records.begin(),
+               y.records.end(), merged.begin(), less_);
+    std::vector<T> kept;
+    kept.reserve(k_);
+    // Alternate the parity of the kept positions to halve systematic bias.
+    const std::size_t offset = (collapse_parity_ ^= 1);
+    for (std::size_t i = offset; i < merged.size(); i += 2) {
+      kept.push_back(merged[i]);
+    }
+    kept.resize(k_);
+    return Buffer{x.level + 1, std::move(kept), std::move(x.reservation)};
+  }
+
+  Context* ctx_;
+  std::size_t k_;
+  Less less_;
+  std::uint64_t count_ = 0;
+  std::size_t collapse_parity_ = 0;
+  std::vector<T> staging_;
+  MemoryReservation staging_res_;
+  std::vector<Buffer> buffers_;
+};
+
+/// Build a sketch of an external vector with one scan.  The buffer size is
+/// chosen so that the summary plus the scan buffer fit inside the budget at
+/// the deepest expected level count.
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] QuantileSketch<T, Less> sketch_vector(Context& ctx,
+                                                    const EmVector<T>& input,
+                                                    Less less = {}) {
+  // Levels <= log2(n/k) + 2; solve k * (levels + 2) * sizeof(T) <= M/2
+  // crudely by fixing levels' upper estimate from n and M.
+  const std::size_t mem = ctx.mem_records<T>();
+  std::size_t levels = 2;
+  for (std::size_t n = input.size(); (n >> levels) > mem; ++levels) {
+  }
+  const std::size_t k =
+      std::max<std::size_t>(2, mem / (2 * (levels + 4)));
+  QuantileSketch<T, Less> sketch(ctx, k, less);
+  StreamReader<T> reader(input);
+  while (!reader.done()) sketch.insert(reader.next());
+  return sketch;
+}
+
+}  // namespace emsplit

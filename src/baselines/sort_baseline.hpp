@@ -1,0 +1,93 @@
+// sort_baseline.hpp — the trivial sort-everything baselines (paper §1.2).
+//
+// Every problem in the paper is solvable by one external sort in
+// Θ((N/B) log_{M/B}(N/B)) I/Os plus a cheap post-pass.  These baselines are
+// what every experiment compares against: the paper's contribution is
+// precisely the gap between these costs and the specialized algorithms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/partitioning.hpp"
+#include "core/spec.hpp"
+#include "em/context.hpp"
+#include "em/em_vector.hpp"
+#include "em/stream.hpp"
+#include "sort/external_sort.hpp"
+
+namespace emsplit {
+
+/// Multi-selection by sorting: sort S, then jump-read the target ranks.
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] std::vector<T> sort_multi_select(
+    Context& ctx, const EmVector<T>& input,
+    const std::vector<std::uint64_t>& ranks, Less less = {}) {
+  auto sorted = external_sort<T, Less>(ctx, input, less);
+  std::vector<T> out;
+  out.reserve(ranks.size());
+  for (const auto r : ranks) {
+    StreamReader<T> reader(sorted, static_cast<std::size_t>(r - 1),
+                           static_cast<std::size_t>(r));
+    out.push_back(reader.next());
+  }
+  return out;
+}
+
+/// Approximate K-splitters by sorting: sort S, read the (1/K)-quantile
+/// (always a valid answer whenever a <= floor(N/K) and ceil(N/K) <= b).
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] std::vector<T> sort_splitters(Context& ctx,
+                                            const EmVector<T>& input,
+                                            const ApproxSpec& spec,
+                                            Less less = {}) {
+  const std::uint64_t n = input.size();
+  validate_spec(n, spec);
+  auto sorted = external_sort<T, Less>(ctx, input, less);
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(spec.k - 1));
+  for (std::uint64_t i = 1; i < spec.k; ++i) {
+    const std::uint64_t r = i * n / spec.k;
+    StreamReader<T> reader(sorted, static_cast<std::size_t>(r - 1),
+                           static_cast<std::size_t>(r));
+    out.push_back(reader.next());
+  }
+  return out;
+}
+
+/// Approximate K-partitioning by sorting: the sorted vector with quantile
+/// bounds is a valid (indeed perfectly balanced) partitioning.
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] ApproxPartitioning<T> sort_partitioning(Context& ctx,
+                                                      const EmVector<T>& input,
+                                                      const ApproxSpec& spec,
+                                                      Less less = {}) {
+  const std::uint64_t n = input.size();
+  validate_spec(n, spec);
+  ApproxPartitioning<T> out;
+  out.data = external_sort<T, Less>(ctx, input, less);
+  out.bounds.push_back(0);
+  for (std::uint64_t i = 1; i < spec.k; ++i) {
+    out.bounds.push_back(i * n / spec.k);
+  }
+  out.bounds.push_back(n);
+  return out;
+}
+
+/// Multi-selection by K independent single-rank selections — the "no
+/// batching" strawman: O(K * N/B) I/Os.  Theorem 4's batching beats this by
+/// a factor K / log_{M/B}(K/B); bench E7 sweeps the gap.
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] std::vector<T> naive_multi_select(
+    Context& ctx, const EmVector<T>& input,
+    const std::vector<std::uint64_t>& ranks, Less less = {}) {
+  std::vector<T> out;
+  out.reserve(ranks.size());
+  for (const auto r : ranks) {
+    out.push_back(select_rank<T, Less>(ctx, input, r, less));
+  }
+  return out;
+}
+
+}  // namespace emsplit

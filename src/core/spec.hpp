@@ -1,0 +1,55 @@
+// spec.hpp — problem specification shared by the approximate K-splitters and
+// K-partitioning algorithms.
+//
+// Both problems take (K, [a, b]) over a set of N elements; solutions exist
+// iff a*K <= N <= b*K (§1.1 of the paper).  The grounded special cases get
+// cheaper algorithms:
+//   right-grounded:  b >= N  (no upper constraint)
+//   left-grounded:   a == 0  (no lower constraint)
+//   two-sided:       0 < a and b < N
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace emsplit {
+
+/// Parameters of an approximate K-splitters / K-partitioning instance.
+struct ApproxSpec {
+  std::uint64_t k = 1;  ///< number of partitions (K-1 splitters)
+  std::uint64_t a = 0;  ///< minimum partition size
+  std::uint64_t b = 0;  ///< maximum partition size
+
+  [[nodiscard]] bool right_grounded(std::uint64_t n) const noexcept {
+    return b >= n;
+  }
+  [[nodiscard]] bool left_grounded() const noexcept { return a == 0; }
+};
+
+/// Throws std::invalid_argument unless a solution exists for `n` elements:
+/// K >= 1, a <= b, and a*K <= n <= b*K.
+inline void validate_spec(std::uint64_t n, const ApproxSpec& spec) {
+  if (spec.k == 0) {
+    throw std::invalid_argument("ApproxSpec: K must be at least 1");
+  }
+  if (spec.a > spec.b) {
+    throw std::invalid_argument("ApproxSpec: requires a <= b");
+  }
+  // a*K <= n  <=>  a <= floor(n/K)  (overflow-safe form).
+  if (spec.a > n / spec.k) {
+    throw std::invalid_argument(
+        "ApproxSpec: no solution, a*K > N (a=" + std::to_string(spec.a) +
+        " K=" + std::to_string(spec.k) + " N=" + std::to_string(n) + ")");
+  }
+  // n <= b*K, again overflow-safe.
+  const bool b_times_k_at_least_n =
+      spec.b >= n || spec.b >= (n + spec.k - 1) / spec.k;
+  if (!b_times_k_at_least_n) {
+    throw std::invalid_argument(
+        "ApproxSpec: no solution, b*K < N (b=" + std::to_string(spec.b) +
+        " K=" + std::to_string(spec.k) + " N=" + std::to_string(n) + ")");
+  }
+}
+
+}  // namespace emsplit

@@ -1,0 +1,157 @@
+// splitters.hpp — approximate K-splitters (paper §5.1, Theorem 5).
+//
+// Find K-1 elements s_1 < ... < s_{K-1} of S such that every induced bucket
+// S ∩ (s_{i-1}, s_i] has size in [a, b].  Optimal costs by variant:
+//
+//   right-grounded (b >= N):  O((1 + aK/B) lg_{M/B}(K/B))   — sublinear when
+//                             aK << N: only an aK-element prefix is read!
+//   left-grounded  (a == 0):  O((N/B) lg_{M/B}(N/(bB)))
+//   two-sided:                O((aK/B) lg_{M/B}(K/B) + (N/B) lg_{M/B}(N/(bB)))
+//
+// All three reduce to multi-selection (Theorem 4) on carefully chosen rank
+// sets; the two-sided case first splits S physically into its aK' smallest
+// elements and the rest so that the quantile work on the small side is
+// charged only |S_low|/B per scan.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "em/context.hpp"
+#include "em/em_vector.hpp"
+#include "em/stream.hpp"
+#include "select/multi_select.hpp"
+
+namespace emsplit {
+namespace detail {
+
+/// Pick `want` arbitrary elements of `input` distinct from the (sorted)
+/// `exclude` list, reading only a prefix: O(1 + (want + |exclude|)/B) I/Os.
+/// Records form a strict total order, so any `want + |exclude|` prefix
+/// elements contain enough candidates.
+template <EmRecord T, typename Less>
+std::vector<T> arbitrary_distinct(const EmVector<T>& input,
+                                  const std::vector<T>& exclude,
+                                  std::size_t want, Less less) {
+  std::vector<T> picked;
+  picked.reserve(want);
+  StreamReader<T> reader(input);
+  while (picked.size() < want) {
+    if (reader.done()) {
+      throw std::logic_error(
+          "arbitrary_distinct: input exhausted (duplicate records? the "
+          "library requires a strict total order)");
+    }
+    const T e = reader.next();
+    const bool excluded = std::binary_search(exclude.begin(), exclude.end(), e,
+                                             less);
+    if (!excluded) picked.push_back(e);
+  }
+  return picked;
+}
+
+/// Quantile ranks: floor(i * n / k) for i = 1..k-1.  Bucket sizes are then
+/// floor(n/k) or ceil(n/k), both within [a, b] whenever a <= n/k <= b.
+inline std::vector<std::uint64_t> quantile_ranks(std::uint64_t n,
+                                                 std::uint64_t k) {
+  std::vector<std::uint64_t> ranks;
+  ranks.reserve(static_cast<std::size_t>(k - 1));
+  for (std::uint64_t i = 1; i < k; ++i) ranks.push_back(i * n / k);
+  return ranks;
+}
+
+}  // namespace detail
+
+/// Solve the approximate K-splitters problem on `input` with parameters
+/// `spec`.  Returns the K-1 splitters in ascending order.  See the header
+/// comment for per-variant costs; all are optimal (Theorems 1, 2, 5).
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] std::vector<T> approx_splitters(Context& ctx,
+                                              const EmVector<T>& input,
+                                              const ApproxSpec& spec,
+                                              Less less = {}) {
+  const std::uint64_t n = input.size();
+  const std::uint64_t k = spec.k;
+  validate_spec(n, spec);
+  if (k > n) {
+    throw std::invalid_argument("approx_splitters: K must be at most N");
+  }
+  if (k == 1) return {};
+
+  // ---- Right-grounded: read only an aK prefix. ---------------------------
+  if (spec.right_grounded(n)) {
+    if (spec.a == 0) {
+      // Any K-1 distinct elements do: every bucket size is in [0, N].
+      auto s = detail::arbitrary_distinct<T, Less>(
+          input, {}, static_cast<std::size_t>(k - 1), less);
+      std::sort(s.begin(), s.end(), less);
+      return s;
+    }
+    // S' = the first aK elements (arbitrary subset); splitters = its
+    // (1/K)-quantile, i.e. the elements of rank i*a in S' (i = 1..K-1).
+    // Every bucket then holds >= a elements of S' and hence of S.
+    const std::uint64_t prefix = spec.a * k;
+    std::vector<std::uint64_t> ranks;
+    ranks.reserve(static_cast<std::size_t>(k - 1));
+    for (std::uint64_t i = 1; i < k; ++i) ranks.push_back(i * spec.a);
+    auto s = multi_select<T, Less>(ctx, input, 0,
+                                   static_cast<std::size_t>(prefix), ranks,
+                                   less);
+    return s;  // multi_select returns in rank order = ascending
+  }
+
+  // ---- Left-grounded: split every b ranks, pad arbitrarily. --------------
+  if (spec.left_grounded()) {
+    const std::uint64_t kprime = (n + spec.b - 1) / spec.b;  // ceil(N/b)
+    std::vector<std::uint64_t> ranks;
+    for (std::uint64_t i = 1; i < kprime; ++i) ranks.push_back(i * spec.b);
+    std::vector<T> s = multi_select<T, Less>(ctx, input, ranks, less);
+    if (kprime < k) {
+      std::vector<T> sorted_s(s);
+      std::sort(sorted_s.begin(), sorted_s.end(), less);
+      auto extra = detail::arbitrary_distinct<T, Less>(
+          input, sorted_s, static_cast<std::size_t>(k - kprime), less);
+      s.insert(s.end(), extra.begin(), extra.end());
+      std::sort(s.begin(), s.end(), less);
+    }
+    return s;
+  }
+
+  // ---- Two-sided. ---------------------------------------------------------
+  // Cheap regime first (paper §5.1): when a >= N/2K or b <= 2N/K, the exact
+  // (1/K)-quantile already meets [a, b] and costs only O((N/B) lg (K/B)).
+  if (spec.a * 2 * k >= n || spec.b * k <= 2 * n) {
+    return multi_select<T, Less>(ctx, input, detail::quantile_ranks(n, k),
+                                 less);
+  }
+
+  // General regime: a < N/2K and b > 2N/K.  K' = floor((bK - N)/(b - a));
+  // the aK' smallest elements ("S_low") get K' buckets of exactly a; the
+  // rest ("S_high") gets K - K' roughly even buckets whose sizes land in
+  // [a, b] by the choice of K'.  The paper realizes this with a physical
+  // split of S so the low-side quantile passes are charged only |S_low|/B
+  // each; our multi-selection achieves the same charging implicitly — its
+  // multi-partition stage localizes the clustered low-side ranks into small
+  // pieces after one level, and every further level touches only pieces
+  // that still contain unresolved ranks.  So a single call with the global
+  // rank set meets the two-sided bound (E3 validates the shape).
+  const std::uint64_t kprime = (spec.b * k - n) / (spec.b - spec.a);
+  if (kprime < 1 || kprime >= k) {
+    throw std::logic_error("approx_splitters: internal K' out of range");
+  }
+  const std::uint64_t low_size = spec.a * kprime;
+  std::vector<std::uint64_t> ranks;
+  ranks.reserve(static_cast<std::size_t>(k - 1));
+  for (std::uint64_t i = 1; i <= kprime; ++i) ranks.push_back(i * spec.a);
+  const std::uint64_t high = n - low_size;
+  for (std::uint64_t i = 1; i < k - kprime; ++i) {
+    ranks.push_back(low_size + i * high / (k - kprime));
+  }
+  return multi_select<T, Less>(ctx, input, ranks, less);
+}
+
+}  // namespace emsplit

@@ -1,0 +1,153 @@
+// verify.hpp — checked validation of splitters / partitioning outputs.
+//
+// These routines re-derive, from the input data alone, whether a claimed
+// solution satisfies the problem definition (§1 of the paper).  They are
+// used by the test suite, the examples and the bench harness; they run
+// outside the EM cost model (verification is the experimenter's tool, not
+// part of the measured algorithm).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "em/em_vector.hpp"
+#include "em/stream.hpp"
+
+namespace emsplit {
+
+struct VerifyResult {
+  bool ok = true;
+  std::string reason;
+  /// Sizes of the K buckets / partitions that were checked.
+  std::vector<std::uint64_t> sizes;
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+namespace detail {
+
+inline VerifyResult verify_fail(std::string reason) {
+  VerifyResult r;
+  r.ok = false;
+  r.reason = std::move(reason);
+  return r;
+}
+
+}  // namespace detail
+
+/// Check an approximate K-splitters answer: splitters strictly increasing,
+/// every splitter an element of `input`, and every induced bucket size in
+/// [a, b].  K = splitters.size() + 1.
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] VerifyResult verify_splitters(const EmVector<T>& input,
+                                            const std::vector<T>& splitters,
+                                            const ApproxSpec& spec,
+                                            Less less = {}) {
+  if (splitters.size() + 1 != spec.k) {
+    return detail::verify_fail("expected K-1 = " + std::to_string(spec.k - 1) +
+                               " splitters, got " +
+                               std::to_string(splitters.size()));
+  }
+  for (std::size_t i = 0; i + 1 < splitters.size(); ++i) {
+    if (!less(splitters[i], splitters[i + 1])) {
+      return detail::verify_fail("splitters not strictly increasing at " +
+                                 std::to_string(i));
+    }
+  }
+  VerifyResult r;
+  r.sizes.assign(splitters.size() + 1, 0);
+  std::vector<bool> seen(splitters.size(), false);
+  StreamReader<T> reader(input);
+  while (!reader.done()) {
+    const T e = reader.next();
+    const auto it = std::lower_bound(
+        splitters.begin(), splitters.end(), e,
+        [&](const T& s, const T& x) { return less(s, x); });
+    ++r.sizes[static_cast<std::size_t>(it - splitters.begin())];
+    if (it != splitters.end() && !less(e, *it) && !less(*it, e)) {
+      seen[static_cast<std::size_t>(it - splitters.begin())] = true;
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) {
+      return detail::verify_fail("splitter " + std::to_string(i) +
+                                 " is not an element of the input");
+    }
+  }
+  for (std::size_t i = 0; i < r.sizes.size(); ++i) {
+    if (r.sizes[i] < spec.a || r.sizes[i] > spec.b) {
+      std::ostringstream os;
+      os << "bucket " << i << " has size " << r.sizes[i] << " outside ["
+         << spec.a << ", " << spec.b << "]";
+      return detail::verify_fail(os.str());
+    }
+  }
+  return r;
+}
+
+/// Check an approximate K-partitioning answer against the original input:
+/// K partitions with sizes in [a, b], strictly ordered across partitions
+/// (max of partition i < min of partition i+1 over non-empty neighbours),
+/// and `data` a permutation of `original` (multiset equality).
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] VerifyResult verify_partitioning(
+    const EmVector<T>& original, const EmVector<T>& data,
+    const std::vector<std::uint64_t>& bounds, const ApproxSpec& spec,
+    Less less = {}) {
+  if (bounds.size() != spec.k + 1) {
+    return detail::verify_fail("expected K+1 = " + std::to_string(spec.k + 1) +
+                               " bounds, got " + std::to_string(bounds.size()));
+  }
+  if (bounds.front() != 0 || bounds.back() != original.size() ||
+      data.size() != original.size()) {
+    return detail::verify_fail("bounds do not cover the data");
+  }
+  VerifyResult r;
+  bool have_prev = false;
+  T prev_max{};
+  StreamReader<T> reader(data);
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    if (bounds[i] > bounds[i + 1]) {
+      return detail::verify_fail("bounds not monotone at " + std::to_string(i));
+    }
+    const std::uint64_t size = bounds[i + 1] - bounds[i];
+    r.sizes.push_back(size);
+    if (size < spec.a || size > spec.b) {
+      std::ostringstream os;
+      os << "partition " << i << " has size " << size << " outside ["
+         << spec.a << ", " << spec.b << "]";
+      return detail::verify_fail(os.str());
+    }
+    if (size == 0) continue;
+    T lo = reader.next();
+    T hi = lo;
+    for (std::uint64_t j = 1; j < size; ++j) {
+      const T e = reader.next();
+      lo = std::min(lo, e, less);
+      hi = std::max(hi, e, less);
+    }
+    if (have_prev && !less(prev_max, lo)) {
+      return detail::verify_fail("partition " + std::to_string(i) +
+                                 " overlaps its predecessor in the order");
+    }
+    prev_max = hi;
+    have_prev = true;
+  }
+
+  // Multiset equality (host-side oracle).
+  auto x = to_host(original);
+  auto y = to_host(data);
+  std::sort(x.begin(), x.end(), less);
+  std::sort(y.begin(), y.end(), less);
+  if (x != y) {
+    return detail::verify_fail("output is not a permutation of the input");
+  }
+  return r;
+}
+
+}  // namespace emsplit

@@ -1,0 +1,186 @@
+#include "em/block_device.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace emsplit {
+
+BlockDevice::BlockDevice(std::size_t block_bytes) : block_bytes_(block_bytes) {
+  if (block_bytes_ == 0) {
+    throw std::invalid_argument("BlockDevice: block_bytes must be positive");
+  }
+}
+
+BlockDevice::~BlockDevice() = default;
+
+BlockRange BlockDevice::allocate(std::uint64_t count) {
+  if (count == 0) return BlockRange{};
+  // First fit over the free list.
+  for (auto it = free_extents_.begin(); it != free_extents_.end(); ++it) {
+    if (it->second >= count) {
+      BlockRange r{it->first, count};
+      const BlockId rest_first = it->first + count;
+      const std::uint64_t rest_count = it->second - count;
+      free_extents_.erase(it);
+      if (rest_count > 0) free_extents_.emplace(rest_first, rest_count);
+      allocated_blocks_ += count;
+      return r;
+    }
+  }
+  // Nothing fits: grow at the end.
+  BlockRange r{size_blocks_, count};
+  size_blocks_ += count;
+  do_grow(size_blocks_);
+  allocated_blocks_ += count;
+  return r;
+}
+
+void BlockDevice::deallocate(const BlockRange& range) noexcept {
+  if (!range.valid() || range.count == 0) return;
+  allocated_blocks_ -= range.count;
+  BlockId first = range.first;
+  std::uint64_t count = range.count;
+  // Coalesce with the successor extent if adjacent.
+  auto next = free_extents_.lower_bound(first);
+  if (next != free_extents_.end() && next->first == first + count) {
+    count += next->second;
+    next = free_extents_.erase(next);
+  }
+  // Coalesce with the predecessor extent if adjacent.
+  if (next != free_extents_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == first) {
+      first = prev->first;
+      count += prev->second;
+      free_extents_.erase(prev);
+    }
+  }
+  free_extents_.emplace(first, count);
+}
+
+void BlockDevice::check_io(BlockId block, std::size_t span_bytes,
+                           const char* op) {
+  if (block >= size_blocks_) {
+    throw std::out_of_range(std::string("BlockDevice::") + op +
+                            ": block id beyond device size");
+  }
+  if (span_bytes > block_bytes_) {
+    throw std::invalid_argument(std::string("BlockDevice::") + op +
+                                ": buffer larger than one block");
+  }
+  if (fault_armed_) {
+    if (fault_countdown_ == 0) {
+      fault_armed_ = false;
+      throw DeviceFault(std::string("injected fault on ") + op);
+    }
+    --fault_countdown_;
+  }
+}
+
+void BlockDevice::read(BlockId block, std::span<std::byte> out) {
+  check_io(block, out.size(), "read");
+  do_read(block, out);
+  ++stats_.reads;
+}
+
+void BlockDevice::write(BlockId block, std::span<const std::byte> in) {
+  check_io(block, in.size(), "write");
+  do_write(block, in);
+  ++stats_.writes;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBlockDevice
+// ---------------------------------------------------------------------------
+
+MemoryBlockDevice::MemoryBlockDevice(std::size_t block_bytes)
+    : BlockDevice(block_bytes) {}
+
+MemoryBlockDevice::~MemoryBlockDevice() = default;
+
+void MemoryBlockDevice::do_grow(std::uint64_t new_size_blocks) {
+  blocks_.resize(new_size_blocks);  // lazily materialized pages
+}
+
+void MemoryBlockDevice::do_read(BlockId block, std::span<std::byte> out) {
+  const auto& page = blocks_[block];
+  if (page == nullptr) {
+    // Reading a never-written block yields zeroes (like a sparse file).
+    std::memset(out.data(), 0, out.size());
+    return;
+  }
+  std::memcpy(out.data(), page.get(), out.size());
+}
+
+void MemoryBlockDevice::do_write(BlockId block, std::span<const std::byte> in) {
+  auto& page = blocks_[block];
+  if (page == nullptr) page = std::make_unique<std::byte[]>(block_bytes());
+  std::memcpy(page.get(), in.data(), in.size());
+}
+
+// ---------------------------------------------------------------------------
+// FileBlockDevice
+// ---------------------------------------------------------------------------
+
+FileBlockDevice::FileBlockDevice(std::string path, std::size_t block_bytes,
+                                 bool keep_file)
+    : BlockDevice(block_bytes), path_(std::move(path)), keep_file_(keep_file) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("FileBlockDevice: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+  }
+}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!keep_file_) ::unlink(path_.c_str());
+}
+
+void FileBlockDevice::do_grow(std::uint64_t new_size_blocks) {
+  if (::ftruncate(fd_, static_cast<off_t>(new_size_blocks * block_bytes())) !=
+      0) {
+    throw std::runtime_error("FileBlockDevice: ftruncate failed: " +
+                             std::string(std::strerror(errno)));
+  }
+}
+
+void FileBlockDevice::do_read(BlockId block, std::span<std::byte> out) {
+  const auto off = static_cast<off_t>(block * block_bytes());
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              off + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("FileBlockDevice: pread failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (n == 0) {  // hole beyond EOF of a sparse region: zero-fill
+      std::memset(out.data() + done, 0, out.size() - done);
+      return;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void FileBlockDevice::do_write(BlockId block, std::span<const std::byte> in) {
+  const auto off = static_cast<off_t>(block * block_bytes());
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const ssize_t n = ::pwrite(fd_, in.data() + done, in.size() - done,
+                               off + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("FileBlockDevice: pwrite failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace emsplit

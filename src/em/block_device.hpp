@@ -1,0 +1,166 @@
+// block_device.hpp — the "disk" of the external-memory model.
+//
+// A BlockDevice is a flat address space of fixed-size blocks.  Algorithms may
+// only move data between memory and the device in whole blocks, and every
+// such transfer is counted in IoStats.  Two implementations are provided:
+//
+//  * MemoryBlockDevice — RAM-backed simulator.  Gives *exact, deterministic*
+//    I/O counts; this is the measurement instrument for all shape experiments
+//    (the paper's cost model charges I/Os, not seconds).
+//  * FileBlockDevice — a real file on disk, for wall-clock sanity benchmarks
+//    (experiment E10 in DESIGN.md).
+//
+// Allocation is extent-based (contiguous runs of blocks) with a first-fit
+// free list, so external vectors and scratch space can be recycled during
+// recursive algorithms without unbounded device growth.  Allocation metadata
+// lives in host bookkeeping and is not charged against the model's memory
+// budget, matching standard practice in EM implementations (e.g. STXXL's
+// block-management layer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "em/io_stats.hpp"
+
+namespace emsplit {
+
+using BlockId = std::uint64_t;
+
+inline constexpr BlockId kInvalidBlock = std::numeric_limits<BlockId>::max();
+
+/// A contiguous run of blocks owned by one external data structure.
+struct BlockRange {
+  BlockId first = kInvalidBlock;
+  std::uint64_t count = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return first != kInvalidBlock; }
+  friend bool operator==(const BlockRange&, const BlockRange&) = default;
+};
+
+/// Thrown by the fault-injection hook; used by tests to verify that the RAII
+/// layers above the device are strongly exception-safe.
+class DeviceFault : public std::runtime_error {
+ public:
+  explicit DeviceFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Abstract block device with I/O accounting, extent allocation and fault
+/// injection.  Not thread-safe by design: the EM model is sequential, and all
+/// algorithms in this repository issue I/Os from a single thread.
+class BlockDevice {
+ public:
+  explicit BlockDevice(std::size_t block_bytes);
+  virtual ~BlockDevice();
+
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
+
+  /// Size of one block in bytes (the model's `B`, in bytes).
+  [[nodiscard]] std::size_t block_bytes() const noexcept { return block_bytes_; }
+
+  /// Reserve a contiguous extent of `count` blocks.  First-fit over the free
+  /// list, growing the device at the end if nothing fits.
+  [[nodiscard]] BlockRange allocate(std::uint64_t count);
+
+  /// Return an extent to the free list (with coalescing).  Passing an invalid
+  /// or empty range is a no-op so destructors can call this unconditionally.
+  void deallocate(const BlockRange& range) noexcept;
+
+  /// Read a prefix of one block into `out` (`out.size() <= block_bytes()`).
+  /// Counts one read I/O regardless of the prefix length — the model charges
+  /// per block transfer.  Prefix transfers exist because a block holds
+  /// floor(block_bytes / sizeof(record)) whole records; the tail of a block
+  /// is unused when the record size does not divide the block size.
+  void read(BlockId block, std::span<std::byte> out);
+
+  /// Write a prefix of one block from `in` (`in.size() <= block_bytes()`).
+  /// Counts one write I/O.
+  void write(BlockId block, std::span<const std::byte> in);
+
+  /// Live I/O counters.
+  [[nodiscard]] const IoStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = IoStats{}; }
+
+  /// Total blocks ever grown to (capacity high-water mark).
+  [[nodiscard]] std::uint64_t size_blocks() const noexcept { return size_blocks_; }
+
+  /// Blocks currently allocated to live extents.
+  [[nodiscard]] std::uint64_t allocated_blocks() const noexcept {
+    return allocated_blocks_;
+  }
+
+  /// Fault injection: after `remaining` further I/Os succeed, the next I/O
+  /// throws DeviceFault.  Pass no value to disarm.
+  void arm_fault_after(std::uint64_t remaining) noexcept {
+    fault_armed_ = true;
+    fault_countdown_ = remaining;
+  }
+  void disarm_fault() noexcept { fault_armed_ = false; }
+
+ protected:
+  virtual void do_read(BlockId block, std::span<std::byte> out) = 0;
+  virtual void do_write(BlockId block, std::span<const std::byte> in) = 0;
+  /// Called when the device grows to `new_size_blocks` blocks.
+  virtual void do_grow(std::uint64_t new_size_blocks) = 0;
+
+ private:
+  void check_io(BlockId block, std::size_t span_bytes, const char* op);
+
+  std::size_t block_bytes_;
+  std::uint64_t size_blocks_ = 0;
+  std::uint64_t allocated_blocks_ = 0;
+  // Free extents keyed by first block, value = extent length.  Adjacent
+  // extents are coalesced on deallocate.
+  std::map<BlockId, std::uint64_t> free_extents_;
+  IoStats stats_;
+  bool fault_armed_ = false;
+  std::uint64_t fault_countdown_ = 0;
+};
+
+/// RAM-backed simulator device.  Blocks are lazily materialized so a large
+/// address space costs memory only for blocks actually written.
+class MemoryBlockDevice final : public BlockDevice {
+ public:
+  explicit MemoryBlockDevice(std::size_t block_bytes);
+  ~MemoryBlockDevice() override;
+
+ protected:
+  void do_read(BlockId block, std::span<std::byte> out) override;
+  void do_write(BlockId block, std::span<const std::byte> in) override;
+  void do_grow(std::uint64_t new_size_blocks) override;
+
+ private:
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+};
+
+/// File-backed device for wall-clock experiments.  Uses positional reads and
+/// writes on a regular file; the file is removed on destruction unless
+/// `keep_file` was requested.
+class FileBlockDevice final : public BlockDevice {
+ public:
+  FileBlockDevice(std::string path, std::size_t block_bytes,
+                  bool keep_file = false);
+  ~FileBlockDevice() override;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ protected:
+  void do_read(BlockId block, std::span<std::byte> out) override;
+  void do_write(BlockId block, std::span<const std::byte> in) override;
+  void do_grow(std::uint64_t new_size_blocks) override;
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  bool keep_file_;
+};
+
+}  // namespace emsplit

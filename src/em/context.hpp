@@ -1,0 +1,84 @@
+// context.hpp — bundles the machine parameters of one EM computation.
+//
+// A Context owns the memory budget (capacity M bytes) and references the
+// block device (block size B bytes).  Algorithms receive a Context& and
+// derive per-record-type capacities from it:
+//
+//   ctx.block_records<T>()  — the model's B, in records of type T
+//   ctx.mem_records<T>()    — the model's M, in records of type T
+//
+// The model requires M >= 2B; the constructor enforces it.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "em/block_device.hpp"
+#include "em/memory_budget.hpp"
+#include "em/phase_profile.hpp"
+
+namespace emsplit {
+
+class Context {
+ public:
+  /// `mem_bytes` is the internal-memory capacity M (in bytes); the block
+  /// size B comes from the device.
+  Context(BlockDevice& device, std::size_t mem_bytes)
+      : device_(&device), budget_(mem_bytes) {
+    if (mem_bytes < 2 * device.block_bytes()) {
+      throw std::invalid_argument(
+          "Context: the EM model requires M >= 2B (mem_bytes >= 2 * "
+          "block_bytes)");
+    }
+  }
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  [[nodiscard]] BlockDevice& device() const noexcept { return *device_; }
+  [[nodiscard]] MemoryBudget& budget() noexcept { return budget_; }
+  [[nodiscard]] const MemoryBudget& budget() const noexcept { return budget_; }
+
+  [[nodiscard]] std::size_t mem_bytes() const noexcept {
+    return budget_.capacity();
+  }
+  [[nodiscard]] std::size_t block_bytes() const noexcept {
+    return device_->block_bytes();
+  }
+
+  /// B in records of type T: floor(block_bytes / sizeof(T)).  A block stores
+  /// whole records only; when the record size does not divide the block size
+  /// the tail of each block is unused (the device supports prefix transfers
+  /// at the same one-I/O cost).
+  template <typename T>
+  [[nodiscard]] std::size_t block_records() const {
+    static_assert(sizeof(T) > 0);
+    const std::size_t b = block_bytes() / sizeof(T);
+    if (b == 0) {
+      throw std::invalid_argument(
+          "Context::block_records: record larger than one block");
+    }
+    return b;
+  }
+
+  /// M in records of type T.
+  template <typename T>
+  [[nodiscard]] std::size_t mem_records() const {
+    return mem_bytes() / sizeof(T);
+  }
+
+  /// Live I/O statistics of the underlying device.
+  [[nodiscard]] const IoStats& io() const noexcept { return device_->stats(); }
+
+  /// Optional per-phase I/O attribution (see phase_profile.hpp).  Null by
+  /// default; benches attach one to explain where the scans go.
+  void set_profile(PhaseProfile* profile) noexcept { profile_ = profile; }
+  [[nodiscard]] PhaseProfile* profile() const noexcept { return profile_; }
+
+ private:
+  BlockDevice* device_;
+  MemoryBudget budget_;
+  PhaseProfile* profile_ = nullptr;
+};
+
+}  // namespace emsplit

@@ -1,0 +1,116 @@
+// em_vector.hpp — a typed external array over a block device.
+//
+// EmVector<T> is the disk-resident sequence type all algorithms operate on
+// (the analogue of stxxl::vector).  It owns a contiguous extent of device
+// blocks and exposes *block-granular* transfers only — there is deliberately
+// no element-wise operator[]: honest I/O accounting requires that every byte
+// that moves between disk and memory does so in full blocks through the
+// counted device interface.  Sequential element access goes through
+// StreamReader / StreamWriter (stream.hpp).
+//
+// The element type must be trivially copyable (records move between memory
+// and disk with memcpy, per the model's indivisibility assumption).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+#include "em/context.hpp"
+
+namespace emsplit {
+
+template <typename T>
+concept EmRecord = std::is_trivially_copyable_v<T>;
+
+template <EmRecord T>
+class EmVector {
+ public:
+  /// An empty vector bound to no storage.
+  EmVector() noexcept = default;
+
+  /// Allocate storage for up to `capacity` records.  The logical size starts
+  /// at 0 and is set by writers (or `set_size` after bulk block writes).
+  EmVector(Context& ctx, std::size_t capacity)
+      : ctx_(&ctx), capacity_(capacity) {
+    const std::size_t b = ctx.block_records<T>();
+    range_ = ctx.device().allocate((capacity + b - 1) / b);
+  }
+
+  ~EmVector() { reset(); }
+
+  EmVector(EmVector&& o) noexcept
+      : ctx_(o.ctx_), range_(o.range_), capacity_(o.capacity_), size_(o.size_) {
+    o.ctx_ = nullptr;
+    o.range_ = BlockRange{};
+    o.capacity_ = 0;
+    o.size_ = 0;
+  }
+  EmVector& operator=(EmVector&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ctx_ = std::exchange(o.ctx_, nullptr);
+      range_ = std::exchange(o.range_, BlockRange{});
+      capacity_ = std::exchange(o.capacity_, 0);
+      size_ = std::exchange(o.size_, 0);
+    }
+    return *this;
+  }
+  EmVector(const EmVector&) = delete;
+  EmVector& operator=(const EmVector&) = delete;
+
+  /// Release the device extent.
+  void reset() noexcept {
+    if (ctx_ != nullptr) ctx_->device().deallocate(range_);
+    ctx_ = nullptr;
+    range_ = BlockRange{};
+    capacity_ = 0;
+    size_ = 0;
+  }
+
+  [[nodiscard]] bool bound() const noexcept { return ctx_ != nullptr; }
+  [[nodiscard]] Context& context() const noexcept { return *ctx_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Records per block for this vector's element type.
+  [[nodiscard]] std::size_t block_records() const {
+    return ctx_->block_records<T>();
+  }
+  /// Number of blocks holding the current logical size.
+  [[nodiscard]] std::size_t size_blocks() const {
+    const std::size_t b = block_records();
+    return (size_ + b - 1) / b;
+  }
+
+  /// Set the logical size (records written through raw block writes).
+  void set_size(std::size_t n) {
+    assert(n <= capacity_);
+    size_ = n;
+  }
+
+  /// Read the `i`-th block into `out`.  `out.size()` must be block_records();
+  /// slots past the logical size hold unspecified bytes.
+  void read_block(std::size_t i, std::span<T> out) const {
+    assert(out.size() == block_records());
+    ctx_->device().read(range_.first + i, std::as_writable_bytes(out));
+  }
+
+  /// Write the `i`-th block from `in`.  `in.size()` must be block_records().
+  void write_block(std::size_t i, std::span<const T> in) {
+    assert(in.size() == block_records());
+    ctx_->device().write(range_.first + i, std::as_bytes(in));
+  }
+
+ private:
+  Context* ctx_ = nullptr;
+  BlockRange range_;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace emsplit

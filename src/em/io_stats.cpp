@@ -1,0 +1,12 @@
+#include "em/io_stats.hpp"
+
+#include <ostream>
+
+namespace emsplit {
+
+std::ostream& operator<<(std::ostream& os, const IoStats& s) {
+  return os << "{reads=" << s.reads << ", writes=" << s.writes
+            << ", total=" << s.total() << "}";
+}
+
+}  // namespace emsplit

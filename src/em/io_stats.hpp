@@ -1,0 +1,57 @@
+// io_stats.hpp — exact I/O accounting for the external-memory model.
+//
+// Every block transfer performed through a BlockDevice increments one of the
+// counters here.  The EM cost model of Aggarwal & Vitter (CACM'88) charges one
+// unit per block read or written and nothing for CPU work, so these counters
+// *are* the cost measure every experiment in this repository reports.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace emsplit {
+
+/// Running totals of block transfers on one device.
+///
+/// `reads` / `writes` count block-granular operations; a request that spans
+/// `k` blocks counts as `k`.  All algorithm-facing formulas in the paper are
+/// expressed in these units.
+struct IoStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  /// Combined I/O count — the quantity the paper's bounds are stated in.
+  [[nodiscard]] std::uint64_t total() const noexcept { return reads + writes; }
+
+  IoStats& operator+=(const IoStats& o) noexcept {
+    reads += o.reads;
+    writes += o.writes;
+    return *this;
+  }
+  friend IoStats operator-(IoStats a, const IoStats& b) noexcept {
+    a.reads -= b.reads;
+    a.writes -= b.writes;
+    return a;
+  }
+  friend bool operator==(const IoStats&, const IoStats&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const IoStats& s);
+
+/// Measures the I/Os performed between construction and `delta()` /
+/// destruction.  Used by tests to assert per-phase I/O bounds and by the
+/// bench harness to attribute cost to individual algorithm stages.
+class ScopedIoDelta {
+ public:
+  explicit ScopedIoDelta(const IoStats& live) noexcept
+      : live_(&live), start_(live) {}
+
+  /// I/Os performed on the tracked device since construction.
+  [[nodiscard]] IoStats delta() const noexcept { return *live_ - start_; }
+
+ private:
+  const IoStats* live_;
+  IoStats start_;
+};
+
+}  // namespace emsplit

@@ -1,0 +1,33 @@
+#include "em/memory_budget.hpp"
+
+#include <algorithm>
+
+namespace emsplit {
+
+MemoryReservation MemoryBudget::reserve(std::size_t bytes) {
+  return MemoryReservation(*this, bytes);
+}
+
+void MemoryBudget::acquire(std::size_t bytes) {
+  if (bytes > capacity_ - used_) {
+    std::string held = " live reservations:";
+    for (const auto& [size, count] : live_) {
+      held += " " + std::to_string(count) + "x" + std::to_string(size);
+    }
+    throw BudgetExceeded("MemoryBudget: reserving " + std::to_string(bytes) +
+                         " bytes over capacity " + std::to_string(capacity_) +
+                         " with " + std::to_string(used_) + " already used;" +
+                         held);
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  ++live_[bytes];
+}
+
+void MemoryBudget::release(std::size_t bytes) noexcept {
+  used_ -= bytes;
+  const auto it = live_.find(bytes);
+  if (it != live_.end() && --it->second == 0) live_.erase(it);
+}
+
+}  // namespace emsplit

@@ -1,0 +1,113 @@
+// memory_budget.hpp — enforcement of the EM model's M-word memory budget.
+//
+// The external-memory model allows an algorithm at most M words of internal
+// memory.  Every in-memory buffer that holds *records* (stream block buffers,
+// chunk sort arrays, splitter tables, per-group selection state, ...) is
+// reserved against a MemoryBudget before use, and released via RAII.  Tests
+// assert that `peak() <= capacity()` after each algorithm run, which turns
+// the paper's "memory of size M" precondition into a checked invariant
+// instead of a comment.
+//
+// Host-side bookkeeping that the model traditionally does not charge
+// (allocation tables, the recursion stack, I/O counters) is not reserved;
+// DESIGN.md §4 discusses this convention.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace emsplit {
+
+/// Thrown when a reservation would exceed the configured capacity.  An
+/// algorithm that triggers this has violated the EM model's preconditions —
+/// it is a bug, not an environmental condition.
+class BudgetExceeded : public std::logic_error {
+ public:
+  explicit BudgetExceeded(const std::string& what) : std::logic_error(what) {}
+};
+
+class MemoryReservation;
+
+/// Tracks reserved bytes against a fixed capacity, with a peak high-water
+/// mark.  Single-threaded, like everything in the EM layer.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
+  [[nodiscard]] std::size_t available() const noexcept {
+    return capacity_ - used_;
+  }
+
+  /// Reserve `bytes`; throws BudgetExceeded if the budget cannot hold them.
+  [[nodiscard]] MemoryReservation reserve(std::size_t bytes);
+
+  void reset_peak() noexcept { peak_ = used_; }
+
+ private:
+  friend class MemoryReservation;
+
+  void acquire(std::size_t bytes);
+  void release(std::size_t bytes) noexcept;
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+  // Live reservation sizes (size -> count), reported by BudgetExceeded to
+  // make over-budget bugs self-diagnosing.
+  std::map<std::size_t, std::size_t> live_;
+};
+
+/// Move-only RAII handle for a slice of the budget.
+class MemoryReservation {
+ public:
+  MemoryReservation() noexcept = default;
+  MemoryReservation(MemoryBudget& budget, std::size_t bytes)
+      : budget_(&budget), bytes_(bytes) {
+    budget_->acquire(bytes_);
+  }
+  ~MemoryReservation() { release(); }
+
+  MemoryReservation(MemoryReservation&& o) noexcept
+      : budget_(o.budget_), bytes_(o.bytes_) {
+    o.budget_ = nullptr;
+    o.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& o) noexcept {
+    if (this != &o) {
+      release();
+      budget_ = o.budget_;
+      bytes_ = o.bytes_;
+      o.budget_ = nullptr;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+  /// Explicitly release before destruction (idempotent).
+  void release() noexcept {
+    if (budget_ != nullptr) {
+      budget_->release(bytes_);
+      budget_ = nullptr;
+      bytes_ = 0;
+    }
+  }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace emsplit

@@ -1,0 +1,121 @@
+// paged_array.hpp — an LRU buffer pool over an external vector.
+//
+// The counter-example substrate: random-access "virtual memory" over the
+// block device, the way a pager (or mmap) would present it.  Algorithms in
+// this library never use it — they manage their buffers explicitly — and
+// experiment E16 shows why: a paged quicksort thrashes where the explicit
+// merge sort streams.  It also shows where paging is *fine* (sequential
+// scans, point lookups on sorted data), which is the honest half of the
+// lesson.
+//
+// Mechanics: up to `frames` block-sized frames, LRU eviction, dirty
+// write-back, all frames reserved against the memory budget, all block
+// transfers through the counted device.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "em/context.hpp"
+#include "em/em_vector.hpp"
+
+namespace emsplit {
+
+template <EmRecord T>
+class PagedArray {
+ public:
+  /// A pool of `frames` block frames over `backing`.  The backing vector
+  /// must outlive the array; call flush() (or let the destructor) to write
+  /// dirty frames back.
+  PagedArray(EmVector<T>& backing, std::size_t frames)
+      : vec_(&backing),
+        block_records_(backing.block_records()),
+        frames_(frames),
+        reservation_(backing.context().budget().reserve(
+            frames * block_records_ * sizeof(T))) {
+    if (frames_ == 0) {
+      throw std::invalid_argument("PagedArray: needs at least one frame");
+    }
+  }
+
+  ~PagedArray() { flush_noexcept(); }
+  PagedArray(const PagedArray&) = delete;
+  PagedArray& operator=(const PagedArray&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return vec_->size(); }
+
+  /// Read record i (faulting its block in if needed).
+  [[nodiscard]] const T& get(std::size_t i) {
+    assert(i < vec_->size());
+    Frame& f = frame_for(i / block_records_);
+    return f.data[i % block_records_];
+  }
+
+  /// Write record i (marks the block dirty).
+  void set(std::size_t i, const T& v) {
+    assert(i < vec_->size());
+    Frame& f = frame_for(i / block_records_);
+    f.data[i % block_records_] = v;
+    f.dirty = true;
+  }
+
+  /// Write all dirty frames back.
+  void flush() {
+    for (auto& [blk, frame] : frames_map_) {
+      if (frame.dirty) {
+        vec_->write_block(blk, frame.data);
+        frame.dirty = false;
+      }
+    }
+  }
+
+ private:
+  struct Frame {
+    std::vector<T> data;
+    bool dirty = false;
+    std::list<std::size_t>::iterator lru_pos;
+  };
+
+  Frame& frame_for(std::size_t blk) {
+    const auto it = frames_map_.find(blk);
+    if (it != frames_map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);  // touch
+      return it->second;
+    }
+    if (frames_map_.size() == frames_) evict();
+    lru_.push_front(blk);
+    Frame frame{std::vector<T>(block_records_), false, lru_.begin()};
+    vec_->read_block(blk, frame.data);
+    return frames_map_.emplace(blk, std::move(frame)).first->second;
+  }
+
+  void evict() {
+    const std::size_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = frames_map_.find(victim);
+    if (it->second.dirty) vec_->write_block(victim, it->second.data);
+    frames_map_.erase(it);
+  }
+
+  void flush_noexcept() noexcept {
+    try {
+      flush();
+    } catch (...) {
+      // Destruction path: losing a write-back on a faulted device is the
+      // caller's problem to detect via the device, not ours to throw from.
+    }
+  }
+
+  EmVector<T>* vec_;
+  std::size_t block_records_;
+  std::size_t frames_;
+  MemoryReservation reservation_;
+  std::list<std::size_t> lru_;  // front = most recent
+  std::unordered_map<std::size_t, Frame> frames_map_;
+};
+
+}  // namespace emsplit

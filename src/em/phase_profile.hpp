@@ -1,0 +1,104 @@
+// phase_profile.hpp — per-phase I/O attribution ("cost anatomy").
+//
+// The paper's bounds hide constants; this repository measures them.  To
+// explain *where* the measured scans go, algorithms annotate their stages
+// with ScopedPhase guards; the profiler attributes every I/O to the
+// innermost open phase.  Collection is off by default (a disabled profiler
+// costs one branch per phase entry, nothing per I/O) and is switched on by
+// the cost-anatomy bench (E15) and by anyone debugging a regression.
+//
+//   PhaseProfile profile;
+//   profile.attach(device);
+//   { ScopedPhase p(profile, "splitters"); ... }
+//   profile.rows();   // label -> IoStats, in first-entry order
+//
+// Attribution is sampling-free and exact: entering a phase snapshots the
+// device counters; leaving adds the delta to the phase's bucket and to no
+// other (nested phases subtract themselves from their parent, so buckets
+// partition the total).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "em/block_device.hpp"
+
+namespace emsplit {
+
+class PhaseProfile {
+ public:
+  PhaseProfile() = default;
+
+  /// Attach to a device; only I/Os on this device are attributed.
+  void attach(const BlockDevice& device) { device_ = &device; }
+  [[nodiscard]] bool attached() const noexcept { return device_ != nullptr; }
+
+  /// Accumulated per-phase costs, in order of first entry.
+  [[nodiscard]] const std::vector<std::pair<std::string, IoStats>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
+  void reset() {
+    rows_.clear();
+    child_totals_.clear();
+  }
+
+ private:
+  friend class ScopedPhase;
+
+  std::size_t open(const char* label) {
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (rows_[i].first == label) return i;
+    }
+    rows_.emplace_back(label, IoStats{});
+    return rows_.size() - 1;
+  }
+
+  const BlockDevice* device_ = nullptr;
+  std::vector<std::pair<std::string, IoStats>> rows_;
+  // One entry per open phase: total I/Os of already-closed children, so a
+  // closing phase can report exclusive cost.
+  std::vector<IoStats> child_totals_;
+};
+
+/// RAII phase guard.  Pass a null profile (or an unattached one) to make it
+/// free; algorithms take `PhaseProfile*` and default it to nullptr.
+/// Buckets receive *exclusive* cost: a phase's I/Os minus those of the
+/// phases nested inside it, so the buckets partition the total exactly.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfile* profile, const char* label) : profile_(profile) {
+    if (profile_ == nullptr || !profile_->attached()) {
+      profile_ = nullptr;
+      return;
+    }
+    index_ = profile_->open(label);
+    start_ = profile_->device_->stats();
+    profile_->child_totals_.emplace_back();  // our children accumulate here
+  }
+
+  ~ScopedPhase() {
+    if (profile_ == nullptr) return;
+    const IoStats total = profile_->device_->stats() - start_;
+    const IoStats children = profile_->child_totals_.back();
+    profile_->child_totals_.pop_back();
+    profile_->rows_[index_].second += total - children;
+    // Report our full span to the enclosing phase, if any.
+    if (!profile_->child_totals_.empty()) {
+      profile_->child_totals_.back() += total;
+    }
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfile* profile_;
+  std::size_t index_ = 0;
+  IoStats start_;
+};
+
+}  // namespace emsplit

@@ -1,0 +1,291 @@
+// stream.hpp — buffered sequential access over EmVector.
+//
+// StreamReader / StreamWriter are the scan primitives of the library: one
+// in-memory block buffer each (reserved against the memory budget), element
+// granularity on top, block granularity underneath.  Reading n records costs
+// ceil(n/B) I/Os; writing likewise.  All linear passes in the paper's
+// algorithms are built from these two classes.
+//
+// Bulk helpers at the bottom load / store whole record ranges for chunk-at-a-
+// time processing (run formation, in-memory chunk sorts); their buffers are
+// reserved by the caller.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "em/em_vector.hpp"
+
+namespace emsplit {
+
+/// Sequential reader over a record range [first, last) of an EmVector.
+///
+/// Holds one block buffer of B records reserved against the budget.  Several
+/// readers may be live at once (k-way merge); each costs B records of memory.
+template <EmRecord T>
+class StreamReader {
+ public:
+  explicit StreamReader(const EmVector<T>& vec)
+      : StreamReader(vec, 0, vec.size()) {}
+
+  /// Reader over records [first, last) of `vec`.
+  StreamReader(const EmVector<T>& vec, std::size_t first, std::size_t last)
+      : vec_(&vec),
+        block_records_(vec.block_records()),
+        pos_(first),
+        end_(last),
+        reservation_(vec.context().budget().reserve(block_records_ *
+                                                    sizeof(T))),
+        buffer_(block_records_) {
+    assert(first <= last && last <= vec.size());
+    buffered_block_ = kNoBlock;
+  }
+
+  /// Records remaining.
+  [[nodiscard]] std::size_t remaining() const noexcept { return end_ - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == end_; }
+  /// Absolute record index of the next element.
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  /// Next record without consuming it.
+  [[nodiscard]] const T& peek() {
+    assert(!done());
+    fill();
+    return buffer_[pos_ % block_records_];
+  }
+
+  /// Consume and return the next record.
+  T next() {
+    const T v = peek();
+    ++pos_;
+    return v;
+  }
+
+  /// Skip forward `n` records without reading the blocks in between.
+  void skip(std::size_t n) {
+    assert(n <= remaining());
+    pos_ += n;
+  }
+
+ private:
+  static constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
+
+  void fill() {
+    const std::size_t blk = pos_ / block_records_;
+    if (blk != buffered_block_) {
+      vec_->read_block(blk, std::span<T>(buffer_));
+      buffered_block_ = blk;
+    }
+  }
+
+  const EmVector<T>* vec_;
+  std::size_t block_records_;
+  std::size_t pos_;
+  std::size_t end_;
+  std::size_t buffered_block_;
+  MemoryReservation reservation_;
+  std::vector<T> buffer_;
+};
+
+/// Sequential writer appending records into an EmVector starting at record 0.
+///
+/// Call finish() when done: it flushes the partial last block and sets the
+/// vector's logical size.  Destruction without finish() flushes as well (so
+/// exceptions don't lose the budget) but only finish() publishes the size.
+template <EmRecord T>
+class StreamWriter {
+ public:
+  explicit StreamWriter(EmVector<T>& vec)
+      : vec_(&vec),
+        block_records_(vec.block_records()),
+        reservation_(vec.context().budget().reserve(block_records_ *
+                                                    sizeof(T))),
+        buffer_(block_records_) {}
+
+  ~StreamWriter() = default;
+  StreamWriter(const StreamWriter&) = delete;
+  StreamWriter& operator=(const StreamWriter&) = delete;
+
+  /// Records written so far.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  void push(const T& v) {
+    assert(count_ < vec_->capacity());
+    buffer_[count_ % block_records_] = v;
+    ++count_;
+    if (count_ % block_records_ == 0) {
+      vec_->write_block(count_ / block_records_ - 1, std::span<const T>(buffer_));
+    }
+  }
+
+  /// Flush the trailing partial block and publish the logical size.
+  void finish() {
+    if (finished_) return;
+    if (count_ % block_records_ != 0) {
+      vec_->write_block(count_ / block_records_, std::span<const T>(buffer_));
+    }
+    vec_->set_size(count_);
+    finished_ = true;
+  }
+
+ private:
+  EmVector<T>* vec_;
+  std::size_t block_records_;
+  std::size_t count_ = 0;
+  bool finished_ = false;
+  MemoryReservation reservation_;
+  std::vector<T> buffer_;
+};
+
+/// Sequential writer into an arbitrary record range [start, start + n) of an
+/// EmVector that may be written concurrently by neighbouring RangeWriters.
+///
+/// Interior blocks are written with plain one-I/O writes; the partial edge
+/// blocks at the two ends are flushed with an atomic read-merge-write so
+/// that records owned by an adjacent range in the same block survive.  The
+/// edge read happens at flush time (never cached earlier), so any number of
+/// single-threaded writers may interleave on a shared edge block without
+/// lost updates.  Used by multi-partition to let distribution passes write
+/// final partitions straight into the output vector.
+template <EmRecord T>
+class RangeWriter {
+ public:
+  RangeWriter(EmVector<T>& vec, std::size_t start)
+      : vec_(&vec),
+        block_records_(vec.block_records()),
+        pos_(start),
+        reservation_(vec.context().budget().reserve(block_records_ *
+                                                    sizeof(T))),
+        buffer_(block_records_) {}
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  void push(const T& v) {
+    assert(pos_ < vec_->capacity());
+    buffer_[pos_ % block_records_] = v;
+    ++pos_;
+    ++count_;
+    if (pos_ % block_records_ == 0) flush_block(pos_ / block_records_ - 1);
+  }
+
+  /// Flush the trailing partial block (idempotent).  Does not touch the
+  /// vector's logical size — the caller owns that.
+  void finish() {
+    if (finished_) return;
+    if (pos_ % block_records_ != 0 && count_ > 0) {
+      flush_block(pos_ / block_records_);
+    }
+    finished_ = true;
+  }
+
+ private:
+  void flush_block(std::size_t blk) {
+    // Records this flush owns: the intersection of the writer's range so far
+    // ([start, pos)) with this block.  A block not fully covered is merged
+    // with the device copy read *now* (never cached), so adjacent writers
+    // interleaving on a shared edge block cannot lose each other's records.
+    const std::size_t blk_first = blk * block_records_;
+    const std::size_t start = pos_ - count_;
+    const std::size_t range_lo = std::max(start, blk_first);
+    const std::size_t range_hi = pos_;  // <= blk_first + block_records_
+    if (range_lo == blk_first && range_hi == blk_first + block_records_) {
+      vec_->write_block(blk, std::span<const T>(buffer_));
+      return;
+    }
+    // The merge copy is a transient reservation: flushes are sequential, so
+    // at most one exists at a time even with many writers alive.
+    auto merge_res =
+        vec_->context().budget().reserve(block_records_ * sizeof(T));
+    std::vector<T> merged(block_records_);
+    vec_->read_block(blk, merged);
+    for (std::size_t r = range_lo; r < range_hi; ++r) {
+      merged[r - blk_first] = buffer_[r % block_records_];
+    }
+    vec_->write_block(blk, std::span<const T>(merged));
+  }
+
+  EmVector<T>* vec_;
+  std::size_t block_records_;
+  std::size_t pos_;
+  std::size_t count_ = 0;
+  bool finished_ = false;
+  MemoryReservation reservation_;
+  std::vector<T> buffer_;
+};
+
+// ---------------------------------------------------------------------------
+// Bulk helpers (chunk-at-a-time processing).
+// ---------------------------------------------------------------------------
+
+/// Load records [first, first + out.size()) of `vec` into `out`.
+/// Costs the number of blocks the range touches.  The caller is responsible
+/// for having reserved `out`'s bytes against the budget; the transfer block
+/// buffer is reserved here.
+template <EmRecord T>
+void load_range(const EmVector<T>& vec, std::size_t first, std::span<T> out) {
+  assert(first + out.size() <= vec.size());
+  const std::size_t b = vec.block_records();
+  auto res = vec.context().budget().reserve(b * sizeof(T));
+  std::vector<T> blockbuf(b);
+  std::size_t i = 0;
+  while (i < out.size()) {
+    const std::size_t blk = (first + i) / b;
+    const std::size_t off = (first + i) % b;
+    const std::size_t take = std::min(b - off, out.size() - i);
+    vec.read_block(blk, std::span<T>(blockbuf));
+    for (std::size_t j = 0; j < take; ++j) out[i + j] = blockbuf[off + j];
+    i += take;
+  }
+}
+
+/// Store `in` into `vec` at record offset `first` (block-aligned offsets give
+/// pure writes; unaligned edges need a read-modify-write of the edge blocks).
+template <EmRecord T>
+void store_range(EmVector<T>& vec, std::size_t first, std::span<const T> in) {
+  assert(first + in.size() <= vec.capacity());
+  const std::size_t b = vec.block_records();
+  auto res = vec.context().budget().reserve(b * sizeof(T));
+  std::vector<T> blockbuf(b);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const std::size_t blk = (first + i) / b;
+    const std::size_t off = (first + i) % b;
+    const std::size_t take = std::min(b - off, in.size() - i);
+    if (take < b) {
+      // Edge block: preserve surrounding records already on the device, but
+      // only if there is live data in this block outside the stored range.
+      const bool has_live_prefix = off > 0;
+      const bool has_live_suffix =
+          blk * b + take + off < vec.size() && off + take < b;
+      if (has_live_prefix || has_live_suffix) vec.read_block(blk, blockbuf);
+    }
+    for (std::size_t j = 0; j < take; ++j) blockbuf[off + j] = in[i + j];
+    vec.write_block(blk, std::span<const T>(blockbuf));
+    i += take;
+  }
+}
+
+/// Materialize an in-memory sequence as a new EmVector (test/workload
+/// convenience; costs ceil(n/B) writes).
+template <EmRecord T>
+[[nodiscard]] EmVector<T> materialize(Context& ctx, std::span<const T> data) {
+  EmVector<T> vec(ctx, data.size());
+  StreamWriter<T> w(vec);
+  for (const T& v : data) w.push(v);
+  w.finish();
+  return vec;
+}
+
+/// Read a whole EmVector back into host memory (test convenience).
+template <EmRecord T>
+[[nodiscard]] std::vector<T> to_host(const EmVector<T>& vec) {
+  std::vector<T> out;
+  out.reserve(vec.size());
+  StreamReader<T> r(vec);
+  while (!r.done()) out.push_back(r.next());
+  return out;
+}
+
+}  // namespace emsplit

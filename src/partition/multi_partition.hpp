@@ -1,0 +1,389 @@
+// multi_partition.hpp — split S at given ranks in O((N/B) log_{M/B} K) I/Os.
+//
+// The multi-partition problem (paper §1.1): given K-1 split ranks
+// 0 < r_1 < ... < r_{K-1} < N, permute S so that partition i (the elements
+// with ranks in (r_{i-1}, r_i]) is contiguous and partitions appear in order.
+// Aggarwal & Vitter's recursive distribution achieves the optimal
+// Θ((N/B) log_{M/B} K) I/Os:
+//
+//   * each node computes memory-resident splitters of its piece with exact
+//     bucket counts (linear_splitters + one counting scan — O(piece/B)),
+//   * snaps d-1 evenly spaced target ranks (d = Theta(M/B)) to the nearest
+//     splitter-bucket boundaries and distributes its records over those cut
+//     elements in one scan with d output buffers; the cut counts are exact,
+//     so rank bookkeeping stays exact even though cuts need not hit the
+//     requested ranks — extra boundaries only refine the partitioning,
+//   * recurses into each sub-piece with the enclosed target ranks; pieces
+//     that fit in memory are sorted there, which realizes all remaining
+//     ranks at once.
+//
+// Depth is O(log_d K) and every level moves each record O(1) times.  Buckets
+// that contain no further target ranks are finished partition runs and are
+// written straight into their final output position during the distribution
+// pass (RangeWriter handles the shared edge blocks), so no concatenation
+// pass is needed.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "em/context.hpp"
+#include "em/phase_profile.hpp"
+#include "em/em_vector.hpp"
+#include "em/stream.hpp"
+#include "select/linear_splitters.hpp"
+
+namespace emsplit {
+
+template <EmRecord T>
+struct MultiPartitionResult {
+  /// The input permuted so partitions are contiguous and ordered.
+  EmVector<T> data;
+  /// Partition i occupies records [bounds[i], bounds[i+1]) of `data`.
+  std::vector<std::uint64_t> bounds;
+};
+
+namespace detail {
+
+/// Distribution fan-out this context supports: d output block buffers plus a
+/// reader, the transient edge-merge block a RangeWriter flush may need, and
+/// the cut-element table must fit in memory.
+template <EmRecord T>
+std::size_t partition_fanout(const Context& ctx) {
+  const std::size_t bb = ctx.block_bytes();
+  const std::size_t blocks = ctx.mem_bytes() / bb;
+  if (blocks <= 4) return 2;
+  // d block buffers + d cut elements + reader + transient merge block +
+  // one block of slack must fit:  d * (bb + sizeof(T)) <= (blocks - 3) * bb.
+  const std::size_t d = (blocks - 3) * bb / (bb + sizeof(T));
+  return std::max<std::size_t>(2, d);
+}
+
+/// Where one distribution bucket's records go: either a scratch vector (the
+/// bucket will be recursed into) or directly into the final output range
+/// (the bucket is already a finished partition run).
+template <EmRecord T>
+struct BucketSink {
+  EmVector<T> scratch;  // bound when the bucket needs further recursion
+  std::unique_ptr<StreamWriter<T>> scratch_writer;
+  std::unique_ptr<RangeWriter<T>> direct_writer;
+  std::uint64_t expected = 0;
+  std::uint64_t received = 0;
+
+  void push(const T& v) {
+    if (++received > expected) {
+      // Overflowing a direct range would silently corrupt the neighbour
+      // partition; fail fast instead.
+      throw std::logic_error(
+          "multi_partition: bucket received more records than its rank span "
+          "(is the comparator a strict total order?)");
+    }
+    if (scratch_writer != nullptr) {
+      scratch_writer->push(v);
+    } else {
+      direct_writer->push(v);
+    }
+  }
+  void finish() {
+    if (scratch_writer != nullptr) {
+      scratch_writer->finish();
+    } else {
+      direct_writer->finish();
+    }
+  }
+};
+
+/// Recursive node: partition a piece at the relative ranks `ranks` (strictly
+/// increasing, in (0, piece length)), writing the fully partitioned records
+/// into `out` at [out_offset, out_offset + piece length).
+///
+/// The piece is either `owned` (an intermediate vector this node recycles
+/// once distributed) or, at the root only, records [first, last) of `*root`
+/// (never recycled).  Distribution writes finished partition runs (buckets
+/// with no interior ranks) straight into `out` via RangeWriter, so no
+/// separate concatenation pass is needed.
+template <EmRecord T, typename Less>
+void partition_node(Context& ctx, const EmVector<T>* root, std::size_t first,
+                    std::size_t last, EmVector<T> owned,
+                    std::span<const std::uint64_t> ranks, EmVector<T>& out,
+                    std::size_t out_offset, Less less) {
+  const EmVector<T>& src = owned.bound() ? owned : *root;
+  if (owned.bound()) {
+    first = 0;
+    last = owned.size();
+  }
+  const std::size_t n = last - first;
+
+  if (ranks.empty()) {
+    ScopedPhase phase(ctx.profile(), "mpart/leaf-copy");
+    // Finished run: stream it into its final position.
+    StreamReader<T> reader(src, first, last);
+    RangeWriter<T> writer(out, out_offset);
+    while (!reader.done()) writer.push(reader.next());
+    writer.finish();
+    owned.reset();
+    return;
+  }
+
+  if (n <= ctx.mem_records<T>() / 3) {
+    ScopedPhase phase(ctx.profile(), "mpart/in-memory-leaf");
+    // Memory-sized piece: sort it in memory; the sorted run realizes every
+    // remaining rank at once.  This caps the recursion depth at
+    // O(log_{M/B} min{K, N/M'}) — the min{...} terms in the paper's
+    // Theorems 3 and 6.
+    auto res = ctx.budget().reserve(n * sizeof(T));
+    std::vector<T> buf(n);
+    load_range<T>(src, first, buf);
+    std::sort(buf.begin(), buf.end(), less);
+    RangeWriter<T> writer(out, out_offset);
+    for (const T& v : buf) writer.push(v);
+    writer.finish();
+    owned.reset();
+    return;
+  }
+
+  const std::size_t nr = ranks.size();
+  // Each target rank contributes up to two cuts (the bucket boundaries
+  // enclosing it), so the number of targets per level is half the fan-out.
+  const std::size_t fan = partition_fanout<T>(ctx);
+  const std::size_t d =
+      std::min(nr + 1, std::max<std::size_t>(2, (fan - 1) / 2 + 1));
+
+  // --- Cut selection, Aggarwal-Vitter style. ------------------------------
+  // Compute memory-resident splitters, learn every bucket's exact cumulative
+  // count in one scan, then snap the d-1 evenly spaced target ranks to the
+  // nearest bucket boundaries.  A cut (cum[j], s_j) says: exactly cum[j]
+  // records are <= s_j.  Cuts need no selection subroutine, their counts are
+  // exact, and boundaries that are not requested ranks merely refine the
+  // partitioning (the output is still ordered and contiguous per request).
+  // Exactness of the *requested* ranks is realized deeper in the recursion,
+  // ultimately by the in-memory sorted leaves.
+  std::vector<std::uint64_t> cut_ranks;
+  std::vector<T> cut_elems;
+  {
+    ScopedPhase phase(ctx.profile(), "mpart/cut-selection");
+    auto ls = linear_splitters<T, Less>(ctx, src, first, last, less);
+    const auto& sp = ls.splitters;
+    auto sp_res = ctx.budget().reserve(sp.size() * sizeof(T));
+    std::vector<std::uint64_t> cum(sp.size(), 0);  // cum[j] = #{e <= s_j}
+    auto cum_res = ctx.budget().reserve(cum.size() * sizeof(std::uint64_t));
+    {
+      StreamReader<T> reader(src, first, last);
+      while (!reader.done()) {
+        const T e = reader.next();
+        const auto it = std::lower_bound(
+            sp.begin(), sp.end(), e,
+            [&](const T& x, const T& y) { return less(x, y); });
+        const auto j = static_cast<std::size_t>(it - sp.begin());
+        if (j < cum.size()) ++cum[j];
+      }
+    }
+    for (std::size_t j = 1; j < cum.size(); ++j) cum[j] += cum[j - 1];
+
+    // Bracket each target with the bucket boundaries enclosing it: the
+    // residual piece still containing the target is then one splitter
+    // bucket — small enough that the next recursion level resolves it with
+    // an in-memory sort (or a much smaller node).  A target that hits a
+    // boundary exactly needs only that single cut.
+    std::vector<std::size_t> picked;
+    auto consider = [&](std::size_t j) {
+      if (j < cum.size() && cum[j] > 0 && cum[j] < n) picked.push_back(j);
+    };
+    for (std::size_t q = 1; q < d; ++q) {
+      const std::uint64_t target = ranks[q * nr / d];
+      const auto it = std::lower_bound(cum.begin(), cum.end(), target);
+      const auto j = static_cast<std::size_t>(it - cum.begin());
+      consider(j);  // upper boundary (== target when it hits exactly)
+      if (it == cum.end() || *it != target) {
+        if (j > 0) consider(j - 1);  // lower boundary
+      }
+    }
+    if (picked.empty()) {
+      // All targets snapped to the extremes: fall back to any boundary
+      // strictly inside (0, n); one exists because every bucket is smaller
+      // than the piece (the piece exceeds M/3 here).
+      for (std::size_t j = 0; j < cum.size(); ++j) {
+        if (cum[j] > 0 && cum[j] < n) {
+          picked.push_back(j);
+          break;
+        }
+      }
+      if (picked.empty()) {
+        throw std::logic_error("multi_partition: no interior cut available");
+      }
+    }
+    std::sort(picked.begin(), picked.end());
+    picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+    for (const std::size_t j : picked) {
+      cut_ranks.push_back(cum[j]);
+      cut_elems.push_back(sp[j]);
+    }
+  }
+
+  // --- Bucket geometry over the chosen cuts. ------------------------------
+  const std::size_t nb = cut_ranks.size() + 1;
+  std::vector<std::uint64_t> lo(nb), hi(nb);
+  std::vector<std::size_t> ri_lo(nb), ri_hi(nb);
+  {
+    std::size_t i = 0;
+    for (std::size_t q = 0; q < nb; ++q) {
+      lo[q] = q == 0 ? 0 : cut_ranks[q - 1];
+      hi[q] = q == nb - 1 ? n : cut_ranks[q];
+      while (i < nr && ranks[i] <= lo[q]) ++i;  // == lo: satisfied by a cut
+      ri_lo[q] = i;
+      while (i < nr && ranks[i] < hi[q]) ++i;
+      ri_hi[q] = i;
+    }
+  }
+
+  // --- Distribution pass. --------------------------------------------------
+  // Leaf buckets (no interior ranks) go straight to the output; the rest
+  // land in scratch vectors for recursion.
+  std::vector<BucketSink<T>> sinks(nb);
+  {
+    ScopedPhase phase(ctx.profile(), "mpart/distribute");
+    auto piv_res = ctx.budget().reserve(cut_elems.size() * sizeof(T));
+    for (std::size_t q = 0; q < nb; ++q) {
+      sinks[q].expected = hi[q] - lo[q];
+      if (ri_lo[q] == ri_hi[q]) {
+        sinks[q].direct_writer = std::make_unique<RangeWriter<T>>(
+            out, out_offset + static_cast<std::size_t>(lo[q]));
+      } else {
+        sinks[q].scratch =
+            EmVector<T>(ctx, static_cast<std::size_t>(hi[q] - lo[q]));
+        sinks[q].scratch_writer =
+            std::make_unique<StreamWriter<T>>(sinks[q].scratch);
+      }
+    }
+    StreamReader<T> reader(src, first, last);
+    while (!reader.done()) {
+      const T e = reader.next();
+      const auto it = std::lower_bound(
+          cut_elems.begin(), cut_elems.end(), e,
+          [&](const T& p, const T& x) { return less(p, x); });
+      sinks[static_cast<std::size_t>(it - cut_elems.begin())].push(e);
+    }
+    for (auto& sink : sinks) {
+      sink.finish();
+      // Release every writer's block buffer before recursing: only the
+      // scratch vectors themselves (device extents, no memory) survive.
+      sink.scratch_writer.reset();
+      sink.direct_writer.reset();
+    }
+  }
+  owned.reset();  // parent data fully distributed; recycle its blocks
+
+  for (std::size_t q = 0; q < nb; ++q) {
+    if (!sinks[q].scratch.bound()) continue;
+    if (sinks[q].scratch.size() != hi[q] - lo[q]) {
+      throw std::logic_error(
+          "multi_partition: cut counts inconsistent with data (is the "
+          "comparator a strict total order?)");
+    }
+    std::vector<std::uint64_t> sub(
+        ranks.begin() + static_cast<std::ptrdiff_t>(ri_lo[q]),
+        ranks.begin() + static_cast<std::ptrdiff_t>(ri_hi[q]));
+    for (auto& r : sub) r -= lo[q];
+    partition_node<T, Less>(ctx, nullptr, 0, 0, std::move(sinks[q].scratch),
+                            sub, out,
+                            out_offset + static_cast<std::size_t>(lo[q]),
+                            less);
+  }
+}
+
+}  // namespace detail
+
+/// Multi-partition records [first, last) of `input` at `split_ranks`
+/// (1-based relative ranks, strictly increasing, each in (0, last-first)).
+/// Returns the permuted data and K+1 partition bounds.  The input is left
+/// untouched.  Cost: O((n/B) log_{M/B} K) I/Os.
+///
+/// Memory floor: a distribution level needs two sink buffers, a reader, the
+/// transient edge-merge block and the cut table — at least 5 blocks of
+/// memory in practice (the model's bare M >= 2B admits scanning but not
+/// partitioning).  Smaller budgets fail fast with BudgetExceeded.
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] MultiPartitionResult<T> multi_partition(
+    Context& ctx, const EmVector<T>& input, std::size_t first,
+    std::size_t last, const std::vector<std::uint64_t>& split_ranks,
+    Less less = {}) {
+  const std::size_t n = last - first;
+  if (!std::is_sorted(split_ranks.begin(), split_ranks.end()) ||
+      std::adjacent_find(split_ranks.begin(), split_ranks.end()) !=
+          split_ranks.end()) {
+    throw std::invalid_argument(
+        "multi_partition: split ranks must be strictly increasing");
+  }
+  if (!split_ranks.empty() &&
+      (split_ranks.front() == 0 || split_ranks.back() >= n)) {
+    throw std::invalid_argument(
+        "multi_partition: split ranks must lie strictly inside (0, n)");
+  }
+
+  MultiPartitionResult<T> result;
+  result.data = EmVector<T>(ctx, n);
+  detail::partition_node<T, Less>(ctx, &input, first, last, EmVector<T>{},
+                                  split_ranks, result.data, 0, less);
+  result.data.set_size(n);
+  result.bounds.reserve(split_ranks.size() + 2);
+  result.bounds.push_back(0);
+  result.bounds.insert(result.bounds.end(), split_ranks.begin(),
+                       split_ranks.end());
+  result.bounds.push_back(n);
+  return result;
+}
+
+/// Whole-vector convenience overload.
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] MultiPartitionResult<T> multi_partition(
+    Context& ctx, const EmVector<T>& input,
+    const std::vector<std::uint64_t>& split_ranks, Less less = {}) {
+  return multi_partition<T, Less>(ctx, input, 0, input.size(), split_ranks,
+                                  less);
+}
+
+/// Multi-partition by sizes — the paper's literal §1.1 interface: K-1 given
+/// sizes σ_1..σ_{K-1} (the K-th is implied).  Equivalent to split ranks at
+/// the prefix sums; every σ_i must be positive and they must sum to < n.
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] MultiPartitionResult<T> multi_partition_sizes(
+    Context& ctx, const EmVector<T>& input,
+    const std::vector<std::uint64_t>& sizes, Less less = {}) {
+  std::vector<std::uint64_t> ranks;
+  ranks.reserve(sizes.size());
+  std::uint64_t acc = 0;
+  for (const auto s : sizes) {
+    if (s == 0) {
+      throw std::invalid_argument(
+          "multi_partition_sizes: sizes must be positive");
+    }
+    acc += s;
+    ranks.push_back(acc);
+  }
+  return multi_partition<T, Less>(ctx, input, ranks, less);
+}
+
+/// Precise K-partitioning (paper §3): split into K partitions of exactly
+/// n/K records each.  Requires K to divide the range length.
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] MultiPartitionResult<T> precise_partition(Context& ctx,
+                                                        const EmVector<T>& input,
+                                                        std::size_t k,
+                                                        Less less = {}) {
+  const std::size_t n = input.size();
+  if (k == 0 || n % k != 0) {
+    throw std::invalid_argument(
+        "precise_partition: K must be positive and divide N");
+  }
+  std::vector<std::uint64_t> ranks(k - 1);
+  for (std::size_t i = 1; i < k; ++i) ranks[i - 1] = i * (n / k);
+  return multi_partition<T, Less>(ctx, input, ranks, less);
+}
+
+}  // namespace emsplit

@@ -1,0 +1,120 @@
+// reduction.hpp — the §3 reduction, as executable code.
+//
+// The paper's Theorem 3 lower bound for approximate K-partitioning comes
+// from a reduction: any left-grounded approximate K-partitioning algorithm
+// (partitions of size at most b) yields a *precise* (N/b)-partitioning after
+// a single O(N/B) stitch pass.  Since precise partitioning is provably hard
+// (Lemma 5), the approximate problem inherits the bound.
+//
+// This file implements the reduction's forward direction so the bench
+// harness (experiment E11) can demonstrate it: stitch the variable-size
+// partitions P_1, ..., P_K into exact b-size pieces using the running
+// remainder R exactly as in the paper's two-step recipe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/partitioning.hpp"
+#include "em/context.hpp"
+#include "em/em_vector.hpp"
+#include "em/stream.hpp"
+#include "select/base_case.hpp"
+
+namespace emsplit {
+
+/// Precise (N/b)-partitioning of `input` (N must be a multiple of b) built
+/// from a left-grounded approximate K-partitioning plus a linear stitch.
+/// Cost: F(N, K, b) + O(N/B) I/Os, demonstrating that the approximate
+/// problem is at least as hard as the precise one.
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] ApproxPartitioning<T> precise_partition_via_reduction(
+    Context& ctx, const EmVector<T>& input, std::uint64_t b, Less less = {}) {
+  const std::uint64_t n = input.size();
+  if (b == 0 || n % b != 0) {
+    throw std::invalid_argument(
+        "precise_partition_via_reduction: b must be positive and divide N");
+  }
+  const std::uint64_t num_parts = n / b;
+
+  // Step 1: left-grounded approximate partitioning with K = ceil(N/b)
+  // partitions of size at most b.
+  const ApproxSpec spec{.k = num_parts, .a = 0, .b = b};
+  auto approx = approx_partitioning<T, Less>(ctx, input, spec, less);
+
+  // Step 2: stitch.  Process P_1, ..., P_K in order, appending to the
+  // remainder R; whenever |R| >= b, split R at its b-th smallest element
+  // (R1 = exact next precise partition, R2 = carried remainder).  Each
+  // element is appended once and carried O(1) amortized times: O(N/B).
+  ApproxPartitioning<T> out;
+  out.data = EmVector<T>(ctx, static_cast<std::size_t>(n));
+  out.bounds.push_back(0);
+  StreamWriter<T> writer(out.data);
+
+  EmVector<T> remainder(ctx, 0);  // starts empty
+  for (std::size_t i = 0; i + 1 < approx.bounds.size(); ++i) {
+    const std::uint64_t lo = approx.bounds[i];
+    const std::uint64_t hi = approx.bounds[i + 1];
+    // R := R ++ P_i.
+    EmVector<T> merged(ctx,
+                       static_cast<std::size_t>(remainder.size() + (hi - lo)));
+    {
+      StreamWriter<T> wm(merged);
+      {
+        StreamReader<T> rr(remainder);
+        while (!rr.done()) wm.push(rr.next());
+      }
+      {
+        StreamReader<T> rp(approx.data, static_cast<std::size_t>(lo),
+                           static_cast<std::size_t>(hi));
+        while (!rp.done()) wm.push(rp.next());
+      }
+      wm.finish();
+    }
+    remainder = std::move(merged);
+
+    while (remainder.size() >= b) {
+      if (remainder.size() == b) {
+        // R is exactly one precise partition.
+        StreamReader<T> rr(remainder);
+        while (!rr.done()) writer.push(rr.next());
+        remainder = EmVector<T>(ctx, 0);
+        out.bounds.push_back(writer.count());
+        break;
+      }
+      // Split R at its b-th smallest: R1 emitted, R2 carried.
+      const T pivot = select_rank<T, Less>(ctx, remainder, b, less);
+      EmVector<T> rest(ctx, remainder.size() - static_cast<std::size_t>(b));
+      {
+        StreamReader<T> rr(remainder);
+        StreamWriter<T> wr(rest);
+        while (!rr.done()) {
+          const T e = rr.next();
+          if (!less(pivot, e)) {
+            writer.push(e);
+          } else {
+            wr.push(e);
+          }
+        }
+        wr.finish();
+      }
+      remainder = std::move(rest);
+      out.bounds.push_back(writer.count());
+    }
+  }
+  if (remainder.size() != 0) {
+    throw std::logic_error(
+        "precise_partition_via_reduction: leftover records (b does not "
+        "divide N?)");
+  }
+  writer.finish();
+  if (out.bounds.size() != num_parts + 1) {
+    throw std::logic_error(
+        "precise_partition_via_reduction: wrong partition count");
+  }
+  return out;
+}
+
+}  // namespace emsplit

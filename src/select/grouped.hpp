@@ -1,0 +1,23 @@
+// grouped.hpp — the record type of L-intermixed selection (paper §4.1).
+//
+// An element of the intermixed dataset D is a pair (key, group id).  The
+// group id addresses one of the L concurrent selection "threads"; the value
+// carries the full record (indivisibility: satellite data travels with the
+// key).
+#pragma once
+
+#include <cstdint>
+
+#include "em/em_vector.hpp"
+
+namespace emsplit {
+
+template <EmRecord T>
+struct Grouped {
+  T value{};
+  std::uint64_t group = 0;
+
+  friend constexpr bool operator==(const Grouped&, const Grouped&) = default;
+};
+
+}  // namespace emsplit

@@ -1,0 +1,169 @@
+// external_sort.hpp — classic external merge sort.
+//
+// Aggarwal & Vitter's optimal sorting algorithm and this repository's
+// universal baseline: every problem in the paper can be solved by sorting in
+// Θ((N/B) log_{M/B}(N/B)) I/Os, and every experiment compares against it.
+//
+//  * Run formation: load chunks of `run_records` (default: all of M that the
+//    budget can hold beyond the stream buffers), sort in memory, write runs.
+//  * Merge passes: loser-tree merges of fan-in f = M/B - 1 (one reader buffer
+//    per run plus one writer buffer) until a single run remains, ping-ponging
+//    between two scratch vectors.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "em/context.hpp"
+#include "em/phase_profile.hpp"
+#include "em/em_vector.hpp"
+#include "em/stream.hpp"
+#include "sort/loser_tree.hpp"
+#include "sort/replacement_selection.hpp"
+
+namespace emsplit {
+
+/// Adapter giving StreamReader the MergeCursor interface over a record range.
+template <EmRecord T>
+class ReaderCursor {
+ public:
+  ReaderCursor(const EmVector<T>& vec, std::size_t first, std::size_t last)
+      : reader_(vec, first, last) {}
+
+  [[nodiscard]] bool done() const { return reader_.done(); }
+  [[nodiscard]] const T& peek() { return reader_.peek(); }
+  void advance() { (void)reader_.next(); }
+
+ private:
+  StreamReader<T> reader_;
+};
+
+namespace detail {
+
+/// Run boundaries: runs[i] = [offsets[i], offsets[i+1]) within a vector.
+using RunOffsets = std::vector<std::size_t>;
+
+/// Phase 1 — split `input` into sorted runs written to a fresh vector.
+template <EmRecord T, typename Less>
+std::pair<EmVector<T>, RunOffsets> form_runs(Context& ctx,
+                                             const EmVector<T>& input,
+                                             Less less) {
+  ScopedPhase phase(ctx.profile(), "sort/run-formation");
+  const std::size_t b = ctx.block_records<T>();
+  // Leave room for load/store transfer buffers (2 blocks) on top of chunk.
+  const std::size_t mem = ctx.mem_records<T>();
+  const std::size_t chunk = std::max<std::size_t>(b, mem - 2 * b);
+  EmVector<T> runs(ctx, input.size());
+  RunOffsets offsets{0};
+  {
+    auto chunk_res = ctx.budget().reserve(chunk * sizeof(T));
+    std::vector<T> buf(chunk);
+    for (std::size_t first = 0; first < input.size(); first += chunk) {
+      const std::size_t len = std::min(chunk, input.size() - first);
+      const auto span = std::span<T>(buf).subspan(0, len);
+      load_range<T>(input, first, span);
+      std::sort(span.begin(), span.end(), less);
+      store_range<T>(runs, first, span);
+      offsets.push_back(first + len);
+    }
+  }
+  runs.set_size(input.size());
+  if (input.empty()) offsets.push_back(0);
+  return {std::move(runs), std::move(offsets)};
+}
+
+/// One merge pass: groups of up to `fan_in` consecutive runs each become one
+/// output run.
+template <EmRecord T, typename Less>
+std::pair<EmVector<T>, RunOffsets> merge_pass(Context& ctx,
+                                              const EmVector<T>& runs,
+                                              const RunOffsets& offsets,
+                                              std::size_t fan_in, Less less) {
+  ScopedPhase phase(ctx.profile(), "sort/merge-pass");
+  EmVector<T> out(ctx, runs.size());
+  RunOffsets out_offsets{0};
+  StreamWriter<T> writer(out);
+  const std::size_t num_runs = offsets.size() - 1;
+  for (std::size_t group = 0; group < num_runs; group += fan_in) {
+    const std::size_t last_run = std::min(group + fan_in, num_runs);
+    std::vector<ReaderCursor<T>> cursors;
+    cursors.reserve(last_run - group);
+    for (std::size_t r = group; r < last_run; ++r) {
+      cursors.emplace_back(runs, offsets[r], offsets[r + 1]);
+    }
+    LoserTree<T, ReaderCursor<T>, Less> tree(std::move(cursors), less);
+    while (!tree.done()) writer.push(tree.next());
+    out_offsets.push_back(writer.count());
+  }
+  writer.finish();
+  return {std::move(out), std::move(out_offsets)};
+}
+
+}  // namespace detail
+
+/// How the initial sorted runs are produced.
+enum class RunStrategy {
+  kChunkSort,             ///< sort M-record chunks in memory (runs of M)
+  kReplacementSelection,  ///< snow-plow heap (runs ~2M on random input)
+};
+
+/// Sort `input` into a new vector in Θ((N/B) log_{M/B}(N/B)) I/Os.
+/// The input vector is left untouched.
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] EmVector<T> external_sort(
+    Context& ctx, const EmVector<T>& input, Less less = {},
+    RunStrategy strategy = RunStrategy::kChunkSort) {
+  auto [runs, offsets] =
+      strategy == RunStrategy::kReplacementSelection
+          ? detail::form_runs_replacement<T>(ctx, input, less)
+          : detail::form_runs<T>(ctx, input, less);
+  const std::size_t b = ctx.block_records<T>();
+  const std::size_t fan_in =
+      std::max<std::size_t>(2, ctx.mem_records<T>() / b - 1);
+  while (offsets.size() - 1 > 1) {
+    auto [next, next_offsets] =
+        detail::merge_pass<T>(ctx, runs, offsets, fan_in, less);
+    runs = std::move(next);
+    offsets = std::move(next_offsets);
+  }
+  return std::move(runs);
+}
+
+/// True iff `vec` is sorted under `less` (one scan).
+template <EmRecord T, typename Less = std::less<T>>
+[[nodiscard]] bool is_sorted_em(const EmVector<T>& vec, Less less = {}) {
+  if (vec.size() < 2) return true;
+  StreamReader<T> r(vec);
+  T prev = r.next();
+  while (!r.done()) {
+    T cur = r.next();
+    if (less(cur, prev)) return false;
+    prev = cur;
+  }
+  return true;
+}
+
+/// Theoretical I/O-count formulas used throughout the bench harness.
+/// `sort_ios` is the textbook 2*(N/B)*(1 + ceil(log_f(runs))) shape.
+namespace formulas {
+
+/// ceil(log_base(x)) for x >= 1, clamped to >= 1 (the paper's lg convention).
+inline double lg_clamped(double base, double x) {
+  if (x <= 1.0 || base <= 1.0) return 1.0;
+  const double v = std::log(x) / std::log(base);
+  return std::max(1.0, v);
+}
+
+/// Θ((n/b) lg_{m/b}(n/b)) — external sorting / the trivial baseline.
+inline double sort_ios(double n, double m, double b) {
+  if (n <= 0) return 0;
+  return (n / b) * lg_clamped(m / b, n / b);
+}
+
+}  // namespace formulas
+
+}  // namespace emsplit

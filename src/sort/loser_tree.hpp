@@ -1,0 +1,125 @@
+// loser_tree.hpp — tournament tree of losers for k-way merging.
+//
+// The classic selection-tree structure (Knuth TAOCP vol. 3 §5.4.1): k sorted
+// sources, O(log k) comparisons per extracted record, O(k) memory words of
+// tree state.  This is the engine of both the multiway merge pass in external
+// sorting and of any k-way consumption of pre-split runs.
+//
+// Sources are abstracted as cursors: anything with `bool done()`, `const T&
+// peek()`, `void advance()`.  StreamReader<T> matches after a thin adapter
+// (see kway_merge in external_sort.hpp).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace emsplit {
+
+/// Cursor concept for merge sources.
+template <typename C, typename T>
+concept MergeCursor = requires(C c, const C cc) {
+  { cc.done() } -> std::convertible_to<bool>;
+  { c.peek() } -> std::convertible_to<const T&>;
+  c.advance();
+};
+
+/// Tournament tree of losers over `k` cursors.
+///
+/// Ties between sources are broken by source index, which makes the merge
+/// stable with respect to source order — handy for deterministic tests.
+template <typename T, typename Cursor, typename Less = std::less<T>>
+  requires MergeCursor<Cursor, T>
+class LoserTree {
+ public:
+  explicit LoserTree(std::vector<Cursor> cursors, Less less = {})
+      : cursors_(std::move(cursors)), less_(less) {
+    k_ = cursors_.size();
+    assert(k_ >= 1);
+    tree_.assign(k_, kNone);
+    // Build by "playing" each source up from its leaf.
+    winner_ = kNone;
+    for (std::size_t i = 0; i < k_; ++i) {
+      std::size_t contender = i;
+      std::size_t node = (i + k_) / 2;
+      while (node > 0) {
+        if (tree_[node] == kNone) {
+          tree_[node] = contender;
+          contender = kNone;
+          break;
+        }
+        if (contender != kNone && beats(tree_[node], contender)) {
+          std::swap(contender, tree_[node]);
+        }
+        node /= 2;
+      }
+      if (contender != kNone) winner_ = contender;
+    }
+  }
+
+  /// True when all sources are exhausted.
+  [[nodiscard]] bool done() const {
+    return winner_ == kNone || cursors_[winner_].done();
+  }
+
+  /// Smallest current record across all sources.
+  [[nodiscard]] const T& peek() {
+    assert(!done());
+    return cursors_[winner_].peek();
+  }
+
+  /// Which source currently holds the smallest record.
+  [[nodiscard]] std::size_t winner_index() const {
+    assert(!done());
+    return winner_;
+  }
+
+  /// Consume the smallest record and replay the tournament along one
+  /// leaf-to-root path (O(log k) comparisons).
+  T next() {
+    assert(!done());
+    T v = cursors_[winner_].peek();
+    cursors_[winner_].advance();
+    replay(winner_);
+    return v;
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  /// True if source `a` wins against source `b` (smaller record, index tie).
+  /// Non-const because peeking a stream cursor may fault in its buffer.
+  [[nodiscard]] bool beats(std::size_t a, std::size_t b) {
+    if (a == kNone) return false;
+    if (b == kNone) return true;
+    const bool a_done = cursors_[a].done();
+    const bool b_done = cursors_[b].done();
+    if (a_done != b_done) return b_done;
+    if (a_done) return a < b;
+    if (less_(cursors_[a].peek(), cursors_[b].peek())) return true;
+    if (less_(cursors_[b].peek(), cursors_[a].peek())) return false;
+    return a < b;
+  }
+
+  void replay(std::size_t source) {
+    std::size_t contender = source;
+    for (std::size_t node = (source + k_) / 2; node > 0; node /= 2) {
+      if (beats(tree_[node], contender)) std::swap(contender, tree_[node]);
+    }
+    winner_ = contender;
+    if (winner_ != kNone && cursors_[winner_].done()) {
+      // The overall winner may be an exhausted source only when every source
+      // is exhausted (beats() ranks exhausted sources last).
+      winner_ = kNone;
+    }
+  }
+
+  std::vector<Cursor> cursors_;
+  Less less_;
+  std::size_t k_ = 0;
+  std::vector<std::size_t> tree_;  // tree_[i] = loser at internal node i
+  std::size_t winner_ = kNone;
+};
+
+}  // namespace emsplit

@@ -1,0 +1,84 @@
+// distinct_adapter.hpp — total-order wrapper for multiset inputs.
+//
+// The paper assumes elements drawn from an ordered domain — effectively a
+// strict total order (its selection machinery relies on every pivot
+// strictly shrinking the candidate set).  Real data has duplicates.  This
+// adapter realizes the standard fix: tag every record with its position in
+// the input, order lexicographically by (record, tag), and strip the tags
+// from results.  One linear pass each way; all rank semantics become the
+// "stable" ones (among equal records, earlier input positions rank lower).
+//
+// Use it whenever the record type's comparator may declare two records
+// equivalent (e.g. raw uint64_t keys with repeats).  The shipped `Record`
+// type usually does not need it — its payload already breaks ties — but
+// nothing stops a workload from repeating whole records.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "em/context.hpp"
+#include "em/em_vector.hpp"
+#include "em/stream.hpp"
+
+namespace emsplit {
+
+/// A record extended with an input-position tag; the tag breaks ties.
+template <EmRecord T>
+struct Tagged {
+  T value{};
+  std::uint64_t tag = 0;
+
+  friend constexpr bool operator==(const Tagged&, const Tagged&) = default;
+};
+
+/// Strict-weak comparator on Tagged<T> induced by `Less` on T, with the tag
+/// as tiebreaker — a strict total order whenever tags are distinct.
+template <typename T, typename Less = std::less<T>>
+struct TaggedLess {
+  Less less{};
+  constexpr bool operator()(const Tagged<T>& x, const Tagged<T>& y) const {
+    if (less(x.value, y.value)) return true;
+    if (less(y.value, x.value)) return false;
+    return x.tag < y.tag;
+  }
+};
+
+/// Produce the tagged copy of `input` in one scan: record i gets tag i.
+template <EmRecord T>
+[[nodiscard]] EmVector<Tagged<T>> tag_records(Context& ctx,
+                                              const EmVector<T>& input) {
+  EmVector<Tagged<T>> out(ctx, input.size());
+  StreamReader<T> reader(input);
+  StreamWriter<Tagged<T>> writer(out);
+  std::uint64_t tag = 0;
+  while (!reader.done()) {
+    writer.push(Tagged<T>{reader.next(), tag++});
+  }
+  writer.finish();
+  return out;
+}
+
+/// Strip tags from a tagged vector in one scan.
+template <EmRecord T>
+[[nodiscard]] EmVector<T> untag_records(Context& ctx,
+                                        const EmVector<Tagged<T>>& input) {
+  EmVector<T> out(ctx, input.size());
+  StreamReader<Tagged<T>> reader(input);
+  StreamWriter<T> writer(out);
+  while (!reader.done()) writer.push(reader.next().value);
+  writer.finish();
+  return out;
+}
+
+/// Strip tags from host-side results (splitters, selections).
+template <EmRecord T>
+[[nodiscard]] std::vector<T> untag_values(const std::vector<Tagged<T>>& v) {
+  std::vector<T> out;
+  out.reserve(v.size());
+  for (const auto& t : v) out.push_back(t.value);
+  return out;
+}
+
+}  // namespace emsplit

@@ -1,0 +1,28 @@
+// record.hpp — the record types the library ships instantiations for.
+//
+// All algorithms are comparison-based templates over any trivially-copyable
+// record type with a strict total order.  The paper assumes an ordered domain
+// with distinct elements; `Record` realizes that via a (key, payload) pair
+// ordered lexicographically, so workloads with duplicate keys still form a
+// total order (the payload doubles as a tie-breaker and as the "satellite
+// data" the indivisibility assumption is about).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+namespace emsplit {
+
+struct Record {
+  std::uint64_t key = 0;
+  std::uint64_t payload = 0;
+
+  friend constexpr auto operator<=>(const Record&, const Record&) = default;
+};
+
+static_assert(sizeof(Record) == 16);
+
+std::ostream& operator<<(std::ostream& os, const Record& r);
+
+}  // namespace emsplit

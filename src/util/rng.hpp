@@ -1,0 +1,32 @@
+// rng.hpp — small deterministic PRNG for workload generation.
+//
+// SplitMix64: tiny state, excellent statistical quality for data generation,
+// and — unlike std::mt19937 — identical output across standard libraries, so
+// benches and tests are reproducible byte-for-byte anywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace emsplit {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound) without modulo bias worth caring about here.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace emsplit

@@ -1,0 +1,165 @@
+#include "util/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace emsplit {
+
+std::ostream& operator<<(std::ostream& os, const Record& r) {
+  return os << "(" << r.key << "," << r.payload << ")";
+}
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> kAll = {
+      Workload::kUniform,   Workload::kSorted,    Workload::kReverse,
+      Workload::kFewDistinct, Workload::kOrganPipe, Workload::kZipfian,
+      Workload::kBlockStriped,
+  };
+  return kAll;
+}
+
+std::string to_string(Workload w) {
+  switch (w) {
+    case Workload::kUniform: return "uniform";
+    case Workload::kSorted: return "sorted";
+    case Workload::kReverse: return "reverse";
+    case Workload::kFewDistinct: return "few_distinct";
+    case Workload::kOrganPipe: return "organ_pipe";
+    case Workload::kZipfian: return "zipfian";
+    case Workload::kBlockStriped: return "block_striped";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Fisher–Yates with our deterministic PRNG.
+void shuffle(std::vector<Record>& v, SplitMix64& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[rng.next_below(i)]);
+  }
+}
+
+// Distinct random-looking keys: a random permutation of 0..n-1 scaled by a
+// stride, so ranks are easy to reason about in tests while keys look random
+// on the wire.
+std::vector<Record> uniform(std::size_t n, SplitMix64& rng) {
+  std::vector<Record> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = Record{.key = i * 2654435761ULL % (n * 4 + 1), .payload = i};
+  }
+  // Keys above may collide after the modulus; payload keeps the order total.
+  shuffle(v, rng);
+  return v;
+}
+
+std::vector<Record> sorted(std::size_t n) {
+  std::vector<Record> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = Record{.key = i, .payload = i};
+  return v;
+}
+
+std::vector<Record> reversed(std::size_t n) {
+  std::vector<Record> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = Record{.key = n - 1 - i, .payload = i};
+  }
+  return v;
+}
+
+std::vector<Record> few_distinct(std::size_t n, std::size_t d,
+                                 SplitMix64& rng) {
+  if (d == 0) throw std::invalid_argument("few_distinct: d must be positive");
+  std::vector<Record> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = Record{.key = rng.next_below(d), .payload = i};
+  }
+  return v;
+}
+
+std::vector<Record> organ_pipe(std::size_t n) {
+  std::vector<Record> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t half = n / 2;
+    v[i] = Record{.key = i < half ? i : n - 1 - i, .payload = i};
+  }
+  return v;
+}
+
+std::vector<Record> zipfian(std::size_t n, std::size_t d, SplitMix64& rng) {
+  if (d == 0) throw std::invalid_argument("zipfian: d must be positive");
+  // Inverse-CDF sampling of a Zipf(s=1.1) distribution over d keys, using a
+  // precomputed cumulative table (d is small in every sweep we run).
+  std::vector<double> cdf(d);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < d; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), 1.1);
+    cdf[k] = sum;
+  }
+  std::vector<Record> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u =
+        sum * (static_cast<double>(rng.next() >> 11) * 0x1.0p-53);
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    v[i] = Record{
+        .key = static_cast<std::uint64_t>(std::distance(cdf.begin(), it)),
+        .payload = i};
+  }
+  return v;
+}
+
+// The hard-permutation family Π_hard from the paper's lower-bound proofs:
+// conceptually, stripe i (the i-th record of every block) is entirely smaller
+// than stripe j for i < j.  Keys are assigned so that stripes are ordered and
+// the order within a stripe is a random permutation.
+std::vector<Record> block_striped(std::size_t n, std::size_t block_records,
+                                  SplitMix64& rng) {
+  if (block_records == 0) {
+    throw std::invalid_argument("block_striped: block_records must be > 0");
+  }
+  const std::size_t num_blocks = (n + block_records - 1) / block_records;
+  // Per-stripe random permutations of block indices.
+  std::vector<Record> v(n);
+  std::vector<std::uint64_t> perm(num_blocks);
+  std::uint64_t next_key = 0;
+  for (std::size_t stripe = 0; stripe < block_records; ++stripe) {
+    std::size_t stripe_len = 0;
+    for (std::size_t blk = 0; blk < num_blocks; ++blk) {
+      if (blk * block_records + stripe < n) perm[stripe_len++] = blk;
+    }
+    for (std::size_t i = stripe_len; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.next_below(i)]);
+    }
+    // perm[r] = block that gets the r-th smallest key of this stripe.
+    for (std::size_t r = 0; r < stripe_len; ++r) {
+      const std::size_t pos = perm[r] * block_records + stripe;
+      v[pos] = Record{.key = next_key++, .payload = pos};
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<Record> make_workload(Workload w, std::size_t n,
+                                  std::uint64_t seed,
+                                  std::size_t block_records,
+                                  std::size_t distinct_keys) {
+  SplitMix64 rng(seed ^ 0x5eed5eed5eed5eedULL);
+  switch (w) {
+    case Workload::kUniform: return uniform(n, rng);
+    case Workload::kSorted: return sorted(n);
+    case Workload::kReverse: return reversed(n);
+    case Workload::kFewDistinct: return few_distinct(n, distinct_keys, rng);
+    case Workload::kOrganPipe: return organ_pipe(n);
+    case Workload::kZipfian: return zipfian(n, distinct_keys, rng);
+    case Workload::kBlockStriped: return block_striped(n, block_records, rng);
+  }
+  throw std::invalid_argument("make_workload: unknown workload");
+}
+
+}  // namespace emsplit

@@ -1,0 +1,57 @@
+// workload.hpp — input generators for tests, benches and examples.
+//
+// Each generator returns host-side records (materialize() moves them to a
+// device).  The shapes cover the standard adversaries for order-based
+// algorithms, plus the paper's own hard-instance family:
+//
+//   * Uniform       — random distinct keys.
+//   * Sorted        — already in order (best case for scans, stresses pivot
+//                     degeneracy in selection).
+//   * Reverse       — descending.
+//   * FewDistinct   — d distinct keys with payload tie-breaking (duplicate
+//                     torture; the paper assumes distinctness, the library
+//                     handles ties through the total order on Record).
+//   * OrganPipe     — ascending then descending.
+//   * Zipfian       — heavily skewed key frequencies.
+//   * BlockStriped  — the lower-bound family Π_hard of §2.1: element i of
+//                     every block is smaller than element j>i of every block;
+//                     within a stripe, order is random.  Worst case for
+//                     anything that hopes blocks arrive pre-sorted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/record.hpp"
+
+namespace emsplit {
+
+enum class Workload {
+  kUniform,
+  kSorted,
+  kReverse,
+  kFewDistinct,
+  kOrganPipe,
+  kZipfian,
+  kBlockStriped,
+};
+
+/// All shapes, for parameterized sweeps.
+[[nodiscard]] const std::vector<Workload>& all_workloads();
+
+[[nodiscard]] std::string to_string(Workload w);
+
+/// Generate `n` records of the given shape.
+///
+/// `block_records` is only used by kBlockStriped (stripe width = the device
+/// block size in records); other shapes ignore it.  `distinct_keys` is only
+/// used by kFewDistinct / kZipfian.  Every generator is deterministic in
+/// `seed`.
+[[nodiscard]] std::vector<Record> make_workload(Workload w, std::size_t n,
+                                                std::uint64_t seed,
+                                                std::size_t block_records = 64,
+                                                std::size_t distinct_keys = 16);
+
+}  // namespace emsplit

@@ -1,0 +1,169 @@
+// Tests for the application layer (histogram, load balancing) and the
+// sort-based baselines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/histogram.hpp"
+#include "apps/load_balance.hpp"
+#include "baselines/sort_baseline.hpp"
+#include "core/verify.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "util/workload.hpp"
+
+namespace emsplit {
+namespace {
+
+using testutil::EmEnv;
+
+TEST(HistogramTest, ExactEquiDepthBucketsBalanced) {
+  EmEnv env(256, 96);
+  const std::size_t n = 32768;
+  auto host = make_workload(Workload::kUniform, n, 3);
+  auto data = materialize<Record>(env.ctx, host);
+  auto h = build_equi_depth_histogram<Record>(env.ctx, data, 32, 0.0);
+  ASSERT_EQ(h.buckets(), 32u);
+  EXPECT_EQ(h.total, n);
+  for (const auto s : h.sizes) EXPECT_EQ(s, n / 32);
+}
+
+TEST(HistogramTest, SlackLoosensBucketsAndCutsCost) {
+  EmEnv env(256, 96);
+  const std::size_t n = 65536;
+  auto host = make_workload(Workload::kUniform, n, 4);
+  auto data = materialize<Record>(env.ctx, host);
+
+  env.dev.reset_stats();
+  auto exact = build_equi_depth_histogram<Record>(env.ctx, data, 64, 0.0);
+  const auto exact_ios = env.dev.stats().total();
+
+  env.dev.reset_stats();
+  auto loose = build_equi_depth_histogram<Record>(env.ctx, data, 64, 0.5);
+  const auto loose_ios = env.dev.stats().total();
+
+  const std::uint64_t target = n / 64;
+  for (const auto s : loose.sizes) {
+    EXPECT_GE(s, target / 2);
+    EXPECT_LE(s, 3 * target / 2 + 1);
+  }
+  // The relaxed build must not be more expensive (usually cheaper).
+  EXPECT_LE(loose_ios, exact_ios + 8) << "exact=" << exact_ios
+                                      << " loose=" << loose_ios;
+  (void)exact;
+}
+
+TEST(HistogramTest, RankAndRangeEstimatesWithinBucketError) {
+  EmEnv env(256, 96);
+  const std::size_t n = 20000;
+  auto host = make_workload(Workload::kUniform, n, 5);
+  auto data = materialize<Record>(env.ctx, host);
+  auto h = build_equi_depth_histogram<Record>(env.ctx, data, 50, 0.25);
+  auto sorted_ref = testutil::sorted_copy(host);
+  const std::uint64_t max_bucket =
+      *std::max_element(h.sizes.begin(), h.sizes.end());
+
+  SplitMix64 rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto idx = static_cast<std::size_t>(rng.next_below(n));
+    const Record x = sorted_ref[idx];
+    const auto est = h.estimate_rank(x);
+    const auto real = static_cast<std::uint64_t>(idx + 1);
+    const auto err = est > real ? est - real : real - est;
+    EXPECT_LE(err, max_bucket) << "rank estimate off by more than one bucket";
+  }
+}
+
+TEST(HistogramTest, RejectsBadParameters) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kUniform, 100, 5);
+  auto data = materialize<Record>(env.ctx, host);
+  EXPECT_THROW((void)build_equi_depth_histogram<Record>(env.ctx, data, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_equi_depth_histogram<Record>(env.ctx, data, 101),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)build_equi_depth_histogram<Record>(env.ctx, data, 10, -0.5),
+      std::invalid_argument);
+}
+
+TEST(LoadBalanceTest, PerfectBalance) {
+  EmEnv env(256, 96);
+  const std::size_t n = 16384;
+  auto host = make_workload(Workload::kZipfian, n, 6, 16, 64);
+  auto data = materialize<Record>(env.ctx, host);
+  auto plan = balance_load<Record>(env.ctx, data, 16, 0.0);
+  EXPECT_EQ(plan.min_load, n / 16);
+  EXPECT_EQ(plan.max_load, n / 16);
+  EXPECT_DOUBLE_EQ(plan.imbalance(), 1.0);
+}
+
+TEST(LoadBalanceTest, ToleranceRespectedAndCheaper) {
+  EmEnv env(256, 96);
+  const std::size_t n = 65536;
+  auto host = make_workload(Workload::kUniform, n, 7);
+  auto data = materialize<Record>(env.ctx, host);
+
+  env.dev.reset_stats();
+  auto strict = balance_load<Record>(env.ctx, data, 64, 0.0);
+  const auto strict_ios = env.dev.stats().total();
+
+  env.dev.reset_stats();
+  auto loose = balance_load<Record>(env.ctx, data, 64, 0.5);
+  const auto loose_ios = env.dev.stats().total();
+
+  EXPECT_LE(loose.imbalance(), 1.5 + 1e-6);
+  EXPECT_GE(loose.min_load, n / 64 / 2);
+  EXPECT_LE(loose_ios, strict_ios + 8);
+  (void)strict;
+}
+
+TEST(SortBaselineTest, MultiSelectMatchesOptimal) {
+  EmEnv env(256, 96);
+  auto host = make_workload(Workload::kUniform, 20000, 9);
+  auto input = materialize<Record>(env.ctx, host);
+  const std::vector<std::uint64_t> ranks{1, 7, 500, 9999, 20000};
+  auto a = sort_multi_select<Record>(env.ctx, input, ranks);
+  auto b = multi_select<Record>(env.ctx, input, ranks);
+  EXPECT_EQ(a, b);
+  auto c = naive_multi_select<Record>(env.ctx, input, ranks);
+  EXPECT_EQ(a, c);
+}
+
+TEST(SortBaselineTest, SplittersAndPartitioningAreValid) {
+  EmEnv env(256, 96);
+  const std::size_t n = 20000;
+  auto host = make_workload(Workload::kUniform, n, 10);
+  auto input = materialize<Record>(env.ctx, host);
+  const ApproxSpec spec{.k = 10, .a = 1000, .b = 3000};
+  auto s = sort_splitters<Record>(env.ctx, input, spec);
+  EXPECT_TRUE(verify_splitters<Record>(input, s, spec).ok);
+  auto p = sort_partitioning<Record>(env.ctx, input, spec);
+  EXPECT_TRUE(verify_partitioning<Record>(input, p.data, p.bounds, spec).ok);
+}
+
+TEST(SortBaselineTest, OptimalBeatsSortOnIos) {
+  // The headline comparison: two-sided splitters vs full sort, roomy [a,b].
+  // Geometry with several merge passes (N >> M, modest M/B) so the log gap
+  // the paper proves is visible through the constants.
+  EmEnv env(4096, 8);
+  const std::size_t n = 500000;
+  auto host = make_workload(Workload::kUniform, n, 11);
+  auto input = materialize<Record>(env.ctx, host);
+  const ApproxSpec spec{.k = 32, .a = 16, .b = n / 4};
+
+  env.dev.reset_stats();
+  auto fast = approx_splitters<Record>(env.ctx, input, spec);
+  const auto fast_ios = env.dev.stats().total();
+
+  env.dev.reset_stats();
+  auto slow = sort_splitters<Record>(env.ctx, input, spec);
+  const auto slow_ios = env.dev.stats().total();
+
+  EXPECT_LT(fast_ios, slow_ios) << "optimal should beat sorting";
+  EXPECT_TRUE(verify_splitters<Record>(input, fast, spec).ok);
+  (void)slow;
+}
+
+}  // namespace
+}  // namespace emsplit

@@ -1,0 +1,148 @@
+// Differential testing: randomized machine geometries, input shapes and
+// problem parameters for every algorithm, each checked against a host-side
+// oracle, the memory budget, and input immutability.  One seeded generator
+// per case keeps failures perfectly reproducible: the test name contains
+// everything needed to replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/api.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace emsplit {
+namespace {
+
+struct RandomConfig {
+  std::size_t block_bytes;
+  std::size_t mem_blocks;
+  Workload workload;
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+RandomConfig draw_config(std::uint64_t case_seed) {
+  SplitMix64 rng(case_seed * 0x9e3779b97f4a7c15ULL + 1);
+  const std::size_t block_choices[] = {128, 256, 1024, 4096};
+  RandomConfig c;
+  c.block_bytes = block_choices[rng.next_below(4)];
+  c.mem_blocks = 8u << rng.next_below(6);  // 8..256 blocks
+  const auto& shapes = all_workloads();
+  c.workload = shapes[rng.next_below(shapes.size())];
+  c.n = 64 + rng.next_below(50000);
+  c.seed = rng.next();
+  return c;
+}
+
+class DifferentialTest : public testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    cfg_ = draw_config(GetParam());
+    dev_ = std::make_unique<MemoryBlockDevice>(cfg_.block_bytes);
+    ctx_ = std::make_unique<Context>(*dev_, cfg_.mem_blocks * cfg_.block_bytes);
+    host_ = make_workload(cfg_.workload, cfg_.n, cfg_.seed,
+                          ctx_->block_records<Record>());
+    input_ = materialize<Record>(*ctx_, host_);
+    sorted_ = testutil::sorted_copy(host_);
+    rng_ = std::make_unique<SplitMix64>(cfg_.seed ^ 0xfeedULL);
+    ctx_->budget().reset_peak();
+  }
+
+  void TearDown() override {
+    EXPECT_LE(ctx_->budget().peak(), ctx_->budget().capacity())
+        << describe();
+    EXPECT_EQ(to_host(input_), host_) << "input mutated: " << describe();
+    input_.reset();
+    EXPECT_EQ(dev_->allocated_blocks(), 0u)
+        << "device blocks leaked: " << describe();
+  }
+
+  [[nodiscard]] std::string describe() const {
+    return "cfg{block=" + std::to_string(cfg_.block_bytes) +
+           " mem_blocks=" + std::to_string(cfg_.mem_blocks) + " workload=" +
+           to_string(cfg_.workload) + " n=" + std::to_string(cfg_.n) +
+           " seed=" + std::to_string(cfg_.seed) + "}";
+  }
+
+  /// A random feasible (K, a, b) for the current n.
+  [[nodiscard]] ApproxSpec random_spec() {
+    const std::uint64_t n = cfg_.n;
+    const std::uint64_t k = 2 + rng_->next_below(std::min<std::uint64_t>(
+                                    n / 2, 64));
+    const std::uint64_t a = rng_->next_below(n / k + 1);  // 0..floor(n/k)
+    const std::uint64_t bmin = (n + k - 1) / k;
+    const std::uint64_t b = bmin + rng_->next_below(n - bmin + 1);
+    return ApproxSpec{.k = k, .a = a, .b = b};
+  }
+
+  RandomConfig cfg_;
+  std::unique_ptr<MemoryBlockDevice> dev_;
+  std::unique_ptr<Context> ctx_;
+  std::vector<Record> host_;
+  std::vector<Record> sorted_;
+  EmVector<Record> input_;
+  std::unique_ptr<SplitMix64> rng_;
+};
+
+TEST_P(DifferentialTest, Sort) {
+  auto result = external_sort<Record>(*ctx_, input_);
+  EXPECT_EQ(to_host(result), sorted_) << describe();
+}
+
+TEST_P(DifferentialTest, MultiSelect) {
+  std::vector<std::uint64_t> ranks(1 + rng_->next_below(40));
+  for (auto& r : ranks) r = 1 + rng_->next_below(cfg_.n);
+  auto got = multi_select<Record>(*ctx_, input_, ranks);
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    EXPECT_EQ(got[i], sorted_[ranks[i] - 1])
+        << "rank " << ranks[i] << " " << describe();
+  }
+}
+
+TEST_P(DifferentialTest, MultiPartition) {
+  // Random strictly increasing split ranks.
+  std::vector<std::uint64_t> ranks;
+  for (std::uint64_t r = 1 + rng_->next_below(cfg_.n / 4 + 1); r < cfg_.n;
+       r += 1 + rng_->next_below(cfg_.n / 4 + 1)) {
+    ranks.push_back(r);
+  }
+  auto result = multi_partition<Record>(*ctx_, input_, ranks);
+  auto data = to_host(result.data);
+  for (std::size_t i = 0; i + 1 < result.bounds.size(); ++i) {
+    std::vector<Record> part(
+        data.begin() + static_cast<std::ptrdiff_t>(result.bounds[i]),
+        data.begin() + static_cast<std::ptrdiff_t>(result.bounds[i + 1]));
+    std::sort(part.begin(), part.end());
+    const std::vector<Record> expect(
+        sorted_.begin() + static_cast<std::ptrdiff_t>(result.bounds[i]),
+        sorted_.begin() + static_cast<std::ptrdiff_t>(result.bounds[i + 1]));
+    ASSERT_EQ(part, expect) << "partition " << i << " " << describe();
+  }
+}
+
+TEST_P(DifferentialTest, Splitters) {
+  const auto spec = random_spec();
+  auto splitters = approx_splitters<Record>(*ctx_, input_, spec);
+  auto check = verify_splitters<Record>(input_, splitters, spec);
+  EXPECT_TRUE(check.ok) << check.reason << " K=" << spec.k << " a=" << spec.a
+                        << " b=" << spec.b << " " << describe();
+}
+
+TEST_P(DifferentialTest, Partitioning) {
+  const auto spec = random_spec();
+  auto result = approx_partitioning<Record>(*ctx_, input_, spec);
+  auto check =
+      verify_partitioning<Record>(input_, result.data, result.bounds, spec);
+  EXPECT_TRUE(check.ok) << check.reason << " K=" << spec.k << " a=" << spec.a
+                        << " b=" << spec.b << " " << describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, DifferentialTest,
+                         testing::Range<std::uint64_t>(0, 48),
+                         [](const auto& ti) {
+                           return "case" + std::to_string(ti.param);
+                         });
+
+}  // namespace
+}  // namespace emsplit

@@ -1,0 +1,95 @@
+// Failure injection: device faults mid-algorithm must propagate as
+// DeviceFault, leak no memory budget, and leak no device blocks (strong
+// resource safety of the RAII layers).  Re-running after the fault clears
+// must succeed and produce correct output.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "test_helpers.hpp"
+
+namespace emsplit {
+namespace {
+
+using testutil::EmEnv;
+
+/// Run `op` with a fault armed after `after` I/Os; returns true if the fault
+/// fired.  Asserts that budget and device-block usage return to the
+/// pre-operation baseline either way.
+template <typename Op>
+bool run_with_fault(EmEnv& env, std::uint64_t after, Op&& op) {
+  const auto blocks_before = env.dev.allocated_blocks();
+  const auto mem_before = env.ctx.budget().used();
+  env.dev.arm_fault_after(after);
+  bool faulted = false;
+  try {
+    op();
+  } catch (const DeviceFault&) {
+    faulted = true;
+  }
+  env.dev.disarm_fault();
+  EXPECT_EQ(env.ctx.budget().used(), mem_before)
+      << "memory budget leaked (fault after " << after << " I/Os)";
+  EXPECT_EQ(env.dev.allocated_blocks(), blocks_before)
+      << "device blocks leaked (fault after " << after << " I/Os)";
+  return faulted;
+}
+
+class FaultSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultSweep, ExternalSortIsFaultSafe) {
+  EmEnv env(256, 8);
+  auto host = make_workload(Workload::kUniform, 20000, 1);
+  auto input = materialize<Record>(env.ctx, host);
+  run_with_fault(env, GetParam(), [&] {
+    auto sorted = external_sort<Record>(env.ctx, input);
+  });
+  // Afterwards the same operation succeeds and is correct.
+  auto sorted = external_sort<Record>(env.ctx, input);
+  EXPECT_TRUE(is_sorted_em(sorted));
+}
+
+TEST_P(FaultSweep, MultiSelectIsFaultSafe) {
+  EmEnv env(256, 96);
+  auto host = make_workload(Workload::kUniform, 20000, 2);
+  auto input = materialize<Record>(env.ctx, host);
+  auto sorted_ref = testutil::sorted_copy(host);
+  const std::vector<std::uint64_t> ranks{1, 5000, 10000, 19999};
+  run_with_fault(env, GetParam(), [&] {
+    auto got = multi_select<Record>(env.ctx, input, ranks);
+  });
+  auto got = multi_select<Record>(env.ctx, input, ranks);
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    EXPECT_EQ(got[i], testutil::rank_element(sorted_ref, ranks[i]));
+  }
+}
+
+TEST_P(FaultSweep, PartitioningIsFaultSafe) {
+  EmEnv env(256, 96);
+  auto host = make_workload(Workload::kUniform, 20000, 3);
+  auto input = materialize<Record>(env.ctx, host);
+  const ApproxSpec spec{.k = 16, .a = 100, .b = 5000};
+  run_with_fault(env, GetParam(), [&] {
+    auto r = approx_partitioning<Record>(env.ctx, input, spec);
+  });
+  auto r = approx_partitioning<Record>(env.ctx, input, spec);
+  EXPECT_TRUE(verify_partitioning<Record>(input, r.data, r.bounds, spec).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(AfterIos, FaultSweep,
+                         testing::Values(0, 1, 7, 100, 1000, 2500),
+                         [](const auto& ti) {
+                           return "io" + std::to_string(ti.param);
+                         });
+
+TEST(FaultSweepTest, FaultBeyondRunLengthDoesNotFire) {
+  EmEnv env(256, 96);
+  auto host = make_workload(Workload::kUniform, 5000, 4);
+  auto input = materialize<Record>(env.ctx, host);
+  const bool faulted = run_with_fault(env, 100'000'000, [&] {
+    auto s = external_sort<Record>(env.ctx, input);
+  });
+  EXPECT_FALSE(faulted);
+}
+
+}  // namespace
+}  // namespace emsplit

@@ -1,0 +1,53 @@
+// Shared helpers for algorithm tests: reference implementations computed
+// host-side on sorted copies, plus a standard test fixture environment.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "em/context.hpp"
+#include "em/stream.hpp"
+#include "util/record.hpp"
+#include "util/workload.hpp"
+
+namespace emsplit::testutil {
+
+/// Sorted copy of a host workload (the oracle for every rank question).
+inline std::vector<Record> sorted_copy(const std::vector<Record>& v) {
+  auto s = v;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+/// Element of 1-based rank `r` in the sorted reference.
+inline Record rank_element(const std::vector<Record>& sorted_ref,
+                           std::uint64_t r) {
+  return sorted_ref[r - 1];
+}
+
+/// Sizes of the buckets induced by sorted `splitters` over `sorted_ref`
+/// (bucket j = (s_{j-1}, s_j], with ±infinity at the ends).
+inline std::vector<std::size_t> bucket_sizes(
+    const std::vector<Record>& sorted_ref,
+    const std::vector<Record>& splitters) {
+  std::vector<std::size_t> sizes(splitters.size() + 1, 0);
+  std::size_t j = 0;
+  for (const auto& e : sorted_ref) {
+    while (j < splitters.size() && splitters[j] < e) ++j;
+    ++sizes[j];
+  }
+  return sizes;
+}
+
+/// A MemoryBlockDevice + Context pair with the given geometry, for concise
+/// test setup.  Block size is in bytes; memory in blocks.
+struct EmEnv {
+  explicit EmEnv(std::size_t block_bytes = 256, std::size_t mem_blocks = 16)
+      : dev(block_bytes), ctx(dev, mem_blocks * block_bytes) {}
+
+  MemoryBlockDevice dev;
+  Context ctx;
+};
+
+}  // namespace emsplit::testutil

@@ -1,0 +1,112 @@
+// Additional coverage for the application layer: histogram range estimates,
+// load-balance statistics, and the quantile sketch under adversarial order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/histogram.hpp"
+#include "apps/load_balance.hpp"
+#include "baselines/quantile_sketch.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace emsplit {
+namespace {
+
+using testutil::EmEnv;
+
+TEST(HistogramRangeTest, RangeEstimatesTrackTruth) {
+  EmEnv env(256, 96);
+  const std::size_t n = 30000;
+  auto host = make_workload(Workload::kUniform, n, 41);
+  auto data = materialize<Record>(env.ctx, host);
+  auto h = build_equi_depth_histogram<Record>(env.ctx, data, 60, 0.2);
+  auto sorted_ref = testutil::sorted_copy(host);
+  const std::uint64_t max_bucket =
+      *std::max_element(h.sizes.begin(), h.sizes.end());
+
+  SplitMix64 rng(42);
+  for (int t = 0; t < 100; ++t) {
+    auto i = static_cast<std::size_t>(rng.next_below(n));
+    auto j = static_cast<std::size_t>(rng.next_below(n));
+    if (j < i) std::swap(i, j);
+    const auto est = h.estimate_range(sorted_ref[i], sorted_ref[j]);
+    const auto real = static_cast<std::uint64_t>(j - i);
+    const auto err = est > real ? est - real : real - est;
+    EXPECT_LE(err, 2 * max_bucket) << "range (" << i << ", " << j << "]";
+  }
+  // Degenerate/inverted ranges estimate zero-ish.
+  EXPECT_EQ(h.estimate_range(sorted_ref[500], sorted_ref[500]), 0u);
+  EXPECT_EQ(h.estimate_range(sorted_ref[900], sorted_ref[100]), 0u);
+}
+
+TEST(HistogramRangeTest, SingleBucketHistogram) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kUniform, 500, 43);
+  auto data = materialize<Record>(env.ctx, host);
+  auto h = build_equi_depth_histogram<Record>(env.ctx, data, 1, 0.0);
+  EXPECT_EQ(h.buckets(), 1u);
+  EXPECT_TRUE(h.boundaries.empty());
+  EXPECT_EQ(h.sizes[0], 500u);
+}
+
+TEST(LoadBalanceTest, StatisticsMatchBounds) {
+  EmEnv env(256, 96);
+  const std::size_t n = 12000;
+  auto host = make_workload(Workload::kUniform, n, 44);
+  auto data = materialize<Record>(env.ctx, host);
+  auto plan = balance_load<Record>(env.ctx, data, 12, 0.25);
+  // min/max must equal the realized partition extremes.
+  std::uint64_t lo = ~0ULL, hi = 0, total = 0;
+  for (std::size_t i = 0; i < plan.assignment.partitions(); ++i) {
+    const auto s = plan.assignment.partition_size(i);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+    total += s;
+  }
+  EXPECT_EQ(plan.min_load, lo);
+  EXPECT_EQ(plan.max_load, hi);
+  EXPECT_EQ(total, n);
+  EXPECT_GE(plan.imbalance(), 1.0);
+  EXPECT_LE(plan.imbalance(), 1.25 + 1e-9);
+}
+
+TEST(LoadBalanceTest, RejectsBadParameters) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kUniform, 100, 45);
+  auto data = materialize<Record>(env.ctx, host);
+  EXPECT_THROW((void)balance_load<Record>(env.ctx, data, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)balance_load<Record>(env.ctx, data, 101),
+               std::invalid_argument);
+  EXPECT_THROW((void)balance_load<Record>(env.ctx, data, 10, -0.1),
+               std::invalid_argument);
+}
+
+class SketchOrderSweep : public testing::TestWithParam<Workload> {};
+
+TEST_P(SketchOrderSweep, RankErrorStableAcrossArrivalOrders) {
+  // Merge-collapse summaries can degrade on adversarial arrival orders;
+  // verify the error envelope holds on every shipped shape.
+  EmEnv env(4096, 64);
+  const std::size_t n = 100000;
+  auto host = make_workload(GetParam(), n, 46,
+                            env.ctx.block_records<Record>());
+  auto data = materialize<Record>(env.ctx, host);
+  auto sketch = sketch_vector<Record>(env.ctx, data);
+  auto sorted_ref = testutil::sorted_copy(host);
+  std::uint64_t worst = 0;
+  for (std::size_t i = 0; i < n; i += n / 53) {
+    const auto est = sketch.estimate_rank(sorted_ref[i]);
+    const auto real = static_cast<std::uint64_t>(i + 1);
+    worst = std::max(worst, est > real ? est - real : real - est);
+  }
+  EXPECT_LE(worst, n / 16) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, SketchOrderSweep,
+                         testing::ValuesIn(all_workloads()),
+                         [](const auto& ti) { return to_string(ti.param); });
+
+}  // namespace
+}  // namespace emsplit

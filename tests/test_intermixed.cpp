@@ -1,0 +1,187 @@
+// Tests for L-intermixed selection (paper §4.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "em/stream.hpp"
+#include "select/intermixed.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "util/workload.hpp"
+
+namespace emsplit {
+namespace {
+
+using testutil::EmEnv;
+
+/// Build an intermixed instance: `group_sizes[i]` random records per group,
+/// shuffled together; `ranks[i]` drawn uniformly in [1, size].  Returns the
+/// expected answers via a host-side oracle.
+struct Instance {
+  std::vector<Grouped<Record>> data;
+  std::vector<std::uint64_t> ranks;
+  std::vector<Record> expected;
+};
+
+Instance build_instance(const std::vector<std::size_t>& group_sizes,
+                        std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Instance inst;
+  std::vector<std::vector<Record>> per_group(group_sizes.size());
+  std::uint64_t uid = 0;
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    for (std::size_t j = 0; j < group_sizes[g]; ++j) {
+      const Record r{.key = rng.next_below(1000), .payload = uid++};
+      per_group[g].push_back(r);
+      inst.data.push_back(Grouped<Record>{r, g});
+    }
+  }
+  // Shuffle the combined dataset so groups are thoroughly intermixed.
+  for (std::size_t i = inst.data.size(); i > 1; --i) {
+    std::swap(inst.data[i - 1], inst.data[rng.next_below(i)]);
+  }
+  for (std::size_t g = 0; g < group_sizes.size(); ++g) {
+    auto& v = per_group[g];
+    std::sort(v.begin(), v.end());
+    const std::uint64_t t = 1 + rng.next_below(v.size());
+    inst.ranks.push_back(t);
+    inst.expected.push_back(v[t - 1]);
+  }
+  return inst;
+}
+
+TEST(IntermixedTest, SingleGroupIsPlainSelection) {
+  EmEnv env(256, 8);
+  auto inst = build_instance({777}, 1);
+  auto d = materialize<Grouped<Record>>(env.ctx, inst.data);
+  auto got =
+      intermixed_select<Record>(env.ctx, std::move(d), inst.ranks);
+  EXPECT_EQ(got, inst.expected);
+}
+
+TEST(IntermixedTest, InMemoryBaseCase) {
+  EmEnv env(256, 64);  // everything fits in M/3
+  auto inst = build_instance({5, 9, 1, 30}, 2);
+  auto d = materialize<Grouped<Record>>(env.ctx, inst.data);
+  auto got =
+      intermixed_select<Record>(env.ctx, std::move(d), inst.ranks);
+  EXPECT_EQ(got, inst.expected);
+}
+
+struct IntermixedCase {
+  std::size_t num_groups;
+  std::size_t per_group;   // base size; actual sizes vary around it
+  std::size_t mem_blocks;
+  std::uint64_t seed;
+};
+
+class IntermixedSweep : public testing::TestWithParam<IntermixedCase> {};
+
+TEST_P(IntermixedSweep, SelectsCorrectlyWithinBudgetAndLinearIos) {
+  const auto& p = GetParam();
+  EmEnv env(256, p.mem_blocks);
+  const std::size_t max_groups = intermixed_max_groups<Record>(env.ctx);
+  const std::size_t l = std::min(p.num_groups, max_groups);
+  ASSERT_GE(l, 1u);
+  SplitMix64 szrng(p.seed * 31 + 7);
+  std::vector<std::size_t> sizes(l);
+  for (auto& s : sizes) s = 1 + szrng.next_below(2 * p.per_group);
+  auto inst = build_instance(sizes, p.seed);
+
+  auto d = materialize<Grouped<Record>>(env.ctx, inst.data);
+  const auto d_records = inst.data.size();
+  env.dev.reset_stats();
+  env.ctx.budget().reset_peak();
+
+  auto got = intermixed_select<Record>(env.ctx, std::move(d), inst.ranks);
+
+  EXPECT_EQ(got, inst.expected);
+  EXPECT_LE(env.ctx.budget().peak(), env.ctx.budget().capacity());
+
+  // Lemma 6: O(|D|/B) I/Os.  Generous constant: every scan level reads and
+  // writes, levels sum geometrically, plus rank spills.
+  const double b = static_cast<double>(
+      env.ctx.block_records<Grouped<Record>>());
+  const double dsz = static_cast<double>(d_records);
+  EXPECT_LE(static_cast<double>(env.dev.stats().total()),
+            40.0 * (dsz / b + 1.0) + 64.0)
+      << "groups=" << l << " |D|=" << d_records;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntermixedSweep,
+    testing::Values(IntermixedCase{1, 2000, 8, 1},
+                    IntermixedCase{2, 1500, 96, 2},
+                    IntermixedCase{5, 800, 240, 3},
+                    IntermixedCase{10, 500, 480, 4},
+                    IntermixedCase{50, 300, 512, 5},
+                    IntermixedCase{100, 200, 1024, 6},
+                    IntermixedCase{4, 4000, 192, 7},
+                    IntermixedCase{200, 150, 2048, 8}),
+    [](const auto& ti) {
+      return "g" + std::to_string(ti.param.num_groups) + "_s" +
+             std::to_string(ti.param.per_group) + "_mb" +
+             std::to_string(ti.param.mem_blocks);
+    });
+
+TEST(IntermixedTest, ExtremeRanksMinAndMax) {
+  EmEnv env(256, 96);
+  SplitMix64 rng(9);
+  std::vector<Grouped<Record>> data;
+  std::vector<Record> lo(2), hi(2);
+  lo[0] = lo[1] = Record{.key = ~0ULL, .payload = ~0ULL};
+  for (std::size_t g = 0; g < 2; ++g) {
+    for (std::size_t j = 0; j < 3000; ++j) {
+      const Record r{.key = rng.next(), .payload = j};
+      data.push_back(Grouped<Record>{r, g});
+      lo[g] = std::min(lo[g], r);
+      hi[g] = std::max(hi[g], r);
+    }
+  }
+  auto d = materialize<Grouped<Record>>(env.ctx, data);
+  auto got = intermixed_select<Record>(env.ctx, std::move(d), {1, 3000});
+  EXPECT_EQ(got[0], lo[0]);
+  EXPECT_EQ(got[1], hi[1]);
+}
+
+TEST(IntermixedTest, RejectsTooManyGroups) {
+  EmEnv env(256, 4);
+  const std::size_t max_groups = intermixed_max_groups<Record>(env.ctx);
+  std::vector<Grouped<Record>> data;
+  std::vector<std::uint64_t> ranks(max_groups + 1, 1);
+  for (std::size_t g = 0; g <= max_groups; ++g) {
+    data.push_back(Grouped<Record>{Record{.key = g, .payload = 0}, g});
+  }
+  auto d = materialize<Grouped<Record>>(env.ctx, data);
+  EXPECT_THROW(
+      (void)intermixed_select<Record>(env.ctx, std::move(d), std::move(ranks)),
+      std::invalid_argument);
+}
+
+TEST(IntermixedTest, RejectsBadGroupIdAndBadRank) {
+  EmEnv env(256, 64);
+  {
+    std::vector<Grouped<Record>> data{
+        Grouped<Record>{Record{.key = 1, .payload = 0}, 5}};  // group 5, L=1
+    auto d = materialize<Grouped<Record>>(env.ctx, data);
+    EXPECT_THROW((void)intermixed_select<Record>(env.ctx, std::move(d), {1}),
+                 std::invalid_argument);
+  }
+  {
+    std::vector<Grouped<Record>> data{
+        Grouped<Record>{Record{.key = 1, .payload = 0}, 0}};
+    auto d = materialize<Grouped<Record>>(env.ctx, data);
+    EXPECT_THROW((void)intermixed_select<Record>(env.ctx, std::move(d), {2}),
+                 std::invalid_argument);
+  }
+}
+
+TEST(IntermixedTest, EmptyRankListReturnsEmpty) {
+  EmEnv env(256, 8);
+  EmVector<Grouped<Record>> d(env.ctx, 0);
+  auto got = intermixed_select<Record>(env.ctx, std::move(d), {});
+  EXPECT_TRUE(got.empty());
+}
+
+}  // namespace
+}  // namespace emsplit

@@ -1,0 +1,183 @@
+// Tests for multi-partition and precise K-partitioning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "em/stream.hpp"
+#include "partition/multi_partition.hpp"
+#include "sort/external_sort.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "util/workload.hpp"
+
+namespace emsplit {
+namespace {
+
+using testutil::EmEnv;
+
+/// Verify a multi-partition result against the sorted reference: partition i
+/// must hold exactly the records of (1-based) ranks (bounds[i], bounds[i+1]]
+/// as a set (order within a partition is free).
+void expect_valid_partitioning(const MultiPartitionResult<Record>& result,
+                               const std::vector<Record>& sorted_ref) {
+  auto data = to_host(result.data);
+  ASSERT_EQ(data.size(), sorted_ref.size());
+  ASSERT_GE(result.bounds.size(), 2u);
+  EXPECT_EQ(result.bounds.front(), 0u);
+  EXPECT_EQ(result.bounds.back(), sorted_ref.size());
+  for (std::size_t i = 0; i + 1 < result.bounds.size(); ++i) {
+    const auto lo = result.bounds[i];
+    const auto hi = result.bounds[i + 1];
+    std::vector<Record> part(data.begin() + static_cast<std::ptrdiff_t>(lo),
+                             data.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::sort(part.begin(), part.end());
+    const std::vector<Record> expect(
+        sorted_ref.begin() + static_cast<std::ptrdiff_t>(lo),
+        sorted_ref.begin() + static_cast<std::ptrdiff_t>(hi));
+    EXPECT_EQ(part, expect) << "partition " << i;
+  }
+}
+
+struct MpCase {
+  Workload workload;
+  std::size_t n;
+  std::size_t k;  // number of partitions (k-1 split ranks)
+  std::size_t mem_blocks;
+};
+
+class MultiPartitionTest : public testing::TestWithParam<MpCase> {};
+
+TEST_P(MultiPartitionTest, PartitionsCorrectlyWithinBudgetAndBound) {
+  const auto& p = GetParam();
+  EmEnv env(256, p.mem_blocks);
+  auto host = make_workload(p.workload, p.n, /*seed=*/31,
+                            env.ctx.block_records<Record>());
+  auto input = materialize<Record>(env.ctx, host);
+  auto sorted_ref = testutil::sorted_copy(host);
+
+  // Random distinct split ranks (equi-spaced with jitter).
+  SplitMix64 rng(p.k * 131 + 7);
+  std::vector<std::uint64_t> ranks;
+  for (std::size_t i = 1; i < p.k; ++i) {
+    const auto base = i * p.n / p.k;
+    const auto jitter = rng.next_below(std::max<std::uint64_t>(1, p.n / (4 * p.k)));
+    ranks.push_back(std::min<std::uint64_t>(p.n - 1, base + jitter));
+  }
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+
+  env.dev.reset_stats();
+  env.ctx.budget().reset_peak();
+  auto result = multi_partition<Record>(env.ctx, input, ranks);
+  EXPECT_LE(env.ctx.budget().peak(), env.ctx.budget().capacity());
+  expect_valid_partitioning(result, sorted_ref);
+
+  // Aggarwal–Vitter shape: O((N/B) lg_{M/B} K) with a generous constant.
+  const double n = static_cast<double>(p.n);
+  const double b = static_cast<double>(env.ctx.block_records<Record>());
+  const double m = static_cast<double>(env.ctx.mem_records<Record>());
+  const double k = static_cast<double>(ranks.size() + 1);
+  const double bound =
+      60.0 * (n / b + 1.0) * formulas::lg_clamped(m / b, k) + 64.0;
+  EXPECT_LE(static_cast<double>(env.dev.stats().total()), bound)
+      << "n=" << p.n << " k=" << p.k;
+
+  // Input untouched, scratch recycled.
+  EXPECT_EQ(to_host(input), host);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiPartitionTest,
+    testing::Values(MpCase{Workload::kUniform, 5000, 1, 8},
+                    MpCase{Workload::kUniform, 5000, 2, 8},
+                    MpCase{Workload::kUniform, 20000, 4, 8},
+                    MpCase{Workload::kUniform, 20000, 16, 8},
+                    MpCase{Workload::kUniform, 20000, 64, 16},
+                    MpCase{Workload::kUniform, 50000, 256, 16},
+                    MpCase{Workload::kSorted, 20000, 16, 8},
+                    MpCase{Workload::kReverse, 20000, 16, 8},
+                    MpCase{Workload::kFewDistinct, 20000, 16, 8},
+                    MpCase{Workload::kOrganPipe, 20000, 16, 8},
+                    MpCase{Workload::kZipfian, 20000, 16, 8},
+                    MpCase{Workload::kBlockStriped, 20000, 16, 8},
+                    MpCase{Workload::kUniform, 100000, 1024, 32}),
+    [](const auto& ti) {
+      return to_string(ti.param.workload) + "_n" + std::to_string(ti.param.n) +
+             "_k" + std::to_string(ti.param.k) + "_mb" +
+             std::to_string(ti.param.mem_blocks);
+    });
+
+TEST(MultiPartitionTest, SubRange) {
+  EmEnv env(256, 8);
+  auto host = make_workload(Workload::kUniform, 10000, 37);
+  auto input = materialize<Record>(env.ctx, host);
+  std::vector<Record> range(host.begin() + 1000, host.begin() + 9000);
+  auto sorted_ref = testutil::sorted_copy(range);
+  auto result =
+      multi_partition<Record>(env.ctx, input, 1000, 9000, {2000, 4000, 7999});
+  expect_valid_partitioning(result, sorted_ref);
+}
+
+TEST(MultiPartitionTest, RejectsInvalidRanks) {
+  EmEnv env(256, 8);
+  auto host = make_workload(Workload::kUniform, 100, 5);
+  auto input = materialize<Record>(env.ctx, host);
+  EXPECT_THROW((void)multi_partition<Record>(env.ctx, input, {50, 50}),
+               std::invalid_argument);
+  EXPECT_THROW((void)multi_partition<Record>(env.ctx, input, {60, 50}),
+               std::invalid_argument);
+  EXPECT_THROW((void)multi_partition<Record>(env.ctx, input, {0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)multi_partition<Record>(env.ctx, input, {100}),
+               std::invalid_argument);
+}
+
+TEST(MultiPartitionTest, EmptyRanksCopiesInput) {
+  EmEnv env(256, 8);
+  auto host = make_workload(Workload::kUniform, 500, 5);
+  auto input = materialize<Record>(env.ctx, host);
+  auto result = multi_partition<Record>(env.ctx, input, {});
+  EXPECT_EQ(result.bounds, (std::vector<std::uint64_t>{0, 500}));
+  auto data = to_host(result.data);
+  std::sort(data.begin(), data.end());
+  EXPECT_EQ(data, testutil::sorted_copy(host));
+}
+
+TEST(PrecisePartitionTest, EqualSizesAndSortReduction) {
+  EmEnv env(256, 16);
+  const std::size_t n = 4096, k = 64;
+  auto host = make_workload(Workload::kBlockStriped, n, 3,
+                            env.ctx.block_records<Record>());
+  auto input = materialize<Record>(env.ctx, host);
+  auto sorted_ref = testutil::sorted_copy(host);
+  auto result = precise_partition<Record>(env.ctx, input, k);
+  ASSERT_EQ(result.bounds.size(), k + 1);
+  for (std::size_t i = 0; i + 1 < result.bounds.size(); ++i) {
+    EXPECT_EQ(result.bounds[i + 1] - result.bounds[i], n / k);
+  }
+  expect_valid_partitioning(result, sorted_ref);
+}
+
+TEST(PrecisePartitionTest, RejectsNonDivisor) {
+  EmEnv env(256, 8);
+  auto host = make_workload(Workload::kUniform, 100, 5);
+  auto input = materialize<Record>(env.ctx, host);
+  EXPECT_THROW((void)precise_partition<Record>(env.ctx, input, 7),
+               std::invalid_argument);
+  EXPECT_THROW((void)precise_partition<Record>(env.ctx, input, 0),
+               std::invalid_argument);
+}
+
+TEST(MultiPartitionTest, DeviceSpaceFullyRecycled) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kUniform, 50000, 5);
+  auto input = materialize<Record>(env.ctx, host);
+  const auto baseline = env.dev.allocated_blocks();
+  {
+    auto result = precise_partition<Record>(env.ctx, input, 100);
+    EXPECT_LE(env.dev.allocated_blocks(), 2 * baseline + 128);
+  }
+  EXPECT_EQ(env.dev.allocated_blocks(), baseline);
+}
+
+}  // namespace
+}  // namespace emsplit

@@ -1,0 +1,179 @@
+// Tests for multi-selection (paper §4.2, Theorem 4) and single-rank
+// selection built on the base case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "em/stream.hpp"
+#include "select/multi_select.hpp"
+#include "sort/external_sort.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "util/workload.hpp"
+
+namespace emsplit {
+namespace {
+
+using testutil::EmEnv;
+
+TEST(SelectRankTest, MedianMinMaxOnUniform) {
+  EmEnv env(256, 8);
+  auto host = make_workload(Workload::kUniform, 9999, 13);
+  auto input = materialize<Record>(env.ctx, host);
+  auto sorted_ref = testutil::sorted_copy(host);
+  EXPECT_EQ(select_rank<Record>(env.ctx, input, 1), sorted_ref.front());
+  EXPECT_EQ(select_rank<Record>(env.ctx, input, 9999), sorted_ref.back());
+  EXPECT_EQ(select_rank<Record>(env.ctx, input, 5000), sorted_ref[4999]);
+}
+
+TEST(SelectRankTest, LinearIosForSingleRank) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kUniform, 50000, 13);
+  auto input = materialize<Record>(env.ctx, host);
+  env.dev.reset_stats();
+  (void)select_rank<Record>(env.ctx, input, 25000);
+  const double b = static_cast<double>(env.ctx.block_records<Record>());
+  const double n = 50000.0;
+  EXPECT_LE(static_cast<double>(env.dev.stats().total()), 40.0 * n / b + 64.0);
+}
+
+TEST(SelectRankTest, SubRangeSelection) {
+  EmEnv env(256, 8);
+  auto host = make_workload(Workload::kUniform, 10000, 17);
+  auto input = materialize<Record>(env.ctx, host);
+  std::vector<Record> mid(host.begin() + 3000, host.begin() + 8000);
+  std::sort(mid.begin(), mid.end());
+  EXPECT_EQ(select_rank<Record>(env.ctx, input, 3000, 8000, 42), mid[41]);
+}
+
+struct MsCase {
+  Workload workload;
+  std::size_t n;
+  std::size_t k;
+  std::size_t mem_blocks;
+  std::uint64_t seed;
+};
+
+class MultiSelectTest : public testing::TestWithParam<MsCase> {};
+
+TEST_P(MultiSelectTest, MatchesOracleWithinBudgetAndBound) {
+  const auto& p = GetParam();
+  EmEnv env(256, p.mem_blocks);
+  auto host = make_workload(p.workload, p.n, p.seed,
+                            env.ctx.block_records<Record>());
+  auto input = materialize<Record>(env.ctx, host);
+  auto sorted_ref = testutil::sorted_copy(host);
+
+  SplitMix64 rng(p.seed * 977 + 5);
+  std::vector<std::uint64_t> ranks(p.k);
+  for (auto& r : ranks) r = 1 + rng.next_below(p.n);
+
+  env.dev.reset_stats();
+  env.ctx.budget().reset_peak();
+  auto got = multi_select<Record>(env.ctx, input, ranks);
+  EXPECT_LE(env.ctx.budget().peak(), env.ctx.budget().capacity());
+
+  ASSERT_EQ(got.size(), p.k);
+  for (std::size_t i = 0; i < p.k; ++i) {
+    EXPECT_EQ(got[i], testutil::rank_element(sorted_ref, ranks[i]))
+        << "rank " << ranks[i];
+  }
+
+  // Theorem 4 shape: O((N/B) lg_{M/B}(K/B)) with a generous constant (the
+  // multi-partition detour costs several scans per level).
+  const double n = static_cast<double>(p.n);
+  const double b = static_cast<double>(env.ctx.block_records<Record>());
+  const double m = static_cast<double>(env.ctx.mem_records<Record>());
+  const double k = static_cast<double>(p.k);
+  const double bound =
+      60.0 * (n / b + 1.0) * formulas::lg_clamped(m / b, k / b) + 64.0;
+  EXPECT_LE(static_cast<double>(env.dev.stats().total()), bound)
+      << "n=" << p.n << " k=" << p.k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiSelectTest,
+    testing::Values(
+        MsCase{Workload::kUniform, 5000, 1, 8, 1},
+        MsCase{Workload::kUniform, 5000, 3, 8, 2},
+        MsCase{Workload::kUniform, 20000, 8, 96, 3},
+        MsCase{Workload::kUniform, 20000, 40, 480, 4},
+        // General case: K far beyond the group cap forces multi-partition.
+        MsCase{Workload::kUniform, 30000, 200, 96, 5},
+        MsCase{Workload::kUniform, 30000, 1000, 96, 6},
+        MsCase{Workload::kSorted, 20000, 100, 96, 7},
+        MsCase{Workload::kReverse, 20000, 100, 96, 8},
+        MsCase{Workload::kFewDistinct, 20000, 100, 96, 9},
+        MsCase{Workload::kOrganPipe, 20000, 100, 96, 10},
+        MsCase{Workload::kZipfian, 20000, 100, 96, 11},
+        MsCase{Workload::kBlockStriped, 20000, 100, 96, 12},
+        MsCase{Workload::kUniform, 100000, 5000, 128, 13}),
+    [](const auto& ti) {
+      return to_string(ti.param.workload) + "_n" + std::to_string(ti.param.n) +
+             "_k" + std::to_string(ti.param.k) + "_mb" +
+             std::to_string(ti.param.mem_blocks);
+    });
+
+TEST(MultiSelectTest, DuplicateAndUnsortedRanksReturnInQueryOrder) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kUniform, 4000, 3);
+  auto input = materialize<Record>(env.ctx, host);
+  auto sorted_ref = testutil::sorted_copy(host);
+  std::vector<std::uint64_t> ranks{3999, 17, 17, 1, 2000, 17};
+  auto got = multi_select<Record>(env.ctx, input, ranks);
+  ASSERT_EQ(got.size(), ranks.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    EXPECT_EQ(got[i], testutil::rank_element(sorted_ref, ranks[i]));
+  }
+}
+
+TEST(MultiSelectTest, AllRanksEqualsSorting) {
+  EmEnv env(256, 96);
+  const std::size_t n = 2000;
+  auto host = make_workload(Workload::kUniform, n, 4);
+  auto input = materialize<Record>(env.ctx, host);
+  std::vector<std::uint64_t> ranks(n);
+  for (std::size_t i = 0; i < n; ++i) ranks[i] = i + 1;
+  auto got = multi_select<Record>(env.ctx, input, ranks);
+  EXPECT_EQ(got, testutil::sorted_copy(host));
+}
+
+TEST(MultiSelectTest, RejectsOutOfRangeRanks) {
+  EmEnv env(256, 8);
+  auto host = make_workload(Workload::kUniform, 100, 5);
+  auto input = materialize<Record>(env.ctx, host);
+  EXPECT_THROW((void)multi_select<Record>(env.ctx, input, {0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)multi_select<Record>(env.ctx, input, {101}),
+               std::invalid_argument);
+}
+
+TEST(MultiSelectTest, EmptyRankList) {
+  EmEnv env(256, 8);
+  auto host = make_workload(Workload::kUniform, 100, 5);
+  auto input = materialize<Record>(env.ctx, host);
+  EXPECT_TRUE(multi_select<Record>(env.ctx, input, {}).empty());
+}
+
+TEST(MultiSelectTest, RankEqualToNInGeneralCase) {
+  // Rank n as the last pivot candidate exercises the dropped-pivot path.
+  EmEnv env(256, 96);
+  const std::size_t n = 30000;
+  auto host = make_workload(Workload::kUniform, n, 6);
+  auto input = materialize<Record>(env.ctx, host);
+  auto sorted_ref = testutil::sorted_copy(host);
+  const std::size_t m = intermixed_max_groups<Record>(env.ctx);
+  // Build ranks so that rank n lands exactly at a pivot index (i*m - 1).
+  std::vector<std::uint64_t> ranks;
+  for (std::size_t i = 0; i < 2 * m; ++i) {
+    ranks.push_back(i + 1);  // 1..2m
+  }
+  ranks[2 * m - 1] = n;  // the 2m-th unique rank is n
+  auto got = multi_select<Record>(env.ctx, input, ranks);
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    EXPECT_EQ(got[i], testutil::rank_element(sorted_ref, ranks[i]));
+  }
+}
+
+}  // namespace
+}  // namespace emsplit

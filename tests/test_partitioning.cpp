@@ -1,0 +1,199 @@
+// Tests for approximate K-partitioning (paper §5.2, Theorem 6) and the §3
+// reduction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/partitioning.hpp"
+#include "core/verify.hpp"
+#include "partition/reduction.hpp"
+#include "test_helpers.hpp"
+#include "util/workload.hpp"
+
+namespace emsplit {
+namespace {
+
+using testutil::EmEnv;
+
+struct PaCase {
+  Workload workload;
+  std::size_t n;
+  std::uint64_t k;
+  std::uint64_t a;
+  std::uint64_t b;  // ~0ULL means right-grounded (clamped to n)
+  std::size_t mem_blocks;
+};
+
+class ApproxPartitioningTest : public testing::TestWithParam<PaCase> {};
+
+TEST_P(ApproxPartitioningTest, OutputSatisfiesDefinitionWithinBudget) {
+  const auto& p = GetParam();
+  EmEnv env(256, p.mem_blocks);
+  auto host = make_workload(p.workload, p.n, /*seed=*/91,
+                            env.ctx.block_records<Record>());
+  auto input = materialize<Record>(env.ctx, host);
+  const ApproxSpec spec{.k = p.k, .a = p.a,
+                        .b = std::min<std::uint64_t>(p.b, p.n)};
+
+  env.ctx.budget().reset_peak();
+  auto result = approx_partitioning<Record>(env.ctx, input, spec);
+  EXPECT_LE(env.ctx.budget().peak(), env.ctx.budget().capacity());
+
+  auto check =
+      verify_partitioning<Record>(input, result.data, result.bounds, spec);
+  EXPECT_TRUE(check.ok) << check.reason << " (workload "
+                        << to_string(p.workload) << ", K=" << p.k
+                        << ", a=" << p.a << ", b=" << spec.b << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ApproxPartitioningTest,
+    testing::Values(
+        // Right-grounded.
+        PaCase{Workload::kUniform, 40000, 16, 10, ~0ULL, 96},
+        PaCase{Workload::kUniform, 40000, 64, 100, ~0ULL, 96},
+        PaCase{Workload::kUniform, 40000, 16, 2500, ~0ULL, 96},  // aK = N
+        // Left-grounded.
+        PaCase{Workload::kUniform, 40000, 16, 0, 2500, 96},
+        PaCase{Workload::kUniform, 40000, 16, 0, 6000, 96},
+        PaCase{Workload::kUniform, 40000, 16, 0, 20000, 96},  // empty pads
+        // Two-sided guard regimes.
+        PaCase{Workload::kUniform, 40000, 16, 2000, 3000, 96},
+        PaCase{Workload::kUniform, 40000, 16, 100, 4000, 96},
+        // Two-sided general regime.
+        PaCase{Workload::kUniform, 40000, 16, 100, 6000, 96},
+        PaCase{Workload::kUniform, 40000, 64, 10, 2000, 96},
+        // Workload shapes through the general path.
+        PaCase{Workload::kSorted, 30000, 16, 100, 5000, 96},
+        PaCase{Workload::kReverse, 30000, 16, 100, 5000, 96},
+        PaCase{Workload::kFewDistinct, 30000, 16, 100, 5000, 96},
+        PaCase{Workload::kOrganPipe, 30000, 16, 100, 5000, 96},
+        PaCase{Workload::kZipfian, 30000, 16, 100, 5000, 96},
+        PaCase{Workload::kBlockStriped, 30000, 16, 100, 5000, 96},
+        // Perfectly balanced (a = b = N/K).
+        PaCase{Workload::kUniform, 32768, 32, 1024, 1024, 96},
+        // Extremes.
+        PaCase{Workload::kUniform, 10000, 1, 10, 10000, 96},
+        PaCase{Workload::kUniform, 10000, 2, 10, 9000, 96},
+        PaCase{Workload::kUniform, 30000, 500, 10, 30000, 128},
+        // Odd geometries: the 6-block minimum, striped adversary.
+        PaCase{Workload::kBlockStriped, 20000, 8, 50, 10000, 6},
+        PaCase{Workload::kZipfian, 20000, 32, 0, 1250, 6}),
+    [](const auto& ti) {
+      return to_string(ti.param.workload) + "_n" + std::to_string(ti.param.n) +
+             "_k" + std::to_string(ti.param.k) + "_a" +
+             std::to_string(ti.param.a) + "_b" +
+             (ti.param.b == ~0ULL ? std::string("N")
+                                  : std::to_string(ti.param.b));
+    });
+
+TEST(ApproxPartitioningTest, KBeyondNWithZeroA) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kUniform, 100, 5);
+  auto input = materialize<Record>(env.ctx, host);
+  const ApproxSpec spec{.k = 150, .a = 0, .b = 100};
+  auto result = approx_partitioning<Record>(env.ctx, input, spec);
+  auto check =
+      verify_partitioning<Record>(input, result.data, result.bounds, spec);
+  EXPECT_TRUE(check.ok) << check.reason;
+  EXPECT_THROW((void)approx_partitioning<Record>(env.ctx, input,
+                                                 {.k = 150, .a = 1, .b = 100}),
+               std::invalid_argument);
+}
+
+TEST(ApproxPartitioningTest, RightGroundedReadsLittleBeyondOneScan) {
+  EmEnv env(256, 64);
+  const std::size_t n = 100000;
+  auto host = make_workload(Workload::kUniform, n, 5);
+  auto input = materialize<Record>(env.ctx, host);
+  const ApproxSpec spec{.k = 8, .a = 16, .b = n};
+  env.dev.reset_stats();
+  auto result = approx_partitioning<Record>(env.ctx, input, spec);
+  // Ω(N/B) is unavoidable (every element must be seen and placed), but the
+  // total should stay within a small constant of the scan bound since the
+  // multi-partition work touches only aK = 128 records.
+  const auto scan = n / env.ctx.block_records<Record>();
+  EXPECT_LE(env.dev.stats().total(), 30 * scan);
+  auto check =
+      verify_partitioning<Record>(input, result.data, result.bounds, spec);
+  EXPECT_TRUE(check.ok) << check.reason;
+}
+
+TEST(ReductionTest, PreciseViaApproximateMatchesOracle) {
+  EmEnv env(256, 96);
+  const std::size_t n = 32768;
+  const std::uint64_t b = 1024;
+  auto host = make_workload(Workload::kUniform, n, 5,
+                            env.ctx.block_records<Record>());
+  auto input = materialize<Record>(env.ctx, host);
+  auto result = precise_partition_via_reduction<Record>(env.ctx, input, b);
+  const ApproxSpec exact{.k = n / b, .a = b, .b = b};
+  auto check =
+      verify_partitioning<Record>(input, result.data, result.bounds, exact);
+  EXPECT_TRUE(check.ok) << check.reason;
+}
+
+TEST(ReductionTest, StitchCostIsLinearOnTopOfApproximate) {
+  EmEnv env(256, 96);
+  const std::size_t n = 65536;
+  const std::uint64_t b = 256;
+  auto host = make_workload(Workload::kUniform, n, 7);
+  auto input = materialize<Record>(env.ctx, host);
+
+  env.dev.reset_stats();
+  auto approx = approx_partitioning<Record>(env.ctx, input,
+                                            {.k = n / b, .a = 0, .b = b});
+  const auto approx_ios = env.dev.stats().total();
+
+  env.dev.reset_stats();
+  auto precise = precise_partition_via_reduction<Record>(env.ctx, input, b);
+  const auto total_ios = env.dev.stats().total();
+
+  // F(N,K,b) + O(N/B): the reduction's overhead beyond the approximate call
+  // is a constant number of scans.
+  const auto scan = n / env.ctx.block_records<Record>();
+  EXPECT_LE(total_ios, approx_ios + 20 * scan)
+      << "approx=" << approx_ios << " total=" << total_ios;
+}
+
+TEST(ReductionTest, RejectsNonDivisor) {
+  EmEnv env(256, 8);
+  auto host = make_workload(Workload::kUniform, 100, 5);
+  auto input = materialize<Record>(env.ctx, host);
+  EXPECT_THROW((void)precise_partition_via_reduction<Record>(env.ctx, input, 7),
+               std::invalid_argument);
+}
+
+TEST(VerifyPartitioningTest, DetectsBadAnswers) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kSorted, 100, 5);
+  auto input = materialize<Record>(env.ctx, host);
+  const ApproxSpec spec{.k = 4, .a = 20, .b = 30};
+
+  // A correct answer (input is sorted, so identity partitioning works).
+  std::vector<std::uint64_t> good{0, 25, 50, 75, 100};
+  EXPECT_TRUE(verify_partitioning<Record>(input, input, good, spec).ok);
+
+  // Size violations.
+  EXPECT_FALSE(verify_partitioning<Record>(
+                   input, input, {0, 10, 50, 75, 100}, spec)
+                   .ok);
+  // Wrong bound count.
+  EXPECT_FALSE(
+      verify_partitioning<Record>(input, input, {0, 50, 100}, spec).ok);
+  // Order violation: swap two blocks of the data.
+  auto shuffled = host;
+  std::swap_ranges(shuffled.begin(), shuffled.begin() + 25,
+                   shuffled.begin() + 50);
+  auto bad_data = materialize<Record>(env.ctx, shuffled);
+  EXPECT_FALSE(verify_partitioning<Record>(input, bad_data, good, spec).ok);
+  // Not a permutation.
+  auto dropped = host;
+  dropped[3] = dropped[4];
+  auto dup_data = materialize<Record>(env.ctx, dropped);
+  auto r = verify_partitioning<Record>(input, dup_data, good, spec);
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace emsplit

@@ -1,0 +1,200 @@
+// Tests for the sampled-splitters variant, the quantile sketch baseline and
+// the duplicate-key adapter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/quantile_sketch.hpp"
+#include "select/multi_select.hpp"
+#include "select/sampled_splitters.hpp"
+#include "test_helpers.hpp"
+#include "util/distinct_adapter.hpp"
+#include "util/rng.hpp"
+#include "util/workload.hpp"
+
+namespace emsplit {
+namespace {
+
+using testutil::EmEnv;
+
+// ---------------------------------------------------------------------------
+// sampled_splitters
+// ---------------------------------------------------------------------------
+
+class SampledSplittersTest : public testing::TestWithParam<Workload> {};
+
+TEST_P(SampledSplittersTest, OneScanAndReasonableBuckets) {
+  EmEnv env(256, 16);
+  const std::size_t n = 40000;
+  auto host = make_workload(GetParam(), n, 5, env.ctx.block_records<Record>());
+  auto input = materialize<Record>(env.ctx, host);
+  env.dev.reset_stats();
+  auto result = sampled_splitters<Record>(env.ctx, input, /*seed=*/77);
+  // Exactly one read-only scan.
+  EXPECT_EQ(env.dev.stats().writes, 0u);
+  EXPECT_EQ(env.dev.stats().reads,
+            (n + env.ctx.block_records<Record>() - 1) /
+                env.ctx.block_records<Record>());
+  EXPECT_TRUE(std::is_sorted(result.splitters.begin(), result.splitters.end()));
+  EXPECT_LE(result.splitters.size(), env.ctx.mem_records<Record>() / 4);
+
+  auto sorted_ref = testutil::sorted_copy(host);
+  const auto sizes = testutil::bucket_sizes(sorted_ref, result.splitters);
+  const auto max_bucket = *std::max_element(sizes.begin(), sizes.end());
+  // The whp bound holds on every workload we ship (seeds are fixed).
+  EXPECT_LE(max_bucket, result.bucket_bound) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, SampledSplittersTest,
+                         testing::ValuesIn(all_workloads()),
+                         [](const auto& ti) { return to_string(ti.param); });
+
+TEST(SampledSplittersTest, DeterministicInSeed) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kUniform, 10000, 6);
+  auto input = materialize<Record>(env.ctx, host);
+  auto a = sampled_splitters<Record>(env.ctx, input, 1);
+  auto b = sampled_splitters<Record>(env.ctx, input, 1);
+  auto c = sampled_splitters<Record>(env.ctx, input, 2);
+  EXPECT_EQ(a.splitters, b.splitters);
+  EXPECT_NE(a.splitters, c.splitters);
+}
+
+TEST(SampledSplittersTest, TinyInputsAndEmpty) {
+  EmEnv env(256, 32);
+  {
+    EmVector<Record> empty(env.ctx, 0);
+    auto r = sampled_splitters<Record>(env.ctx, empty, 3);
+    EXPECT_TRUE(r.splitters.empty());
+  }
+  auto host = make_workload(Workload::kUniform, 10, 7);
+  auto input = materialize<Record>(env.ctx, host);
+  auto r = sampled_splitters<Record>(env.ctx, input, 3);
+  EXPECT_EQ(r.splitters.size(), 10u);  // reservoir keeps everything
+  EXPECT_EQ(r.bucket_bound, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// QuantileSketch
+// ---------------------------------------------------------------------------
+
+TEST(QuantileSketchTest, ExactWhileEverythingFitsOneBuffer) {
+  EmEnv env(256, 64);
+  QuantileSketch<Record> sketch(env.ctx, 256);
+  std::vector<Record> host;
+  for (std::size_t i = 0; i < 200; ++i) {
+    host.push_back(Record{.key = 1000 - i, .payload = i});
+    sketch.insert(host.back());
+  }
+  auto sorted_ref = testutil::sorted_copy(host);
+  for (std::size_t i = 0; i < 200; i += 17) {
+    EXPECT_EQ(sketch.estimate_rank(sorted_ref[i]), i + 1);
+  }
+}
+
+TEST(QuantileSketchTest, RankErrorBoundedAfterCollapses) {
+  EmEnv env(4096, 64);
+  const std::size_t n = 200000;
+  auto host = make_workload(Workload::kUniform, n, 8);
+  auto input = materialize<Record>(env.ctx, host);
+  env.dev.reset_stats();
+  auto sketch = sketch_vector<Record>(env.ctx, input);
+  // One scan, no writes.
+  EXPECT_EQ(env.dev.stats().writes, 0u);
+  ASSERT_EQ(sketch.count(), n);
+
+  auto sorted_ref = testutil::sorted_copy(host);
+  std::uint64_t worst = 0;
+  for (std::size_t i = 0; i < n; i += n / 97) {
+    const auto est = sketch.estimate_rank(sorted_ref[i]);
+    const auto real = static_cast<std::uint64_t>(i + 1);
+    worst = std::max(worst, est > real ? est - real : real - est);
+  }
+  // Generous envelope: a few percent of N for this memory/size ratio.
+  EXPECT_LE(worst, n / 20) << "worst rank error " << worst;
+}
+
+TEST(QuantileSketchTest, QuantilesAreRoughlyEquiDepth) {
+  EmEnv env(4096, 64);
+  const std::size_t n = 100000;
+  auto host = make_workload(Workload::kZipfian, n, 9, 256, 50000);
+  auto input = materialize<Record>(env.ctx, host);
+  auto sketch = sketch_vector<Record>(env.ctx, input);
+  const std::uint64_t parts = 20;
+  auto qs = sketch.quantiles(parts);
+  ASSERT_EQ(qs.size(), parts - 1);
+  EXPECT_TRUE(std::is_sorted(qs.begin(), qs.end()));
+  auto sorted_ref = testutil::sorted_copy(host);
+  auto sizes = testutil::bucket_sizes(sorted_ref, qs);
+  for (const auto s : sizes) {
+    EXPECT_GE(s, n / parts / 3);
+    EXPECT_LE(s, 3 * n / parts);
+  }
+}
+
+TEST(QuantileSketchTest, RejectsBadParameters) {
+  EmEnv env(256, 16);
+  EXPECT_THROW(QuantileSketch<Record>(env.ctx, 1), std::invalid_argument);
+  QuantileSketch<Record> s(env.ctx, 8);
+  s.insert(Record{.key = 1, .payload = 0});
+  EXPECT_THROW((void)s.quantiles(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// DistinctAdapter: selection and splitters over heavy duplicates of a type
+// whose own comparator has ties (raw uint64_t).
+// ---------------------------------------------------------------------------
+
+TEST(DistinctAdapterTest, TagUntagRoundTrip) {
+  EmEnv env(256, 16);
+  std::vector<std::uint64_t> host{5, 5, 5, 1, 1, 9};
+  auto input = materialize<std::uint64_t>(env.ctx, host);
+  auto tagged = tag_records<std::uint64_t>(env.ctx, input);
+  ASSERT_EQ(tagged.size(), host.size());
+  auto back = untag_records<std::uint64_t>(env.ctx, tagged);
+  EXPECT_EQ(to_host(back), host);
+  auto th = to_host(tagged);
+  for (std::size_t i = 0; i < th.size(); ++i) {
+    EXPECT_EQ(th[i].tag, i);
+    EXPECT_EQ(th[i].value, host[i]);
+  }
+}
+
+TEST(DistinctAdapterTest, SelectionOnMassiveDuplicates) {
+  EmEnv env(256, 96);
+  const std::size_t n = 20000;
+  SplitMix64 rng(11);
+  std::vector<std::uint64_t> host(n);
+  for (auto& v : host) v = rng.next_below(3);  // only 3 distinct keys!
+  auto input = materialize<std::uint64_t>(env.ctx, host);
+  auto tagged = tag_records<std::uint64_t>(env.ctx, input);
+
+  auto sorted_ref = host;
+  std::sort(sorted_ref.begin(), sorted_ref.end());
+  using TL = TaggedLess<std::uint64_t>;
+  for (const std::uint64_t r : {1ULL, 777ULL, 10000ULL, 19999ULL}) {
+    const auto got = multi_select<Tagged<std::uint64_t>, TL>(
+        env.ctx, tagged, {r}, TL{});
+    EXPECT_EQ(got[0].value, sorted_ref[r - 1]) << "rank " << r;
+  }
+}
+
+TEST(DistinctAdapterTest, AllEqualRecords) {
+  // The degenerate multiset: every record identical.  Without tags this
+  // would never shrink; with tags it is a plain total order.
+  EmEnv env(256, 96);
+  std::vector<std::uint64_t> host(5000, 42);
+  auto input = materialize<std::uint64_t>(env.ctx, host);
+  auto tagged = tag_records<std::uint64_t>(env.ctx, input);
+  using TL = TaggedLess<std::uint64_t>;
+  const auto got = multi_select<Tagged<std::uint64_t>, TL>(
+      env.ctx, tagged, {1, 2500, 5000}, TL{});
+  for (const auto& g : got) EXPECT_EQ(g.value, 42u);
+  // Stable semantics: rank i is the record from input position i-1.
+  EXPECT_EQ(got[0].tag, 0u);
+  EXPECT_EQ(got[1].tag, 2499u);
+  EXPECT_EQ(got[2].tag, 4999u);
+}
+
+}  // namespace
+}  // namespace emsplit

@@ -1,0 +1,197 @@
+// Tests for the loser tree and external merge sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "em/context.hpp"
+#include "em/stream.hpp"
+#include "sort/external_sort.hpp"
+#include "util/rng.hpp"
+#include "util/workload.hpp"
+
+namespace emsplit {
+namespace {
+
+constexpr std::size_t kBlockBytes = 256;  // 16 Records per block
+
+/// In-memory cursor over a sorted vector, for unit-testing the tree alone.
+class VecCursor {
+ public:
+  explicit VecCursor(std::vector<int> v) : v_(std::move(v)) {}
+  [[nodiscard]] bool done() const { return i_ == v_.size(); }
+  [[nodiscard]] const int& peek() const { return v_[i_]; }
+  void advance() { ++i_; }
+
+ private:
+  std::vector<int> v_;
+  std::size_t i_ = 0;
+};
+
+TEST(LoserTreeTest, MergesThreeSources) {
+  std::vector<VecCursor> cs;
+  cs.emplace_back(std::vector<int>{1, 4, 7});
+  cs.emplace_back(std::vector<int>{2, 5, 8});
+  cs.emplace_back(std::vector<int>{0, 3, 6, 9});
+  LoserTree<int, VecCursor> tree(std::move(cs));
+  std::vector<int> out;
+  while (!tree.done()) out.push_back(tree.next());
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(LoserTreeTest, HandlesEmptyAndSingletonSources) {
+  std::vector<VecCursor> cs;
+  cs.emplace_back(std::vector<int>{});
+  cs.emplace_back(std::vector<int>{5});
+  cs.emplace_back(std::vector<int>{});
+  cs.emplace_back(std::vector<int>{1, 9});
+  LoserTree<int, VecCursor> tree(std::move(cs));
+  std::vector<int> out;
+  while (!tree.done()) out.push_back(tree.next());
+  EXPECT_EQ(out, (std::vector<int>{1, 5, 9}));
+}
+
+TEST(LoserTreeTest, SingleSourcePassesThrough) {
+  std::vector<VecCursor> cs;
+  cs.emplace_back(std::vector<int>{3, 1, 2});  // not sorted: tree won't fix it
+  LoserTree<int, VecCursor> tree(std::move(cs));
+  std::vector<int> out;
+  while (!tree.done()) out.push_back(tree.next());
+  EXPECT_EQ(out, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(LoserTreeTest, AllSourcesEmpty) {
+  std::vector<VecCursor> cs;
+  cs.emplace_back(std::vector<int>{});
+  cs.emplace_back(std::vector<int>{});
+  LoserTree<int, VecCursor> tree(std::move(cs));
+  EXPECT_TRUE(tree.done());
+}
+
+TEST(LoserTreeTest, StableAcrossEqualKeys) {
+  // Equal keys are emitted in source order.
+  std::vector<VecCursor> cs;
+  cs.emplace_back(std::vector<int>{2, 2});
+  cs.emplace_back(std::vector<int>{2});
+  LoserTree<int, VecCursor> tree(std::move(cs));
+  EXPECT_EQ(tree.winner_index(), 0u);
+  (void)tree.next();
+  EXPECT_EQ(tree.winner_index(), 0u);
+  (void)tree.next();
+  EXPECT_EQ(tree.winner_index(), 1u);
+}
+
+TEST(LoserTreeTest, LargeFanInRandom) {
+  SplitMix64 rng(99);
+  std::vector<VecCursor> cs;
+  std::vector<int> all;
+  for (int s = 0; s < 37; ++s) {
+    std::vector<int> v(static_cast<std::size_t>(rng.next_below(50)));
+    for (auto& x : v) x = static_cast<int>(rng.next_below(1000));
+    std::sort(v.begin(), v.end());
+    all.insert(all.end(), v.begin(), v.end());
+    cs.emplace_back(std::move(v));
+  }
+  std::sort(all.begin(), all.end());
+  LoserTree<int, VecCursor> tree(std::move(cs));
+  std::vector<int> out;
+  while (!tree.done()) out.push_back(tree.next());
+  EXPECT_EQ(out, all);
+}
+
+// ---------------------------------------------------------------------------
+// External sort
+// ---------------------------------------------------------------------------
+
+struct SortCase {
+  Workload workload;
+  std::size_t n;
+  std::size_t mem_blocks;
+};
+
+class ExternalSortTest : public testing::TestWithParam<SortCase> {};
+
+TEST_P(ExternalSortTest, SortsAndStaysInBudgetAndBound) {
+  const auto& p = GetParam();
+  MemoryBlockDevice dev(kBlockBytes);
+  Context ctx(dev, p.mem_blocks * kBlockBytes);
+  auto host = make_workload(p.workload, p.n, /*seed=*/11,
+                            ctx.block_records<Record>());
+  auto input = materialize<Record>(ctx, host);
+  dev.reset_stats();
+  ctx.budget().reset_peak();
+
+  auto sorted = external_sort<Record>(ctx, input);
+
+  EXPECT_LE(ctx.budget().peak(), ctx.budget().capacity());
+  ASSERT_EQ(sorted.size(), p.n);
+  EXPECT_TRUE(is_sorted_em(sorted));
+  auto expect = host;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(to_host(sorted), expect);
+
+  // I/O bound: measured <= c * 2 * (N/B) * (1 + passes).
+  const double n = static_cast<double>(p.n);
+  const double b = static_cast<double>(ctx.block_records<Record>());
+  const double m = static_cast<double>(ctx.mem_records<Record>());
+  const double bound = 4.0 * (n / b + 1.0) *
+                       (1.0 + formulas::lg_clamped(m / b, n / m));
+  EXPECT_LE(static_cast<double>(dev.stats().total()), bound + 8.0)
+      << "N=" << p.n << " M/B=" << p.mem_blocks;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExternalSortTest,
+    testing::Values(
+        SortCase{Workload::kUniform, 0, 8}, SortCase{Workload::kUniform, 1, 8},
+        SortCase{Workload::kUniform, 15, 8},
+        SortCase{Workload::kUniform, 1000, 4},
+        SortCase{Workload::kUniform, 10000, 4},
+        SortCase{Workload::kUniform, 10000, 64},
+        SortCase{Workload::kSorted, 5000, 8},
+        SortCase{Workload::kReverse, 5000, 8},
+        SortCase{Workload::kFewDistinct, 5000, 8},
+        SortCase{Workload::kOrganPipe, 5000, 8},
+        SortCase{Workload::kZipfian, 5000, 8},
+        SortCase{Workload::kBlockStriped, 8192, 8},
+        SortCase{Workload::kUniform, 100000, 16}),
+    [](const auto& ti) {
+      return to_string(ti.param.workload) + "_n" +
+             std::to_string(ti.param.n) + "_mb" +
+             std::to_string(ti.param.mem_blocks);
+    });
+
+TEST(ExternalSortTest, CustomComparatorDescending) {
+  MemoryBlockDevice dev(kBlockBytes);
+  Context ctx(dev, 8 * kBlockBytes);
+  auto host = make_workload(Workload::kUniform, 2000, 5);
+  auto input = materialize<Record>(ctx, host);
+  auto sorted = external_sort<Record>(ctx, input, std::greater<Record>());
+  EXPECT_TRUE(is_sorted_em(sorted, std::greater<Record>()));
+}
+
+TEST(ExternalSortTest, InputVectorUntouched) {
+  MemoryBlockDevice dev(kBlockBytes);
+  Context ctx(dev, 8 * kBlockBytes);
+  auto host = make_workload(Workload::kUniform, 3000, 5);
+  auto input = materialize<Record>(ctx, host);
+  auto sorted = external_sort<Record>(ctx, input);
+  EXPECT_EQ(to_host(input), host);
+}
+
+TEST(ExternalSortTest, DeviceSpaceIsRecycled) {
+  MemoryBlockDevice dev(kBlockBytes);
+  Context ctx(dev, 8 * kBlockBytes);
+  auto host = make_workload(Workload::kUniform, 50000, 5);
+  auto input = materialize<Record>(ctx, host);
+  const auto input_blocks = dev.allocated_blocks();
+  {
+    auto sorted = external_sort<Record>(ctx, input);
+    // Live blocks: input + result (ping-pong scratch freed on the way).
+    EXPECT_LE(dev.allocated_blocks(), 2 * input_blocks + 2);
+  }
+  EXPECT_EQ(dev.allocated_blocks(), input_blocks);
+}
+
+}  // namespace
+}  // namespace emsplit

@@ -1,0 +1,222 @@
+// Tests for replacement-selection run formation, distribution sort, the
+// paged array, and streaming file import/export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "em/file_io.hpp"
+#include "em/paged_array.hpp"
+#include "sort/distribution_sort.hpp"
+#include "sort/external_sort.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "util/workload.hpp"
+
+namespace emsplit {
+namespace {
+
+using testutil::EmEnv;
+
+// ---------------------------------------------------------------------------
+// Replacement selection
+// ---------------------------------------------------------------------------
+
+class ReplacementSelectionTest : public testing::TestWithParam<Workload> {};
+
+TEST_P(ReplacementSelectionTest, SortsCorrectly) {
+  EmEnv env(256, 8);
+  auto host = make_workload(GetParam(), 20000, 3,
+                            env.ctx.block_records<Record>());
+  auto input = materialize<Record>(env.ctx, host);
+  env.ctx.budget().reset_peak();
+  auto sorted = external_sort<Record>(env.ctx, input, std::less<Record>(),
+                                      RunStrategy::kReplacementSelection);
+  EXPECT_LE(env.ctx.budget().peak(), env.ctx.budget().capacity());
+  EXPECT_EQ(to_host(sorted), testutil::sorted_copy(host));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, ReplacementSelectionTest,
+                         testing::ValuesIn(all_workloads()),
+                         [](const auto& ti) { return to_string(ti.param); });
+
+TEST(ReplacementSelectionTest, RunsAreLongerOnRandomInput) {
+  EmEnv env(256, 32);
+  const std::size_t n = 50000;
+  auto host = make_workload(Workload::kUniform, n, 4);
+  auto input = materialize<Record>(env.ctx, host);
+  auto [runs_a, off_a] = detail::form_runs<Record>(env.ctx, input,
+                                                   std::less<Record>());
+  auto [runs_b, off_b] = detail::form_runs_replacement<Record>(
+      env.ctx, input, std::less<Record>());
+  // Snow-plow should produce noticeably fewer runs: expected run length is
+  // 2 * heap entries = 2M * 16/24 = 4M/3 records vs M - 2B for chunks.
+  EXPECT_LT(off_b.size(), off_a.size());
+  EXPECT_LE(static_cast<double>(off_b.size() - 1),
+            0.85 * static_cast<double>(off_a.size() - 1));
+  // And every run is genuinely sorted.
+  for (std::size_t r = 0; r + 1 < off_b.size(); ++r) {
+    StreamReader<Record> reader(runs_b, off_b[r], off_b[r + 1]);
+    Record prev = reader.next();
+    while (!reader.done()) {
+      const Record cur = reader.next();
+      EXPECT_LE(prev, cur);
+      prev = cur;
+    }
+  }
+}
+
+TEST(ReplacementSelectionTest, SortedInputYieldsOneRun) {
+  EmEnv env(256, 8);
+  auto host = make_workload(Workload::kSorted, 30000, 5);
+  auto input = materialize<Record>(env.ctx, host);
+  auto [runs, offsets] = detail::form_runs_replacement<Record>(
+      env.ctx, input, std::less<Record>());
+  EXPECT_EQ(offsets.size(), 2u);  // a single run
+}
+
+// ---------------------------------------------------------------------------
+// Distribution sort
+// ---------------------------------------------------------------------------
+
+class DistributionSortTest : public testing::TestWithParam<Workload> {};
+
+TEST_P(DistributionSortTest, MatchesMergeSort) {
+  EmEnv env(256, 16);
+  auto host = make_workload(GetParam(), 30000, 6,
+                            env.ctx.block_records<Record>());
+  auto input = materialize<Record>(env.ctx, host);
+  env.ctx.budget().reset_peak();
+  auto sorted = distribution_sort<Record>(env.ctx, input);
+  EXPECT_LE(env.ctx.budget().peak(), env.ctx.budget().capacity());
+  EXPECT_EQ(to_host(sorted), testutil::sorted_copy(host));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, DistributionSortTest,
+                         testing::ValuesIn(all_workloads()),
+                         [](const auto& ti) { return to_string(ti.param); });
+
+TEST(DistributionSortTest, CostWithinSortBound) {
+  EmEnv env(256, 16);
+  const std::size_t n = 100000;
+  auto host = make_workload(Workload::kUniform, n, 7);
+  auto input = materialize<Record>(env.ctx, host);
+  env.dev.reset_stats();
+  auto sorted = distribution_sort<Record>(env.ctx, input);
+  const double b = static_cast<double>(env.ctx.block_records<Record>());
+  const double m = static_cast<double>(env.ctx.mem_records<Record>());
+  const double bound = 10.0 * (static_cast<double>(n) / b) *
+                       formulas::lg_clamped(m / b, static_cast<double>(n) / b);
+  EXPECT_LE(static_cast<double>(env.dev.stats().total()), bound);
+}
+
+// ---------------------------------------------------------------------------
+// PagedArray
+// ---------------------------------------------------------------------------
+
+TEST(PagedArrayTest, ReadWriteThroughAndFlush) {
+  EmEnv env(256, 16);
+  const std::size_t b = env.ctx.block_records<Record>();
+  auto host = make_workload(Workload::kSorted, 6 * b, 8);
+  auto vec = materialize<Record>(env.ctx, host);
+  {
+    PagedArray<Record> arr(vec, 2);
+    EXPECT_EQ(arr.get(0).key, 0u);
+    EXPECT_EQ(arr.get(5 * b).key, 5 * b);
+    arr.set(7, Record{.key = 777, .payload = 0});
+    arr.set(5 * b + 1, Record{.key = 888, .payload = 0});
+  }  // destructor flushes
+  auto all = to_host(vec);
+  EXPECT_EQ(all[7].key, 777u);
+  EXPECT_EQ(all[5 * b + 1].key, 888u);
+  EXPECT_EQ(all[8].key, 8u);  // neighbors intact
+}
+
+TEST(PagedArrayTest, LruEvictionCountsFaults) {
+  EmEnv env(256, 16);
+  const std::size_t b = env.ctx.block_records<Record>();
+  auto host = make_workload(Workload::kSorted, 4 * b, 9);
+  auto vec = materialize<Record>(env.ctx, host);
+  PagedArray<Record> arr(vec, 2);
+  env.dev.reset_stats();
+  (void)arr.get(0 * b);      // fault block 0         frames {0}
+  (void)arr.get(1 * b);      // fault block 1         frames {1, 0}
+  (void)arr.get(0 * b + 1);  // hit, touches block 0  frames {0, 1}
+  EXPECT_EQ(env.dev.stats().reads, 2u);
+  (void)arr.get(2 * b);  // fault block 2, evicts LRU block 1 (clean)
+  EXPECT_EQ(env.dev.stats().reads, 3u);
+  EXPECT_EQ(env.dev.stats().writes, 0u);
+  (void)arr.get(0 * b);  // still resident: the earlier touch saved it
+  EXPECT_EQ(env.dev.stats().reads, 3u);
+  arr.set(0, Record{});  // dirty block 0            frames {0, 2}
+  (void)arr.get(1 * b);  // fault block 1, evicts clean block 2
+  EXPECT_EQ(env.dev.stats().reads, 4u);
+  EXPECT_EQ(env.dev.stats().writes, 0u);
+  (void)arr.get(2 * b);  // fault block 2, evicts dirty block 0: write-back
+  EXPECT_EQ(env.dev.stats().reads, 5u);
+  EXPECT_EQ(env.dev.stats().writes, 1u);
+}
+
+TEST(PagedArrayTest, SequentialScanCostsOneScan) {
+  EmEnv env(256, 16);
+  const std::size_t n = 5000;
+  auto host = make_workload(Workload::kUniform, n, 10);
+  auto vec = materialize<Record>(env.ctx, host);
+  PagedArray<Record> arr(vec, 2);
+  env.dev.reset_stats();
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) sum += arr.get(i).key;
+  EXPECT_EQ(env.dev.stats().reads, vec.size_blocks());
+  EXPECT_GT(sum, 0u);
+}
+
+TEST(PagedArrayTest, BudgetChargesFrames) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kUniform, 100, 11);
+  auto vec = materialize<Record>(env.ctx, host);
+  const auto before = env.ctx.budget().used();
+  {
+    PagedArray<Record> arr(vec, 4);
+    EXPECT_EQ(env.ctx.budget().used(), before + 4 * 256);
+  }
+  EXPECT_EQ(env.ctx.budget().used(), before);
+  EXPECT_THROW(PagedArray<Record>(vec, 1000), BudgetExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// file_io
+// ---------------------------------------------------------------------------
+
+TEST(FileIoTest, ImportExportRoundTrip) {
+  EmEnv env(256, 16);
+  const std::string path = testing::TempDir() + "/emsplit_fileio_test.bin";
+  auto host = make_workload(Workload::kUniform, 3333, 12);
+  {
+    auto vec = materialize<Record>(env.ctx, host);
+    export_file<Record>(vec, path);
+  }
+  EXPECT_EQ(file_record_count<Record>(path), 3333u);
+  auto back = import_file<Record>(env.ctx, path);
+  EXPECT_EQ(to_host(back), host);
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, ErrorsAreClean) {
+  EmEnv env(256, 16);
+  EXPECT_THROW((void)import_file<Record>(env.ctx, "/nonexistent/nope.bin"),
+               std::runtime_error);
+  // A truncated file (not a whole record) is rejected.
+  const std::string path = testing::TempDir() + "/emsplit_fileio_bad.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[7] = {};
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)file_record_count<Record>(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace emsplit

@@ -1,0 +1,126 @@
+// Tests for the problem-spec layer, the bound formulas, and instantiation of
+// the algorithm stack over a second record type (raw uint64_t keys).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/api.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace emsplit {
+namespace {
+
+TEST(SpecTest, ValidationMatrix) {
+  // Feasibility is exactly a*K <= N <= b*K with K >= 1, a <= b.
+  EXPECT_NO_THROW(validate_spec(100, {.k = 10, .a = 10, .b = 10}));
+  EXPECT_NO_THROW(validate_spec(100, {.k = 10, .a = 0, .b = 100}));
+  EXPECT_NO_THROW(validate_spec(100, {.k = 1, .a = 100, .b = 100}));
+  EXPECT_THROW(validate_spec(100, {.k = 0, .a = 0, .b = 100}),
+               std::invalid_argument);
+  EXPECT_THROW(validate_spec(100, {.k = 10, .a = 11, .b = 100}),
+               std::invalid_argument);
+  EXPECT_THROW(validate_spec(100, {.k = 10, .a = 0, .b = 9}),
+               std::invalid_argument);
+  EXPECT_THROW(validate_spec(100, {.k = 10, .a = 20, .b = 10}),
+               std::invalid_argument);
+  // Overflow-hostile values must not wrap.
+  EXPECT_THROW(validate_spec(100, {.k = 1ULL << 40, .a = 1ULL << 40,
+                                   .b = 1ULL << 60}),
+               std::invalid_argument);
+}
+
+TEST(SpecTest, GroundingPredicates) {
+  const ApproxSpec right{.k = 4, .a = 5, .b = 1000};
+  EXPECT_TRUE(right.right_grounded(1000));
+  EXPECT_TRUE(right.right_grounded(500));
+  EXPECT_FALSE(right.right_grounded(2000));
+  EXPECT_FALSE(right.left_grounded());
+  const ApproxSpec left{.k = 4, .a = 0, .b = 600};
+  EXPECT_TRUE(left.left_grounded());
+}
+
+TEST(FormulasTest, LgClampedBehaviour) {
+  EXPECT_DOUBLE_EQ(formulas::lg_clamped(2.0, 8.0), 3.0);
+  EXPECT_DOUBLE_EQ(formulas::lg_clamped(32.0, 1.0), 1.0);   // clamps at 1
+  EXPECT_DOUBLE_EQ(formulas::lg_clamped(32.0, 0.5), 1.0);   // below 1 clamps
+  EXPECT_DOUBLE_EQ(formulas::lg_clamped(1.0, 100.0), 1.0);  // degenerate base
+  EXPECT_NEAR(formulas::lg_clamped(32.0, 1024.0), 2.0, 1e-12);
+}
+
+TEST(FormulasTest, SortIosMonotoneInN) {
+  double prev = 0;
+  for (double n : {1e4, 1e5, 1e6, 1e7}) {
+    const double v = formulas::sort_ios(n, 8192, 256);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The whole stack over plain uint64_t records (8-byte, no payload).
+// The comparator must still be a strict total order, so these workloads use
+// distinct keys.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> distinct_keys(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i * 2 + 1;
+  SplitMix64 rng(seed);
+  for (std::size_t i = n; i > 1; --i) std::swap(v[i - 1], v[rng.next_below(i)]);
+  return v;
+}
+
+TEST(Uint64StackTest, SortSelectSplitPartition) {
+  MemoryBlockDevice dev(256);
+  Context ctx(dev, 96 * 256);
+  const std::size_t n = 30000;
+  auto host = distinct_keys(n, 9);
+  auto input = materialize<std::uint64_t>(ctx, host);
+  auto sorted_host = host;
+  std::sort(sorted_host.begin(), sorted_host.end());
+
+  // Sort.
+  auto sorted = external_sort<std::uint64_t>(ctx, input);
+  EXPECT_EQ(to_host(sorted), sorted_host);
+
+  // Selection.
+  EXPECT_EQ(select_rank<std::uint64_t>(ctx, input, 12345),
+            sorted_host[12344]);
+  auto sel = multi_select<std::uint64_t>(ctx, input, {1, 15000, 30000});
+  EXPECT_EQ(sel[0], sorted_host[0]);
+  EXPECT_EQ(sel[1], sorted_host[14999]);
+  EXPECT_EQ(sel[2], sorted_host[29999]);
+
+  // Splitters.
+  const ApproxSpec spec{.k = 10, .a = 1000, .b = 6000};
+  auto splitters = approx_splitters<std::uint64_t>(ctx, input, spec);
+  EXPECT_TRUE(verify_splitters<std::uint64_t>(input, splitters, spec).ok);
+
+  // Partitioning.
+  auto part = approx_partitioning<std::uint64_t>(ctx, input, spec);
+  EXPECT_TRUE(
+      verify_partitioning<std::uint64_t>(input, part.data, part.bounds, spec)
+          .ok);
+}
+
+TEST(Uint64StackTest, CustomComparatorDescendingSelection) {
+  MemoryBlockDevice dev(256);
+  Context ctx(dev, 96 * 256);
+  const std::size_t n = 5000;
+  auto host = distinct_keys(n, 10);
+  auto input = materialize<std::uint64_t>(ctx, host);
+  auto sorted_host = host;
+  std::sort(sorted_host.begin(), sorted_host.end(), std::greater<>());
+  // Rank 1 under greater<> is the maximum.
+  EXPECT_EQ(
+      (select_rank<std::uint64_t, std::greater<std::uint64_t>>(ctx, input, 1)),
+      sorted_host[0]);
+  auto sel = multi_select<std::uint64_t, std::greater<std::uint64_t>>(
+      ctx, input, {100, 4000}, std::greater<std::uint64_t>());
+  EXPECT_EQ(sel[0], sorted_host[99]);
+  EXPECT_EQ(sel[1], sorted_host[3999]);
+}
+
+}  // namespace
+}  // namespace emsplit

@@ -1,0 +1,178 @@
+// Edge-case coverage: the verifiers' failure detectors, substrate corner
+// cases, and an end-to-end integration run on the real file-backed device.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/api.hpp"
+#include "test_helpers.hpp"
+
+namespace emsplit {
+namespace {
+
+using testutil::EmEnv;
+
+// ---------------------------------------------------------------------------
+// Verifier edge cases
+// ---------------------------------------------------------------------------
+
+TEST(VerifyEdgeTest, PartitioningNonMonotoneBounds) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kSorted, 100, 1);
+  auto input = materialize<Record>(env.ctx, host);
+  const ApproxSpec spec{.k = 3, .a = 0, .b = 100};
+  auto r = verify_partitioning<Record>(input, input, {0, 60, 40, 100}, spec);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("monotone"), std::string::npos);
+}
+
+TEST(VerifyEdgeTest, PartitioningEmptyPartitionsAreLegalWhenAIsZero) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kSorted, 100, 1);
+  auto input = materialize<Record>(env.ctx, host);
+  const ApproxSpec spec{.k = 4, .a = 0, .b = 100};
+  // Empty partitions at the front, middle and back.
+  EXPECT_TRUE(verify_partitioning<Record>(input, input, {0, 0, 50, 50, 100},
+                                          spec)
+                  .ok);
+  const ApproxSpec strict{.k = 4, .a = 1, .b = 100};
+  EXPECT_FALSE(verify_partitioning<Record>(input, input, {0, 0, 50, 50, 100},
+                                           strict)
+                   .ok);
+}
+
+TEST(VerifyEdgeTest, SplittersEqualPairRejected) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kSorted, 100, 1);
+  auto input = materialize<Record>(env.ctx, host);
+  const ApproxSpec spec{.k = 3, .a = 0, .b = 100};
+  std::vector<Record> dup{host[10], host[10]};
+  auto r = verify_splitters<Record>(input, dup, spec);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("increasing"), std::string::npos);
+}
+
+TEST(VerifyEdgeTest, BoundsMustCoverTheData) {
+  EmEnv env(256, 16);
+  auto host = make_workload(Workload::kSorted, 100, 1);
+  auto input = materialize<Record>(env.ctx, host);
+  const ApproxSpec spec{.k = 2, .a = 0, .b = 100};
+  EXPECT_FALSE(verify_partitioning<Record>(input, input, {0, 50, 99}, spec).ok);
+  EXPECT_FALSE(verify_partitioning<Record>(input, input, {1, 50, 100}, spec).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Substrate corner cases
+// ---------------------------------------------------------------------------
+
+TEST(SubstrateEdgeTest, RecordLargerThanBlockThrows) {
+  MemoryBlockDevice dev(8);  // 8-byte blocks
+  Context ctx(dev, 64);
+  EXPECT_THROW((void)ctx.block_records<Record>(), std::invalid_argument);
+  EXPECT_EQ(ctx.block_records<std::uint64_t>(), 1u);
+}
+
+TEST(SubstrateEdgeTest, ZeroCapacityVectorWorks) {
+  EmEnv env(256, 8);
+  EmVector<Record> v(env.ctx, 0);
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.size_blocks(), 0u);
+  StreamReader<Record> r(v);
+  EXPECT_TRUE(r.done());
+  StreamWriter<Record> w(v);
+  w.finish();
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(SubstrateEdgeTest, IoStatsStreamOutput) {
+  IoStats s{.reads = 3, .writes = 4};
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), "{reads=3, writes=4, total=7}");
+}
+
+TEST(SubstrateEdgeTest, RecordStreamOutput) {
+  std::ostringstream os;
+  os << Record{.key = 5, .payload = 9};
+  EXPECT_EQ(os.str(), "(5,9)");
+}
+
+TEST(SubstrateEdgeTest, ReaderSkipToEndAndPosition) {
+  EmEnv env(256, 8);
+  auto host = make_workload(Workload::kSorted, 100, 1);
+  auto vec = materialize<Record>(env.ctx, host);
+  StreamReader<Record> r(vec, 10, 90);
+  EXPECT_EQ(r.position(), 10u);
+  r.skip(80);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SubstrateEdgeTest, WorkloadRejectsBadParameters) {
+  EXPECT_THROW((void)make_workload(Workload::kFewDistinct, 10, 1, 16, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_workload(Workload::kZipfian, 10, 1, 16, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_workload(Workload::kBlockStriped, 10, 1, 0),
+               std::invalid_argument);
+}
+
+TEST(SubstrateEdgeTest, FileDeviceKeepFilePersists) {
+  const std::string path = testing::TempDir() + "/emsplit_keep_test.bin";
+  {
+    FileBlockDevice dev(path, 256, /*keep_file=*/true);
+    auto range = dev.allocate(1);
+    std::vector<std::byte> buf(256, std::byte{0x5a});
+    dev.write(range.first, buf);
+  }
+  // File survives the device.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+  {
+    FileBlockDevice dev(path, 256, /*keep_file=*/false);
+    (void)dev.allocate(1);
+  }
+  f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);  // removed on destruction
+}
+
+TEST(SubstrateEdgeTest, ContextRequiresTwoBlocks) {
+  MemoryBlockDevice dev(256);
+  EXPECT_THROW(Context(dev, 511), std::invalid_argument);
+  EXPECT_NO_THROW(Context(dev, 512));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end on the real file-backed device
+// ---------------------------------------------------------------------------
+
+TEST(FileDeviceIntegrationTest, FullPipelineOnDisk) {
+  const std::string path = testing::TempDir() + "/emsplit_integration.bin";
+  FileBlockDevice dev(path, 4096);
+  Context ctx(dev, 64 * 4096);
+  const std::size_t n = 50000;
+  auto host = make_workload(Workload::kZipfian, n, 33,
+                            ctx.block_records<Record>(), 5000);
+  auto data = materialize<Record>(ctx, host);
+
+  // Selection, splitters, partitioning and sort — all against real file I/O.
+  auto sorted_ref = testutil::sorted_copy(host);
+  EXPECT_EQ(select_rank<Record>(ctx, data, n / 3), sorted_ref[n / 3 - 1]);
+
+  const ApproxSpec spec{.k = 10, .a = 1000, .b = 20000};
+  auto splitters = approx_splitters<Record>(ctx, data, spec);
+  EXPECT_TRUE(verify_splitters<Record>(data, splitters, spec).ok);
+
+  auto parts = approx_partitioning<Record>(ctx, data, spec);
+  EXPECT_TRUE(
+      verify_partitioning<Record>(data, parts.data, parts.bounds, spec).ok);
+
+  auto sorted = external_sort<Record>(ctx, data);
+  EXPECT_EQ(to_host(sorted), sorted_ref);
+}
+
+}  // namespace
+}  // namespace emsplit

@@ -1,0 +1,281 @@
+// emsplit — command-line front end for the library.
+//
+// Operates on flat binary files of 16-byte records (little-endian u64 key,
+// u64 payload).  Data is staged onto a simulated block device so every run
+// reports the exact external-memory I/O cost alongside its results — the
+// tool doubles as a cost explorer for the paper's algorithms.
+//
+//   emsplit gen       <file> <n> [workload] [seed]
+//   emsplit sort      <in> <out>
+//   emsplit select    <file> <rank> [rank ...]
+//   emsplit splitters <file> <K> <a> <b>
+//   emsplit partition <in> <out> <K> <a> <b>
+//   emsplit histogram <file> <buckets> [slack]
+//   emsplit info      <file>
+//
+// Global options (before the subcommand):
+//   --block-bytes=N   simulated block size            [default 4096]
+//   --mem-bytes=N     simulated memory budget         [default 1048576]
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/histogram.hpp"
+#include "core/api.hpp"
+#include "em/file_io.hpp"
+
+namespace {
+
+using namespace emsplit;
+
+struct Options {
+  std::size_t block_bytes = 4096;
+  std::size_t mem_bytes = 1 << 20;
+};
+
+[[noreturn]] void usage(const char* why = nullptr) {
+  if (why != nullptr) std::fprintf(stderr, "error: %s\n\n", why);
+  std::fprintf(stderr,
+               "usage: emsplit [--block-bytes=N] [--mem-bytes=N] <command>\n"
+               "  gen       <file> <n> [workload] [seed]   create a dataset\n"
+               "  sort      <in> <out>                     external sort\n"
+               "  select    <file> <rank> [rank ...]       multi-selection\n"
+               "  splitters <file> <K> <a> <b>             approximate K-splitters\n"
+               "  partition <in> <out> <K> <a> <b>         approximate K-partitioning\n"
+               "  histogram <file> <buckets> [slack]       nearly equi-depth histogram\n"
+               "  info      <file>                         dataset summary\n"
+               "workloads: uniform sorted reverse few_distinct organ_pipe zipfian"
+               " block_striped\n");
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* s, const char* what) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "error: bad %s: '%s'\n", what, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+std::vector<Record> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  const auto bytes = static_cast<std::size_t>(in.tellg());
+  if (bytes % sizeof(Record) != 0) {
+    std::fprintf(stderr, "error: %s is not a whole number of records\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  std::vector<Record> v(bytes / sizeof(Record));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(bytes));
+  return v;
+}
+
+void write_file(const std::string& path, const std::vector<Record>& v) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(Record)));
+}
+
+Workload parse_workload(const std::string& name) {
+  for (const Workload w : all_workloads()) {
+    if (to_string(w) == name) return w;
+  }
+  std::fprintf(stderr, "error: unknown workload '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+void print_cost(const Context& ctx, std::size_t n) {
+  const auto scan =
+      (n + ctx.block_records<Record>() - 1) / ctx.block_records<Record>();
+  std::printf("[cost] %" PRIu64 " block I/Os (reads %" PRIu64 ", writes %"
+              PRIu64 "); one scan = %zu; peak memory %zu / %zu bytes\n",
+              ctx.io().total(), ctx.io().reads, ctx.io().writes, scan,
+              ctx.budget().peak(), ctx.budget().capacity());
+}
+
+int cmd_gen(const Options&, int argc, char** argv) {
+  if (argc < 2) usage("gen needs <file> <n>");
+  const std::string path = argv[0];
+  const auto n = static_cast<std::size_t>(parse_u64(argv[1], "n"));
+  const Workload w = argc > 2 ? parse_workload(argv[2]) : Workload::kUniform;
+  const std::uint64_t seed = argc > 3 ? parse_u64(argv[3], "seed") : 42;
+  write_file(path, make_workload(w, n, seed));
+  std::printf("wrote %zu records (%s, seed %" PRIu64 ") to %s\n", n,
+              to_string(w).c_str(), seed, path.c_str());
+  return 0;
+}
+
+int cmd_info(const Options& opt, int argc, char** argv) {
+  if (argc < 1) usage("info needs <file>");
+  auto host = read_file(argv[0]);
+  std::printf("%s: %zu records (%zu bytes)\n", argv[0], host.size(),
+              host.size() * sizeof(Record));
+  if (!host.empty()) {
+    auto mm = std::minmax_element(host.begin(), host.end());
+    std::printf("  key range [%" PRIu64 ", %" PRIu64 "], sorted: %s\n",
+                mm.first->key, mm.second->key,
+                std::is_sorted(host.begin(), host.end()) ? "yes" : "no");
+  }
+  std::printf("  machine model: B = %zu bytes/block, M = %zu bytes\n",
+              opt.block_bytes, opt.mem_bytes);
+  return 0;
+}
+
+int cmd_sort(const Options& opt, int argc, char** argv) {
+  if (argc < 2) usage("sort needs <in> <out>");
+  MemoryBlockDevice dev(opt.block_bytes);
+  Context ctx(dev, opt.mem_bytes);
+  // Streamed in block-sized pieces: the dataset never has to fit in host
+  // memory, matching the library's own discipline.
+  auto data = import_file<Record>(ctx, argv[0]);
+  dev.reset_stats();
+  auto sorted = external_sort<Record>(ctx, data);
+  print_cost(ctx, data.size());
+  export_file<Record>(sorted, argv[1]);
+  std::printf("sorted %zu records -> %s\n", data.size(), argv[1]);
+  return 0;
+}
+
+int cmd_select(const Options& opt, int argc, char** argv) {
+  if (argc < 2) usage("select needs <file> and at least one rank");
+  auto host = read_file(argv[0]);
+  std::vector<std::uint64_t> ranks;
+  for (int i = 1; i < argc; ++i) ranks.push_back(parse_u64(argv[i], "rank"));
+  MemoryBlockDevice dev(opt.block_bytes);
+  Context ctx(dev, opt.mem_bytes);
+  auto data = materialize<Record>(ctx, host);
+  dev.reset_stats();
+  auto got = multi_select<Record>(ctx, data, ranks);
+  print_cost(ctx, host.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    std::printf("rank %" PRIu64 ": key=%" PRIu64 " payload=%" PRIu64 "\n",
+                ranks[i], got[i].key, got[i].payload);
+  }
+  return 0;
+}
+
+int cmd_splitters(const Options& opt, int argc, char** argv) {
+  if (argc < 4) usage("splitters needs <file> <K> <a> <b>");
+  auto host = read_file(argv[0]);
+  const ApproxSpec spec{.k = parse_u64(argv[1], "K"),
+                        .a = parse_u64(argv[2], "a"),
+                        .b = parse_u64(argv[3], "b")};
+  MemoryBlockDevice dev(opt.block_bytes);
+  Context ctx(dev, opt.mem_bytes);
+  auto data = materialize<Record>(ctx, host);
+  dev.reset_stats();
+  auto splitters = approx_splitters<Record>(ctx, data, spec);
+  print_cost(ctx, host.size());
+  auto check = verify_splitters<Record>(data, splitters, spec);
+  if (!check.ok) {
+    std::fprintf(stderr, "INTERNAL ERROR: invalid output: %s\n",
+                 check.reason.c_str());
+    return 1;
+  }
+  for (std::size_t i = 0; i < splitters.size(); ++i) {
+    std::printf("s%-4zu key=%-20" PRIu64 " bucket_size=%" PRIu64 "\n", i + 1,
+                splitters[i].key, check.sizes[i]);
+  }
+  std::printf("(last bucket size %" PRIu64 "; all within [%" PRIu64 ", %"
+              PRIu64 "])\n",
+              check.sizes.back(), spec.a, spec.b);
+  return 0;
+}
+
+int cmd_partition(const Options& opt, int argc, char** argv) {
+  if (argc < 5) usage("partition needs <in> <out> <K> <a> <b>");
+  auto host = read_file(argv[0]);
+  const ApproxSpec spec{.k = parse_u64(argv[2], "K"),
+                        .a = parse_u64(argv[3], "a"),
+                        .b = parse_u64(argv[4], "b")};
+  MemoryBlockDevice dev(opt.block_bytes);
+  Context ctx(dev, opt.mem_bytes);
+  auto data = materialize<Record>(ctx, host);
+  dev.reset_stats();
+  auto result = approx_partitioning<Record>(ctx, data, spec);
+  print_cost(ctx, host.size());
+  auto check =
+      verify_partitioning<Record>(data, result.data, result.bounds, spec);
+  if (!check.ok) {
+    std::fprintf(stderr, "INTERNAL ERROR: invalid output: %s\n",
+                 check.reason.c_str());
+    return 1;
+  }
+  export_file<Record>(result.data, argv[1]);
+  std::printf("partition bounds:");
+  for (const auto b : result.bounds) std::printf(" %" PRIu64, b);
+  std::printf("\nwrote %zu records -> %s\n", host.size(), argv[1]);
+  return 0;
+}
+
+int cmd_histogram(const Options& opt, int argc, char** argv) {
+  if (argc < 2) usage("histogram needs <file> <buckets>");
+  auto host = read_file(argv[0]);
+  const std::uint64_t buckets = parse_u64(argv[1], "buckets");
+  const double slack = argc > 2 ? std::strtod(argv[2], nullptr) : 0.0;
+  MemoryBlockDevice dev(opt.block_bytes);
+  Context ctx(dev, opt.mem_bytes);
+  auto data = materialize<Record>(ctx, host);
+  dev.reset_stats();
+  auto h = build_equi_depth_histogram<Record>(ctx, data, buckets, slack);
+  print_cost(ctx, host.size());
+  std::printf("%-6s %-20s %s\n", "bucket", "upper_key", "count");
+  for (std::size_t i = 0; i < h.buckets(); ++i) {
+    if (i < h.boundaries.size()) {
+      std::printf("%-6zu %-20" PRIu64 " %" PRIu64 "\n", i,
+                  h.boundaries[i].key, h.sizes[i]);
+    } else {
+      std::printf("%-6zu %-20s %" PRIu64 "\n", i, "+inf", h.sizes[i]);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  int i = 1;
+  for (; i < argc && std::strncmp(argv[i], "--", 2) == 0; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--block-bytes=", 0) == 0) {
+      opt.block_bytes = static_cast<std::size_t>(
+          parse_u64(arg.c_str() + 14, "block-bytes"));
+    } else if (arg.rfind("--mem-bytes=", 0) == 0) {
+      opt.mem_bytes =
+          static_cast<std::size_t>(parse_u64(arg.c_str() + 12, "mem-bytes"));
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+  if (i >= argc) usage();
+  const std::string cmd = argv[i];
+  ++i;
+  try {
+    if (cmd == "gen") return cmd_gen(opt, argc - i, argv + i);
+    if (cmd == "info") return cmd_info(opt, argc - i, argv + i);
+    if (cmd == "sort") return cmd_sort(opt, argc - i, argv + i);
+    if (cmd == "select") return cmd_select(opt, argc - i, argv + i);
+    if (cmd == "splitters") return cmd_splitters(opt, argc - i, argv + i);
+    if (cmd == "partition") return cmd_partition(opt, argc - i, argv + i);
+    if (cmd == "histogram") return cmd_histogram(opt, argc - i, argv + i);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage(("unknown command " + cmd).c_str());
+}
