@@ -19,6 +19,63 @@
 
 namespace emsplit::bench {
 
+// ---------------------------------------------------------------------------
+// Machine-readable artifacts.  Benches that feed the perf trajectory emit a
+// flat JSON file — {"bench": "...", "rows": [{...}, ...]} — numbers, bools
+// and strings only, so downstream tooling needs no real JSON parser quirks.
+// ---------------------------------------------------------------------------
+
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string bench_name)
+      : out_("{\"bench\": \"" + std::move(bench_name) + "\", \"rows\": [") {}
+
+  void begin_row() {
+    if (!first_row_) out_ += ", ";
+    first_row_ = false;
+    first_field_ = true;
+    out_ += "{";
+  }
+  void field(const char* key, const std::string& v) {
+    sep();
+    out_ += "\"" + std::string(key) + "\": \"" + v + "\"";
+  }
+  void field(const char* key, double v) {
+    char num[64];
+    std::snprintf(num, sizeof num, "%.6g", v);
+    sep();
+    out_ += "\"" + std::string(key) + "\": " + num;
+  }
+  void field(const char* key, std::uint64_t v) {
+    sep();
+    out_ += "\"" + std::string(key) + "\": " + std::to_string(v);
+  }
+  void field(const char* key, bool v) {
+    sep();
+    out_ += "\"" + std::string(key) + "\": " + (v ? "true" : "false");
+  }
+  void end_row() { out_ += "}"; }
+
+  /// Write the document to `path`; returns false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const {
+    const std::string doc = out_ + "]}\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  void sep() {
+    if (!first_field_) out_ += ", ";
+    first_field_ = false;
+  }
+
+  std::string out_;
+  bool first_row_ = true;
+  bool first_field_ = true;
+};
+
 /// Machine geometry for one experiment.
 struct Geometry {
   std::size_t block_bytes = 4096;  ///< B = 256 records of 16 bytes

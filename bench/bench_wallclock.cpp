@@ -2,27 +2,178 @@
 //
 // The shape experiments (E1-E9, E11) count I/Os exactly on the RAM-backed
 // simulator.  This binary repeats representative operations on a real file
-// through FileBlockDevice and reports wall-clock time via google-benchmark,
-// confirming that the I/O counts translate monotonically into time on an
-// actual storage stack (page cache included — we measure the syscall path,
-// not a cold spindle).
+// through FileBlockDevice and reports wall-clock time, confirming that the
+// I/O counts translate monotonically into time on an actual storage stack
+// (page cache included — we measure the syscall path, not a cold spindle).
+//
+// Part 1 is the batching/async comparison: external sort and multi-partition
+// run under three I/O tunings — sync (the classic one-block-per-call path),
+// batched (multi-block device calls), and batched+async (read-ahead/write-
+// behind on the background worker) — on a small-block geometry where per-call
+// overhead dominates, i.e. where the EM model's "count block transfers"
+// abstraction is furthest from syscall reality.  Results go to stdout and to
+// BENCH_wallclock.json for trajectory tracking.  The tunings keep the merge
+// fan-in above the run count, so all three modes perform identical I/O
+// totals and the speedup is purely per-call overhead and overlap.
+//
+// Part 2 keeps the original google-benchmark microbenches on the 4 KiB
+// geometry.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "core/api.hpp"
+#include "em/file_io.hpp"
 
 namespace emsplit {
 namespace {
-
-constexpr std::size_t kBlockBytes = 4096;
-constexpr std::size_t kMemBlocks = 64;
 
 std::string bench_path(const char* tag) {
   const char* dir = std::getenv("TMPDIR");
   return std::string(dir != nullptr ? dir : "/tmp") + "/emsplit_bench_" + tag +
          ".bin";
 }
+
+// ---------------------------------------------------------------------------
+// Part 1: sync vs batched vs async on FileBlockDevice.
+// ---------------------------------------------------------------------------
+
+// Small blocks so the seed's one-syscall-per-block cost dominates: 1M records
+// of 16 bytes over 64-byte blocks is ~260k blocks, >1M syscalls per sort on
+// the sync path.  M = 4096 blocks keeps every mode at one merge pass
+// (runs ~= 65, fan-in >= 127 at stream_blocks() = 32, the largest tuning
+// below).
+constexpr std::size_t kCmpBlockBytes = 64;
+constexpr std::size_t kCmpMemBlocks = 4096;
+constexpr std::size_t kCmpRecords = std::size_t{1} << 20;
+
+struct ModeSpec {
+  const char* name;
+  IoTuning tuning;
+};
+
+struct ModeResult {
+  double seconds = 0;
+  std::uint64_t ios = 0;
+  std::uint64_t peak = 0;
+  bool sorted = false;
+};
+
+ModeResult run_sort_mode(const ModeSpec& mode) {
+  FileBlockDevice dev(bench_path("cmp_sort"), kCmpBlockBytes);
+  Context ctx(dev, kCmpMemBlocks * kCmpBlockBytes);
+  ctx.set_io_tuning(mode.tuning);
+  auto host = make_workload(Workload::kUniform, kCmpRecords, 42);
+  auto data = materialize<Record>(ctx, host);
+  ModeResult res;
+  for (int rep = 0; rep < 3; ++rep) {  // best-of-3, verify untimed
+    dev.reset_stats();
+    ctx.budget().reset_peak();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto sorted = external_sort<Record>(ctx, data);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    res.ios = dev.stats().total();
+    res.peak = ctx.budget().peak();
+    res.sorted = is_sorted_em<Record>(sorted);
+    if (rep == 0 || dt.count() < res.seconds) res.seconds = dt.count();
+  }
+  return res;
+}
+
+ModeResult run_partition_mode(const ModeSpec& mode) {
+  FileBlockDevice dev(bench_path("cmp_part"), kCmpBlockBytes);
+  Context ctx(dev, kCmpMemBlocks * kCmpBlockBytes);
+  ctx.set_io_tuning(mode.tuning);
+  auto host = make_workload(Workload::kUniform, kCmpRecords, 43);
+  auto data = materialize<Record>(ctx, host);
+  std::vector<std::uint64_t> ranks;
+  for (std::uint64_t k = 1; k < 64; ++k) {
+    ranks.push_back(k * (kCmpRecords / 64));
+  }
+  ModeResult res;
+  for (int rep = 0; rep < 3; ++rep) {
+    dev.reset_stats();
+    ctx.budget().reset_peak();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto part = multi_partition<Record>(ctx, data, ranks);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    res.ios = dev.stats().total();
+    res.peak = ctx.budget().peak();
+    res.sorted = part.bounds.size() == 65;
+    if (rep == 0 || dt.count() < res.seconds) res.seconds = dt.count();
+  }
+  return res;
+}
+
+void run_mode_comparison() {
+  const ModeSpec modes[] = {
+      {"sync", IoTuning{.batch_blocks = 1, .queue_depth = 0, .async = false}},
+      // batched and async share stream_blocks() = 32, so they run the same
+      // geometry (fan-in 127 over ~65 runs: one merge pass, like sync's
+      // fan-in 4095) and identical I/O totals; only the issue path differs.
+      {"batched",
+       IoTuning{.batch_blocks = 32, .queue_depth = 0, .async = false}},
+      {"async",
+       IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true}},
+  };
+
+  bench::JsonEmitter json("wallclock");
+  std::printf(
+      "# E10a: sync vs batched vs async, FileBlockDevice, B = %zu bytes, "
+      "M = %zu blocks, N = %zu records\n",
+      kCmpBlockBytes, kCmpMemBlocks, kCmpRecords);
+  std::printf("# %-16s %-8s %10s %12s %10s %8s\n", "op", "mode", "secs",
+              "ios", "peak/M", "speedup");
+
+  for (const bool is_sort : {true, false}) {
+    double sync_secs = 0;
+    for (const auto& mode : modes) {
+      const ModeResult r =
+          is_sort ? run_sort_mode(mode) : run_partition_mode(mode);
+      if (std::string(mode.name) == "sync") sync_secs = r.seconds;
+      const double speedup = r.seconds > 0 ? sync_secs / r.seconds : 0.0;
+      const double peak_frac = static_cast<double>(r.peak) /
+                               static_cast<double>(kCmpMemBlocks * kCmpBlockBytes);
+      std::printf("  %-16s %-8s %10.3f %12llu %10.3f %7.2fx%s\n",
+                  is_sort ? "external_sort" : "multi_partition", mode.name,
+                  r.seconds, static_cast<unsigned long long>(r.ios), peak_frac,
+                  speedup, r.sorted ? "" : "  [CHECK FAILED]");
+      json.begin_row();
+      json.field("op", std::string(is_sort ? "external_sort" : "multi_partition"));
+      json.field("mode", std::string(mode.name));
+      json.field("batch_blocks", static_cast<std::uint64_t>(mode.tuning.batch_blocks));
+      json.field("queue_depth", static_cast<std::uint64_t>(mode.tuning.queue_depth));
+      json.field("async", mode.tuning.async);
+      json.field("block_bytes", static_cast<std::uint64_t>(kCmpBlockBytes));
+      json.field("mem_blocks", static_cast<std::uint64_t>(kCmpMemBlocks));
+      json.field("records", static_cast<std::uint64_t>(kCmpRecords));
+      json.field("seconds", r.seconds);
+      json.field("ios", r.ios);
+      json.field("peak_bytes", r.peak);
+      json.field("speedup_vs_sync", speedup);
+      json.end_row();
+    }
+  }
+  const char* out = "BENCH_wallclock.json";
+  if (!json.write(out)) {
+    std::fprintf(stderr, "warning: could not write %s\n", out);
+  } else {
+    std::printf("# wrote %s\n", out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: the original 4 KiB-geometry microbenches.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kBlockBytes = 4096;
+constexpr std::size_t kMemBlocks = 64;
 
 void BM_FileScan(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -55,6 +206,23 @@ void BM_FileExternalSort(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_FileExternalSort)->Arg(1 << 18)->Arg(1 << 20);
+
+void BM_FileExternalSortAsync(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  FileBlockDevice dev(bench_path("sorta"), kBlockBytes);
+  Context ctx(dev, kMemBlocks * kBlockBytes);
+  ctx.set_io_tuning(
+      IoTuning{.batch_blocks = 8, .queue_depth = 1, .async = true});
+  auto host = make_workload(Workload::kUniform, n, 2);
+  auto data = materialize<Record>(ctx, host);
+  for (auto _ : state) {
+    auto sorted = external_sort<Record>(ctx, data);
+    benchmark::DoNotOptimize(sorted.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FileExternalSortAsync)->Arg(1 << 18)->Arg(1 << 20);
 
 void BM_FileSplittersRight(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -101,4 +269,11 @@ BENCHMARK(BM_FilePartitioningLeft)->Arg(1 << 18)->Arg(1 << 20);
 }  // namespace
 }  // namespace emsplit
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  emsplit::run_mode_comparison();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -32,9 +32,10 @@ BlockRange BlockDevice::allocate(std::uint64_t count) {
     }
   }
   // Nothing fits: grow at the end.
-  BlockRange r{size_blocks_, count};
-  size_blocks_ += count;
-  do_grow(size_blocks_);
+  const std::uint64_t old_size = size_blocks_.load(std::memory_order_relaxed);
+  BlockRange r{old_size, count};
+  size_blocks_.store(old_size + count, std::memory_order_relaxed);
+  do_grow(old_size + count);
   allocated_blocks_ += count;
   return r;
 }
@@ -62,35 +63,117 @@ void BlockDevice::deallocate(const BlockRange& range) noexcept {
   free_extents_.emplace(first, count);
 }
 
-void BlockDevice::check_io(BlockId block, std::size_t span_bytes,
-                           const char* op) {
-  if (block >= size_blocks_) {
+void BlockDevice::check_range(BlockId first, std::uint64_t count,
+                              std::size_t span_bytes, const char* op) const {
+  const std::uint64_t size = size_blocks();
+  if (first >= size || count > size - first) {
     throw std::out_of_range(std::string("BlockDevice::") + op +
                             ": block id beyond device size");
   }
-  if (span_bytes > block_bytes_) {
+  if (span_bytes > count * block_bytes_) {
     throw std::invalid_argument(std::string("BlockDevice::") + op +
-                                ": buffer larger than one block");
+                                (count == 1
+                                     ? ": buffer larger than one block"
+                                     : ": buffer larger than the block range"));
   }
-  if (fault_armed_) {
-    if (fault_countdown_ == 0) {
-      fault_armed_ = false;
-      throw DeviceFault(std::string("injected fault on ") + op);
-    }
-    --fault_countdown_;
+  if (count > 1 && span_bytes <= (count - 1) * block_bytes_) {
+    throw std::invalid_argument(
+        std::string("BlockDevice::") + op +
+        ": buffer must cover all blocks but a suffix of the last");
   }
+}
+
+std::uint64_t BlockDevice::fault_allowance(std::uint64_t count) {
+  if (!fault_armed_.load(std::memory_order_acquire)) return count;
+  const std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!fault_armed_.load(std::memory_order_relaxed)) return count;
+  if (fault_countdown_ >= count) {
+    fault_countdown_ -= count;
+    return count;
+  }
+  // The fault fires inside this request: allow the I/Os before it, disarm.
+  const std::uint64_t allowed = fault_countdown_;
+  fault_countdown_ = 0;
+  fault_armed_.store(false, std::memory_order_relaxed);
+  return allowed;
 }
 
 void BlockDevice::read(BlockId block, std::span<std::byte> out) {
-  check_io(block, out.size(), "read");
+  check_range(block, 1, out.size(), "read");
+  if (fault_allowance(1) == 0) throw DeviceFault("injected fault on read");
   do_read(block, out);
-  ++stats_.reads;
+  reads_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BlockDevice::write(BlockId block, std::span<const std::byte> in) {
-  check_io(block, in.size(), "write");
+  check_range(block, 1, in.size(), "write");
+  if (fault_allowance(1) == 0) throw DeviceFault("injected fault on write");
   do_write(block, in);
-  ++stats_.writes;
+  writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BlockDevice::read_blocks(BlockId first, std::uint64_t count,
+                              std::span<std::byte> out) {
+  if (count == 0) {
+    if (!out.empty()) {
+      throw std::invalid_argument(
+          "BlockDevice::read_blocks: non-empty buffer with count == 0");
+    }
+    return;
+  }
+  check_range(first, count, out.size(), "read_blocks");
+  const std::uint64_t allowed = fault_allowance(count);
+  if (allowed > 0) {
+    // The blocks before a mid-batch fault transfer (and count) normally;
+    // the faulting block itself moves no bytes, exactly as in read().
+    const std::size_t bytes =
+        allowed == count
+            ? out.size()
+            : static_cast<std::size_t>(allowed) * block_bytes_;
+    do_read_blocks(first, allowed, out.first(bytes));
+    reads_.fetch_add(allowed, std::memory_order_relaxed);
+  }
+  if (allowed < count) throw DeviceFault("injected fault on read_blocks");
+}
+
+void BlockDevice::write_blocks(BlockId first, std::uint64_t count,
+                               std::span<const std::byte> in) {
+  if (count == 0) {
+    if (!in.empty()) {
+      throw std::invalid_argument(
+          "BlockDevice::write_blocks: non-empty buffer with count == 0");
+    }
+    return;
+  }
+  check_range(first, count, in.size(), "write_blocks");
+  const std::uint64_t allowed = fault_allowance(count);
+  if (allowed > 0) {
+    const std::size_t bytes =
+        allowed == count
+            ? in.size()
+            : static_cast<std::size_t>(allowed) * block_bytes_;
+    do_write_blocks(first, allowed, in.first(bytes));
+    writes_.fetch_add(allowed, std::memory_order_relaxed);
+  }
+  if (allowed < count) throw DeviceFault("injected fault on write_blocks");
+}
+
+void BlockDevice::do_read_blocks(BlockId first, std::uint64_t count,
+                                 std::span<std::byte> out) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * block_bytes_;
+    const std::size_t len = std::min(block_bytes_, out.size() - off);
+    do_read(first + i, out.subspan(off, len));
+  }
+}
+
+void BlockDevice::do_write_blocks(BlockId first, std::uint64_t count,
+                                  std::span<const std::byte> in) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * block_bytes_;
+    const std::size_t len = std::min(block_bytes_, in.size() - off);
+    do_write(first + i, in.subspan(off, len));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -103,10 +186,12 @@ MemoryBlockDevice::MemoryBlockDevice(std::size_t block_bytes)
 MemoryBlockDevice::~MemoryBlockDevice() = default;
 
 void MemoryBlockDevice::do_grow(std::uint64_t new_size_blocks) {
+  const std::unique_lock<std::shared_mutex> lock(mu_);
   blocks_.resize(new_size_blocks);  // lazily materialized pages
 }
 
-void MemoryBlockDevice::do_read(BlockId block, std::span<std::byte> out) {
+void MemoryBlockDevice::read_one(BlockId block,
+                                 std::span<std::byte> out) const {
   const auto& page = blocks_[block];
   if (page == nullptr) {
     // Reading a never-written block yields zeroes (like a sparse file).
@@ -116,10 +201,41 @@ void MemoryBlockDevice::do_read(BlockId block, std::span<std::byte> out) {
   std::memcpy(out.data(), page.get(), out.size());
 }
 
-void MemoryBlockDevice::do_write(BlockId block, std::span<const std::byte> in) {
+void MemoryBlockDevice::write_one(BlockId block,
+                                  std::span<const std::byte> in) {
   auto& page = blocks_[block];
   if (page == nullptr) page = std::make_unique<std::byte[]>(block_bytes());
   std::memcpy(page.get(), in.data(), in.size());
+}
+
+void MemoryBlockDevice::do_read(BlockId block, std::span<std::byte> out) {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  read_one(block, out);
+}
+
+void MemoryBlockDevice::do_write(BlockId block, std::span<const std::byte> in) {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  write_one(block, in);
+}
+
+void MemoryBlockDevice::do_read_blocks(BlockId first, std::uint64_t count,
+                                       std::span<std::byte> out) {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * block_bytes();
+    const std::size_t len = std::min(block_bytes(), out.size() - off);
+    read_one(first + i, out.subspan(off, len));
+  }
+}
+
+void MemoryBlockDevice::do_write_blocks(BlockId first, std::uint64_t count,
+                                        std::span<const std::byte> in) {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * block_bytes();
+    const std::size_t len = std::min(block_bytes(), in.size() - off);
+    write_one(first + i, in.subspan(off, len));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -149,12 +265,12 @@ void FileBlockDevice::do_grow(std::uint64_t new_size_blocks) {
   }
 }
 
-void FileBlockDevice::do_read(BlockId block, std::span<std::byte> out) {
-  const auto off = static_cast<off_t>(block * block_bytes());
+void FileBlockDevice::pread_span(std::uint64_t offset,
+                                 std::span<std::byte> out) {
   std::size_t done = 0;
   while (done < out.size()) {
     const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
-                              off + static_cast<off_t>(done));
+                              static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error("FileBlockDevice: pread failed: " +
@@ -168,12 +284,12 @@ void FileBlockDevice::do_read(BlockId block, std::span<std::byte> out) {
   }
 }
 
-void FileBlockDevice::do_write(BlockId block, std::span<const std::byte> in) {
-  const auto off = static_cast<off_t>(block * block_bytes());
+void FileBlockDevice::pwrite_span(std::uint64_t offset,
+                                  std::span<const std::byte> in) {
   std::size_t done = 0;
   while (done < in.size()) {
     const ssize_t n = ::pwrite(fd_, in.data() + done, in.size() - done,
-                               off + static_cast<off_t>(done));
+                               static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error("FileBlockDevice: pwrite failed: " +
@@ -181,6 +297,26 @@ void FileBlockDevice::do_write(BlockId block, std::span<const std::byte> in) {
     }
     done += static_cast<std::size_t>(n);
   }
+}
+
+void FileBlockDevice::do_read(BlockId block, std::span<std::byte> out) {
+  pread_span(block * block_bytes(), out);
+}
+
+void FileBlockDevice::do_write(BlockId block, std::span<const std::byte> in) {
+  pwrite_span(block * block_bytes(), in);
+}
+
+void FileBlockDevice::do_read_blocks(BlockId first, std::uint64_t count,
+                                     std::span<std::byte> out) {
+  (void)count;  // the span covers the whole extent; one positional read
+  pread_span(first * block_bytes(), out);
+}
+
+void FileBlockDevice::do_write_blocks(BlockId first, std::uint64_t count,
+                                      std::span<const std::byte> in) {
+  (void)count;
+  pwrite_span(first * block_bytes(), in);
 }
 
 }  // namespace emsplit

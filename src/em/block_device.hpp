@@ -10,6 +10,13 @@
 //  * FileBlockDevice — a real file on disk, for wall-clock sanity benchmarks
 //    (experiment E10 in DESIGN.md).
 //
+// Transfers come in two granularities: single blocks (read/write) and
+// contiguous multi-block extents (read_blocks/write_blocks).  A k-block
+// extent transfer is one device call — one pread/pwrite on FileBlockDevice —
+// but is charged k I/Os, because the model prices block movement, not calls;
+// batching is therefore invisible to the cost accounting (docs/model.md,
+// "I/O batching and asynchrony").
+//
 // Allocation is extent-based (contiguous runs of blocks) with a first-fit
 // free list, so external vectors and scratch space can be recycled during
 // recursive algorithms without unbounded device growth.  Allocation metadata
@@ -18,11 +25,14 @@
 // block-management layer).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -53,8 +63,17 @@ class DeviceFault : public std::runtime_error {
 };
 
 /// Abstract block device with I/O accounting, extent allocation and fault
-/// injection.  Not thread-safe by design: the EM model is sequential, and all
-/// algorithms in this repository issue I/Os from a single thread.
+/// injection.
+///
+/// Thread-safety contract (load-bearing for the async I/O pipeline): the
+/// transfer interface — read / write / read_blocks / write_blocks — and the
+/// stats() snapshot may be used concurrently by the main thread and the
+/// background I/O worker.  The I/O counters are relaxed atomics, and the
+/// transfer paths of both concrete devices are data-race free provided no two
+/// threads touch the same block concurrently (the stream layer guarantees
+/// that: every in-flight batch owns its blocks exclusively).  Everything else
+/// — allocate / deallocate, reset_stats, arm/disarm fault — is main-thread
+/// only and must not run while transfers are in flight.
 class BlockDevice {
  public:
   explicit BlockDevice(std::size_t block_bytes);
@@ -85,12 +104,42 @@ class BlockDevice {
   /// Counts one write I/O.
   void write(BlockId block, std::span<const std::byte> in);
 
-  /// Live I/O counters.
-  [[nodiscard]] const IoStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = IoStats{}; }
+  /// Read `count` consecutive blocks starting at `first` in one device call.
+  /// `out` must cover all of the first `count - 1` blocks and a non-empty
+  /// prefix of the last one (so `(count-1)*block_bytes < out.size() <=
+  /// count*block_bytes`) — the multi-block generalization of the single-block
+  /// prefix rule.  Counts exactly `count` read I/Os.
+  ///
+  /// Fault injection honors the per-I/O countdown *inside* the batch: when
+  /// the fault is due after j < count more I/Os, the first j blocks are
+  /// transferred and counted, then DeviceFault is thrown.
+  void read_blocks(BlockId first, std::uint64_t count,
+                   std::span<std::byte> out);
+
+  /// Write `count` consecutive blocks from `in` in one device call; the same
+  /// span, counting and mid-batch fault rules as read_blocks.
+  void write_blocks(BlockId first, std::uint64_t count,
+                    std::span<const std::byte> in);
+
+  /// Snapshot of the I/O counters.  Returns by value: the counters are
+  /// atomics that the background worker may be bumping concurrently.
+  [[nodiscard]] IoStats stats() const noexcept {
+    return IoStats{reads_.load(std::memory_order_relaxed),
+                   writes_.load(std::memory_order_relaxed)};
+  }
+
+  /// Zero both counters.  Main-thread only, and only at quiescent points
+  /// (no async I/O in flight — e.g. between algorithm runs); a reset racing
+  /// the worker's increments would produce torn totals.
+  void reset_stats() noexcept {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+  }
 
   /// Total blocks ever grown to (capacity high-water mark).
-  [[nodiscard]] std::uint64_t size_blocks() const noexcept { return size_blocks_; }
+  [[nodiscard]] std::uint64_t size_blocks() const noexcept {
+    return size_blocks_.load(std::memory_order_relaxed);
+  }
 
   /// Blocks currently allocated to live extents.
   [[nodiscard]] std::uint64_t allocated_blocks() const noexcept {
@@ -99,29 +148,48 @@ class BlockDevice {
 
   /// Fault injection: after `remaining` further I/Os succeed, the next I/O
   /// throws DeviceFault.  Pass no value to disarm.
-  void arm_fault_after(std::uint64_t remaining) noexcept {
-    fault_armed_ = true;
+  void arm_fault_after(std::uint64_t remaining) {
+    const std::lock_guard<std::mutex> lock(fault_mu_);
     fault_countdown_ = remaining;
+    fault_armed_.store(true, std::memory_order_release);
   }
-  void disarm_fault() noexcept { fault_armed_ = false; }
+  void disarm_fault() noexcept {
+    fault_armed_.store(false, std::memory_order_release);
+  }
 
  protected:
   virtual void do_read(BlockId block, std::span<std::byte> out) = 0;
   virtual void do_write(BlockId block, std::span<const std::byte> in) = 0;
+  /// Batched transfers; the base implementations loop over do_read/do_write
+  /// block by block.  Concrete devices override them with a genuinely
+  /// vectored path (single pread/pwrite, single lock acquisition).
+  virtual void do_read_blocks(BlockId first, std::uint64_t count,
+                              std::span<std::byte> out);
+  virtual void do_write_blocks(BlockId first, std::uint64_t count,
+                               std::span<const std::byte> in);
   /// Called when the device grows to `new_size_blocks` blocks.
   virtual void do_grow(std::uint64_t new_size_blocks) = 0;
 
  private:
-  void check_io(BlockId block, std::size_t span_bytes, const char* op);
+  void check_range(BlockId first, std::uint64_t count, std::size_t span_bytes,
+                   const char* op) const;
+  /// Run the fault countdown for a `count`-I/O request: returns how many of
+  /// the I/Os may proceed (and charges the countdown for them).  A return
+  /// value < count means the fault fires after exactly that many transfers.
+  [[nodiscard]] std::uint64_t fault_allowance(std::uint64_t count);
 
   std::size_t block_bytes_;
-  std::uint64_t size_blocks_ = 0;
+  std::atomic<std::uint64_t> size_blocks_{0};
   std::uint64_t allocated_blocks_ = 0;
   // Free extents keyed by first block, value = extent length.  Adjacent
   // extents are coalesced on deallocate.
   std::map<BlockId, std::uint64_t> free_extents_;
-  IoStats stats_;
-  bool fault_armed_ = false;
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  // Fast path: one relaxed-ish load when disarmed.  The countdown itself is
+  // mutex-guarded so concurrent transfers decrement it exactly once each.
+  std::atomic<bool> fault_armed_{false};
+  std::mutex fault_mu_;
   std::uint64_t fault_countdown_ = 0;
 };
 
@@ -135,15 +203,25 @@ class MemoryBlockDevice final : public BlockDevice {
  protected:
   void do_read(BlockId block, std::span<std::byte> out) override;
   void do_write(BlockId block, std::span<const std::byte> in) override;
+  void do_read_blocks(BlockId first, std::uint64_t count,
+                      std::span<std::byte> out) override;
+  void do_write_blocks(BlockId first, std::uint64_t count,
+                       std::span<const std::byte> in) override;
   void do_grow(std::uint64_t new_size_blocks) override;
 
  private:
+  // Locked copy loops; `mu_` is held shared during transfers (they touch
+  // disjoint blocks) and exclusively while do_grow resizes the page table.
+  void read_one(BlockId block, std::span<std::byte> out) const;
+  void write_one(BlockId block, std::span<const std::byte> in);
+
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<std::byte[]>> blocks_;
 };
 
 /// File-backed device for wall-clock experiments.  Uses positional reads and
-/// writes on a regular file; the file is removed on destruction unless
-/// `keep_file` was requested.
+/// writes on a regular file (pread/pwrite are thread-safe by construction);
+/// the file is removed on destruction unless `keep_file` was requested.
 class FileBlockDevice final : public BlockDevice {
  public:
   FileBlockDevice(std::string path, std::size_t block_bytes,
@@ -155,9 +233,16 @@ class FileBlockDevice final : public BlockDevice {
  protected:
   void do_read(BlockId block, std::span<std::byte> out) override;
   void do_write(BlockId block, std::span<const std::byte> in) override;
+  void do_read_blocks(BlockId first, std::uint64_t count,
+                      std::span<std::byte> out) override;
+  void do_write_blocks(BlockId first, std::uint64_t count,
+                       std::span<const std::byte> in) override;
   void do_grow(std::uint64_t new_size_blocks) override;
 
  private:
+  void pread_span(std::uint64_t offset, std::span<std::byte> out);
+  void pwrite_span(std::uint64_t offset, std::span<const std::byte> in);
+
   std::string path_;
   int fd_ = -1;
   bool keep_file_;

@@ -11,13 +11,37 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <stdexcept>
 
 #include "em/block_device.hpp"
+#include "em/io_pipeline.hpp"
 #include "em/memory_budget.hpp"
 #include "em/phase_profile.hpp"
 
 namespace emsplit {
+
+/// Knobs for the batched / asynchronous I/O subsystem (docs/model.md,
+/// "I/O batching and asynchrony").  The default — one block per call, no
+/// read-ahead, synchronous — reproduces the classic single-buffered streams
+/// exactly, I/O count for I/O count.
+struct IoTuning {
+  /// Blocks the stream classes move per device call (read_blocks /
+  /// write_blocks batching).  Only takes effect for record types whose size
+  /// divides the block size (otherwise per-block tail padding makes
+  /// multi-block record spans discontiguous and streams fall back to 1).
+  std::size_t batch_blocks = 1;
+  /// Extra in-flight batches per stream — the read-ahead / write-behind
+  /// depth.  Each stream's budgeted footprint is
+  /// batch_blocks * (1 + queue_depth) blocks whether or not async is on.
+  std::size_t queue_depth = 0;
+  /// Service queued batches on the background I/O worker so transfers
+  /// overlap with computation.  Pointless without queue_depth >= 1.  Never
+  /// changes I/O counts for fully consumed streams (the determinism
+  /// contract): geometry derives from stream_blocks(), which ignores this
+  /// flag.
+  bool async = false;
+};
 
 class Context {
  public:
@@ -67,8 +91,47 @@ class Context {
     return mem_bytes() / sizeof(T);
   }
 
-  /// Live I/O statistics of the underlying device.
-  [[nodiscard]] const IoStats& io() const noexcept { return device_->stats(); }
+  /// Snapshot of the underlying device's I/O statistics.
+  [[nodiscard]] IoStats io() const noexcept { return device_->stats(); }
+
+  /// Configure I/O batching / asynchrony.  Throws if batch_blocks is 0 or a
+  /// reader/writer pair of batched streams could not fit in M (the model
+  /// needs at least input + output streaming to make progress).  Switching
+  /// async off drains and joins the worker; only call at quiescent points
+  /// (no live streams).
+  void set_io_tuning(const IoTuning& tuning) {
+    if (tuning.batch_blocks == 0) {
+      throw std::invalid_argument(
+          "Context::set_io_tuning: batch_blocks must be positive");
+    }
+    const std::size_t per_stream =
+        tuning.batch_blocks * (1 + tuning.queue_depth);
+    if (2 * per_stream * block_bytes() > mem_bytes()) {
+      throw std::invalid_argument(
+          "Context::set_io_tuning: a reader/writer stream pair would exceed "
+          "M (shrink batch_blocks or queue_depth)");
+    }
+    tuning_ = tuning;
+    if (tuning_.async) {
+      if (pipeline_ == nullptr) pipeline_ = std::make_unique<IoPipeline>();
+    } else {
+      pipeline_.reset();
+    }
+  }
+  [[nodiscard]] const IoTuning& io_tuning() const noexcept { return tuning_; }
+
+  /// The background I/O worker, or nullptr when running synchronously.
+  [[nodiscard]] IoPipeline* pipeline() const noexcept {
+    return pipeline_.get();
+  }
+
+  /// Blocks of memory one stream's buffers occupy under the current tuning.
+  /// Deliberately independent of the async flag: sync and async runs at the
+  /// same tuning see identical geometry (fan-ins, chunk sizes) and therefore
+  /// perform bit-identical I/O counts.
+  [[nodiscard]] std::size_t stream_blocks() const noexcept {
+    return tuning_.batch_blocks * (1 + tuning_.queue_depth);
+  }
 
   /// Optional per-phase I/O attribution (see phase_profile.hpp).  Null by
   /// default; benches attach one to explain where the scans go.
@@ -79,6 +142,8 @@ class Context {
   BlockDevice* device_;
   MemoryBudget budget_;
   PhaseProfile* profile_ = nullptr;
+  IoTuning tuning_;
+  std::unique_ptr<IoPipeline> pipeline_;
 };
 
 }  // namespace emsplit

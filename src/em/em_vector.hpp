@@ -106,6 +106,36 @@ class EmVector {
     ctx_->device().write(range_.first + i, std::as_bytes(in));
   }
 
+  /// True when records tile blocks exactly (sizeof(T) divides the block
+  /// size): consecutive blocks then form one contiguous record array on the
+  /// device, which is what makes multi-block record spans meaningful.
+  [[nodiscard]] bool contiguous_layout() const {
+    return ctx_->block_bytes() % sizeof(T) == 0;
+  }
+
+  /// Read `nblocks` consecutive blocks starting at block `i` as one counted
+  /// batch (costs `nblocks` read I/Os, one device call).  For nblocks > 1
+  /// the layout must be contiguous; `out` holds the records of all blocks,
+  /// the final block possibly as a prefix.
+  void read_blocks(std::size_t i, std::size_t nblocks,
+                   std::span<T> out) const {
+    assert(nblocks == 1 || contiguous_layout());
+    assert(out.size() <= nblocks * block_records());
+    assert(nblocks <= 1 || out.size() > (nblocks - 1) * block_records());
+    ctx_->device().read_blocks(range_.first + i, nblocks,
+                               std::as_writable_bytes(out));
+  }
+
+  /// Write `nblocks` consecutive blocks starting at block `i` as one counted
+  /// batch; the same layout and span rules as read_blocks.
+  void write_blocks(std::size_t i, std::size_t nblocks,
+                    std::span<const T> in) {
+    assert(nblocks == 1 || contiguous_layout());
+    assert(in.size() <= nblocks * block_records());
+    assert(nblocks <= 1 || in.size() > (nblocks - 1) * block_records());
+    ctx_->device().write_blocks(range_.first + i, nblocks, std::as_bytes(in));
+  }
+
  private:
   Context* ctx_ = nullptr;
   BlockRange range_;

@@ -57,20 +57,38 @@ template <EmRecord T>
   return static_cast<std::size_t>(bytes) / sizeof(T);
 }
 
+namespace detail {
+
+/// Host staging size (in blocks of records) for file transfers: one batch of
+/// the current tuning, clamped so staging plus the stream's own buffers
+/// still fit the budget.
+template <EmRecord T>
+[[nodiscard]] std::size_t file_stage_blocks(const Context& ctx) {
+  const std::size_t mem_blocks = ctx.mem_bytes() / ctx.block_bytes();
+  const std::size_t spare =
+      mem_blocks > ctx.stream_blocks() ? mem_blocks - ctx.stream_blocks() : 1;
+  return std::max<std::size_t>(
+      1, std::min(ctx.io_tuning().batch_blocks, spare));
+}
+
+}  // namespace detail
+
 /// Stream a flat record file onto the device as a new EmVector.
-/// Host memory use: one block buffer (plus the writer's, both budgeted).
+/// Host memory use: one batch of staging blocks plus the writer's buffers,
+/// both budgeted.  The writer inherits the context's batching/async tuning.
 template <EmRecord T>
 [[nodiscard]] EmVector<T> import_file(Context& ctx, const std::string& path) {
   const std::size_t n = file_record_count<T>(path);
   auto f = detail::open_file(path, "rb");
   EmVector<T> vec(ctx, n);
   const std::size_t b = ctx.block_records<T>();
-  auto res = ctx.budget().reserve(b * sizeof(T));
-  std::vector<T> buf(b);
+  const std::size_t stage = detail::file_stage_blocks<T>(ctx) * b;
+  auto res = ctx.budget().reserve(stage * sizeof(T));
+  std::vector<T> buf(stage);
   StreamWriter<T> writer(vec);
   std::size_t remaining = n;
   while (remaining > 0) {
-    const std::size_t take = std::min(b, remaining);
+    const std::size_t take = std::min(stage, remaining);
     if (std::fread(buf.data(), sizeof(T), take, f.get()) != take) {
       throw std::runtime_error("file_io: short read from " + path);
     }
@@ -85,13 +103,15 @@ template <EmRecord T>
 template <EmRecord T>
 void export_file(const EmVector<T>& vec, const std::string& path) {
   auto f = detail::open_file(path, "wb");
+  Context& ctx = vec.context();
   const std::size_t b = vec.block_records();
-  auto res = vec.context().budget().reserve(b * sizeof(T));
-  std::vector<T> buf(b);
+  const std::size_t stage = detail::file_stage_blocks<T>(ctx) * b;
+  auto res = ctx.budget().reserve(stage * sizeof(T));
+  std::vector<T> buf(stage);
   StreamReader<T> reader(vec);
   while (!reader.done()) {
     std::size_t filled = 0;
-    while (filled < b && !reader.done()) buf[filled++] = reader.next();
+    while (filled < stage && !reader.done()) buf[filled++] = reader.next();
     if (std::fwrite(buf.data(), sizeof(T), filled, f.get()) != filled) {
       throw std::runtime_error("file_io: short write to " + path);
     }

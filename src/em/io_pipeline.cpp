@@ -1,0 +1,68 @@
+#include "em/io_pipeline.hpp"
+
+namespace emsplit {
+
+IoPipeline::IoPipeline() : worker_([this] { worker_loop(); }) {}
+
+IoPipeline::~IoPipeline() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_one();
+  worker_.join();
+}
+
+IoPipeline::Ticket IoPipeline::submit(std::function<void()> job) {
+  Ticket ticket = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ticket = next_ticket_++;
+    queue_.emplace_back(ticket, std::move(job));
+  }
+  work_ready_.notify_one();
+  return ticket;
+}
+
+void IoPipeline::wait(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  job_done_.wait(lock, [&] { return completed_ >= ticket; });
+  const auto it = errors_.find(ticket);
+  if (it != errors_.end()) {
+    const std::exception_ptr err = it->second;
+    errors_.erase(it);
+    std::rethrow_exception(err);
+  }
+}
+
+void IoPipeline::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Ticket last = next_ticket_ - 1;
+  job_done_.wait(lock, [&] { return completed_ >= last; });
+}
+
+void IoPipeline::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_ready_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;  // stop only once the queue is drained
+      continue;
+    }
+    auto [ticket, job] = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err != nullptr) errors_.emplace(ticket, err);
+    completed_ = ticket;
+    job_done_.notify_all();
+  }
+}
+
+}  // namespace emsplit

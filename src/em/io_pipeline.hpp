@@ -1,0 +1,66 @@
+// io_pipeline.hpp — the background I/O worker behind async streams.
+//
+// A single worker thread executes submitted jobs strictly in FIFO order.
+// Streams use it for read-ahead and write-behind: a job is one batched
+// device transfer into (or out of) a buffer the stream owns exclusively
+// until the matching wait() returns.  FIFO execution means a completed-
+// ticket watermark is enough to implement wait(), and — more importantly —
+// that the device sees transfers in exactly the order they were submitted,
+// which keeps the I/O counters' totals identical to the synchronous path.
+//
+// Exceptions thrown by a job (DeviceFault from fault injection, real I/O
+// errors from FileBlockDevice) are captured per ticket and rethrown by the
+// wait() for that ticket, so the stream layer surfaces them on the main
+// thread with its usual strong exception safety.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace emsplit {
+
+class IoPipeline {
+ public:
+  /// Monotonic job id; 0 is never issued (streams use it as "no ticket").
+  using Ticket = std::uint64_t;
+
+  IoPipeline();
+  /// Drains every queued job, then joins the worker.
+  ~IoPipeline();
+
+  IoPipeline(const IoPipeline&) = delete;
+  IoPipeline& operator=(const IoPipeline&) = delete;
+
+  /// Enqueue `job` for the worker; returns immediately.
+  [[nodiscard]] Ticket submit(std::function<void()> job);
+
+  /// Block until the job behind `ticket` has run; rethrows anything it threw.
+  void wait(Ticket ticket);
+
+  /// Block until every submitted job has run.  Errors stay parked with their
+  /// tickets (drain() is used at teardown, where they are deliberately
+  /// dropped with the stream that owned them).
+  void drain();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;    // signalled on submit / stop
+  std::condition_variable job_done_;      // signalled when completed_ moves
+  std::deque<std::pair<Ticket, std::function<void()>>> queue_;
+  std::map<Ticket, std::exception_ptr> errors_;
+  Ticket next_ticket_ = 1;
+  Ticket completed_ = 0;  // FIFO: every ticket <= completed_ has run
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace emsplit

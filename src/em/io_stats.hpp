@@ -16,6 +16,11 @@ namespace emsplit {
 /// `reads` / `writes` count block-granular operations; a request that spans
 /// `k` blocks counts as `k`.  All algorithm-facing formulas in the paper are
 /// expressed in these units.
+///
+/// This is a plain value type — a snapshot.  The live counters inside
+/// BlockDevice are relaxed atomics (the async I/O worker increments them
+/// concurrently with the main thread); `BlockDevice::stats()` folds them into
+/// an IoStats by value.
 struct IoStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
@@ -38,19 +43,23 @@ struct IoStats {
 
 std::ostream& operator<<(std::ostream& os, const IoStats& s);
 
-/// Measures the I/Os performed between construction and `delta()` /
-/// destruction.  Used by tests to assert per-phase I/O bounds and by the
-/// bench harness to attribute cost to individual algorithm stages.
+/// Measures the I/Os performed between construction and `delta()`.  Used by
+/// tests to assert per-phase I/O bounds and by the bench harness to attribute
+/// cost to individual algorithm stages.  `Source` is anything with a
+/// `stats()` member returning an IoStats snapshot (e.g. BlockDevice).
+template <typename Source>
 class ScopedIoDelta {
  public:
-  explicit ScopedIoDelta(const IoStats& live) noexcept
-      : live_(&live), start_(live) {}
+  explicit ScopedIoDelta(const Source& source) noexcept
+      : source_(&source), start_(source.stats()) {}
 
   /// I/Os performed on the tracked device since construction.
-  [[nodiscard]] IoStats delta() const noexcept { return *live_ - start_; }
+  [[nodiscard]] IoStats delta() const noexcept {
+    return source_->stats() - start_;
+  }
 
  private:
-  const IoStats* live_;
+  const Source* source_;
   IoStats start_;
 };
 

@@ -1,29 +1,77 @@
 // stream.hpp — buffered sequential access over EmVector.
 //
-// StreamReader / StreamWriter are the scan primitives of the library: one
-// in-memory block buffer each (reserved against the memory budget), element
-// granularity on top, block granularity underneath.  Reading n records costs
-// ceil(n/B) I/Os; writing likewise.  All linear passes in the paper's
-// algorithms are built from these two classes.
+// StreamReader / StreamWriter are the scan primitives of the library:
+// element granularity on top, block granularity underneath.  Reading n
+// records costs ceil(n/B) I/Os; writing likewise — regardless of the I/O
+// tuning below.
 //
-// Bulk helpers at the bottom load / store whole record ranges for chunk-at-a-
-// time processing (run formation, in-memory chunk sorts); their buffers are
-// reserved by the caller.
+// The context's IoTuning shapes how those I/Os are issued:
+//
+//   * batch_blocks > 1 — streams move groups of consecutive blocks per
+//     device call (read_blocks / write_blocks).  Same I/Os counted, far
+//     fewer calls/syscalls.  Requires the record size to divide the block
+//     size (otherwise per-block tail padding breaks multi-block record
+//     spans and streams quietly fall back to one-block batches).
+//   * queue_depth > 0 with async — groups are serviced by the context's
+//     background worker: readers keep up to queue_depth prefetches in
+//     flight, writers flush behind.  Each stream owns
+//     batch_blocks * (1 + queue_depth) blocks of budgeted buffer memory —
+//     the same footprint whether async is on or off, so geometry and I/O
+//     counts never depend on the async flag (docs/model.md).
+//
+// Count determinism under async holds for streams that are consumed
+// sequentially to the end (every algorithm converted to the async path is).
+// A reader that skips past or abandons in-flight prefetches keeps those
+// already-issued reads in the totals — the device really moved the blocks.
+//
+// Bulk helpers at the bottom load / store whole record ranges for chunk-at-
+// a-time processing (run formation, in-memory chunk sorts); their buffers
+// are reserved by the caller, and with batching they coalesce whole aligned
+// extents into single device calls.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <deque>
 #include <span>
 #include <vector>
 
 #include "em/em_vector.hpp"
+#include "em/io_pipeline.hpp"
 
 namespace emsplit {
 
+namespace detail {
+
+/// Per-stream transfer geometry derived from the context's IoTuning at
+/// stream construction.  `footprint_records` is what the budget charges —
+/// tuning-defined, independent of the async flag and of the padded-layout
+/// fallback, so a given tuning always reserves the same memory.
+template <EmRecord T>
+struct StreamShape {
+  explicit StreamShape(const EmVector<T>& vec)
+      : block_records(vec.block_records()),
+        batch_blocks(vec.contiguous_layout()
+                         ? vec.context().io_tuning().batch_blocks
+                         : 1),
+        depth(vec.context().io_tuning().queue_depth),
+        group_records(batch_blocks * block_records),
+        footprint_records(vec.context().stream_blocks() * block_records) {}
+
+  std::size_t block_records;
+  std::size_t batch_blocks;  ///< blocks per device call (1 on padded layouts)
+  std::size_t depth;         ///< in-flight groups beyond the current one
+  std::size_t group_records;
+  std::size_t footprint_records;
+};
+
+}  // namespace detail
+
 /// Sequential reader over a record range [first, last) of an EmVector.
 ///
-/// Holds one block buffer of B records reserved against the budget.  Several
-/// readers may be live at once (k-way merge); each costs B records of memory.
+/// Buffers stream_blocks() blocks against the budget.  Several readers may
+/// be live at once (k-way merge); each costs that much memory.
 template <EmRecord T>
 class StreamReader {
  public:
@@ -33,14 +81,38 @@ class StreamReader {
   /// Reader over records [first, last) of `vec`.
   StreamReader(const EmVector<T>& vec, std::size_t first, std::size_t last)
       : vec_(&vec),
-        block_records_(vec.block_records()),
+        shape_(vec),
+        pipe_(shape_.depth > 0 ? vec.context().pipeline() : nullptr),
         pos_(first),
         end_(last),
-        reservation_(vec.context().budget().reserve(block_records_ *
-                                                    sizeof(T))),
-        buffer_(block_records_) {
+        reservation_(vec.context().budget().reserve(shape_.footprint_records *
+                                                    sizeof(T))) {
     assert(first <= last && last <= vec.size());
-    buffered_block_ = kNoBlock;
+    buffers_.resize(1 + shape_.depth);
+    for (auto& buf : buffers_) buf.records.resize(shape_.group_records);
+  }
+
+  ~StreamReader() { abandon_inflight(); }
+
+  StreamReader(const StreamReader&) = delete;
+  StreamReader& operator=(const StreamReader&) = delete;
+  StreamReader& operator=(StreamReader&&) = delete;
+  StreamReader(StreamReader&& o) noexcept
+      : vec_(o.vec_),
+        shape_(o.shape_),
+        pipe_(o.pipe_),
+        pos_(o.pos_),
+        end_(o.end_),
+        reservation_(std::move(o.reservation_)),
+        buffers_(std::move(o.buffers_)),
+        inflight_(std::move(o.inflight_)),
+        cur_(o.cur_),
+        cur_valid_(o.cur_valid_),
+        next_block_(o.next_block_) {
+    // In-flight jobs capture raw buffer pointers, which survive the move of
+    // `buffers_`; only neuter the source so its destructor does nothing.
+    o.inflight_.clear();
+    o.cur_valid_ = false;
   }
 
   /// Records remaining.
@@ -53,7 +125,8 @@ class StreamReader {
   [[nodiscard]] const T& peek() {
     assert(!done());
     fill();
-    return buffer_[pos_ % block_records_];
+    const Buffer& buf = buffers_[cur_];
+    return buf.records[pos_ - buf.first_block * shape_.block_records];
   }
 
   /// Consume and return the next record.
@@ -63,48 +136,168 @@ class StreamReader {
     return v;
   }
 
-  /// Skip forward `n` records without reading the blocks in between.
+  /// Skip forward `n` records without reading the blocks in between.  Groups
+  /// already prefetched stay counted (the device moved those blocks); the
+  /// next peek() re-primes the pipeline at the new position.
   void skip(std::size_t n) {
     assert(n <= remaining());
     pos_ += n;
   }
 
  private:
-  static constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
+  struct Buffer {
+    std::vector<T> records;
+    std::size_t first_block = 0;
+    std::size_t nblocks = 0;
+    IoPipeline::Ticket ticket = 0;
+  };
+
+  [[nodiscard]] std::size_t last_block() const noexcept {
+    return (end_ - 1) / shape_.block_records;
+  }
+  [[nodiscard]] std::size_t group_at(std::size_t blk) const noexcept {
+    return std::min(shape_.batch_blocks, last_block() - blk + 1);
+  }
 
   void fill() {
-    const std::size_t blk = pos_ / block_records_;
-    if (blk != buffered_block_) {
-      vec_->read_block(blk, std::span<T>(buffer_));
-      buffered_block_ = blk;
+    const std::size_t blk = pos_ / shape_.block_records;
+    if (cur_valid_) {
+      const Buffer& buf = buffers_[cur_];
+      if (blk >= buf.first_block && blk < buf.first_block + buf.nblocks) {
+        return;
+      }
+    }
+    advance_to(blk);
+  }
+
+  /// Number of records a group starting at `blk` transfers: full blocks
+  /// except possibly a prefix of the vector's last block.
+  [[nodiscard]] std::size_t group_span(std::size_t blk,
+                                       std::size_t nblocks) const {
+    const std::size_t cap = vec_->size() - blk * shape_.block_records;
+    return std::min(nblocks * shape_.block_records, cap);
+  }
+
+  void read_into(Buffer& buf, std::size_t blk) {
+    buf.first_block = blk;
+    buf.nblocks = group_at(blk);
+    vec_->read_blocks(
+        blk, buf.nblocks,
+        std::span<T>(buf.records).first(group_span(blk, buf.nblocks)));
+  }
+
+  void advance_to(std::size_t blk) {
+    IoPipeline* pipe = pipe_;
+    if (shape_.depth == 0 || pipe == nullptr) {
+      cur_ = 0;
+      read_into(buffers_[0], blk);
+      cur_valid_ = true;
+      return;
+    }
+    // Async path.  The group we need is normally the oldest prefetch; if a
+    // skip() jumped elsewhere, retire the stale prefetches and re-prime.
+    if (!inflight_.empty() && buffers_[inflight_.front()].first_block != blk) {
+      abandon_inflight();
+    }
+    if (inflight_.empty()) {
+      cur_ = 0;
+      read_into(buffers_[0], blk);
+      next_block_ = blk + buffers_[0].nblocks;
+    } else {
+      const std::size_t bi = inflight_.front();
+      inflight_.pop_front();
+      pipe->wait(buffers_[bi].ticket);
+      buffers_[bi].ticket = 0;
+      cur_ = bi;
+    }
+    cur_valid_ = true;
+    top_up(*pipe);
+  }
+
+  void top_up(IoPipeline& pipe) {
+    while (inflight_.size() < shape_.depth && next_block_ <= last_block()) {
+      const std::size_t bi = free_buffer();
+      Buffer& buf = buffers_[bi];
+      buf.first_block = next_block_;
+      buf.nblocks = group_at(next_block_);
+      // Capture raw pointers, not `this`: buffers are heap storage that
+      // stays put if the reader itself is moved while jobs are in flight.
+      const EmVector<T>* vec = vec_;
+      const std::size_t blk = buf.first_block;
+      const std::size_t nblocks = buf.nblocks;
+      const std::span<T> dst(buf.records.data(), group_span(blk, nblocks));
+      buf.ticket = pipe.submit(
+          [vec, blk, nblocks, dst] { vec->read_blocks(blk, nblocks, dst); });
+      inflight_.push_back(bi);
+      next_block_ += nblocks;
     }
   }
 
+  [[nodiscard]] std::size_t free_buffer() const {
+    // 1 + depth buffers, at most depth in flight plus the current one: a
+    // free buffer always exists.
+    for (std::size_t i = 0; i < buffers_.size(); ++i) {
+      if (cur_valid_ && i == cur_) continue;
+      if (std::find(inflight_.begin(), inflight_.end(), i) ==
+          inflight_.end()) {
+        return i;
+      }
+    }
+    assert(false && "StreamReader: no free buffer");
+    return 0;
+  }
+
+  void abandon_inflight() noexcept {
+    if (inflight_.empty()) return;
+    IoPipeline* pipe = pipe_;
+    for (const std::size_t bi : inflight_) {
+      if (pipe == nullptr) break;
+      try {
+        pipe->wait(buffers_[bi].ticket);
+      } catch (...) {
+        // Reads into buffers we are dropping; the error is irrelevant.
+      }
+    }
+    inflight_.clear();
+  }
+
   const EmVector<T>* vec_;
-  std::size_t block_records_;
+  detail::StreamShape<T> shape_;
+  // Snapshotted at construction: the destructor must not reach back through
+  // vec_->context() (the target vector may be moved from before the stream
+  // dies, e.g. `return {std::move(out), ...}` above a live writer).
+  IoPipeline* pipe_;
   std::size_t pos_;
   std::size_t end_;
-  std::size_t buffered_block_;
   MemoryReservation reservation_;
-  std::vector<T> buffer_;
+  std::vector<Buffer> buffers_;
+  std::deque<std::size_t> inflight_;
+  std::size_t cur_ = 0;
+  bool cur_valid_ = false;
+  std::size_t next_block_ = 0;
 };
 
 /// Sequential writer appending records into an EmVector starting at record 0.
 ///
-/// Call finish() when done: it flushes the partial last block and sets the
-/// vector's logical size.  Destruction without finish() flushes as well (so
-/// exceptions don't lose the budget) but only finish() publishes the size.
+/// Call finish() when done: it flushes the partial last group, waits for any
+/// write-behind still in flight and sets the vector's logical size.
+/// Destruction without finish() waits out in-flight writes as well (so
+/// exceptions don't lose the budget or race the buffers) but only finish()
+/// publishes the size.
 template <EmRecord T>
 class StreamWriter {
  public:
   explicit StreamWriter(EmVector<T>& vec)
       : vec_(&vec),
-        block_records_(vec.block_records()),
-        reservation_(vec.context().budget().reserve(block_records_ *
-                                                    sizeof(T))),
-        buffer_(block_records_) {}
+        shape_(vec),
+        pipe_(shape_.depth > 0 ? vec.context().pipeline() : nullptr),
+        reservation_(vec.context().budget().reserve(shape_.footprint_records *
+                                                    sizeof(T))) {
+    buffers_.resize(1 + shape_.depth);
+    for (auto& buf : buffers_) buf.records.resize(shape_.group_records);
+  }
 
-  ~StreamWriter() = default;
+  ~StreamWriter() { drain_noexcept(); }
   StreamWriter(const StreamWriter&) = delete;
   StreamWriter& operator=(const StreamWriter&) = delete;
 
@@ -113,106 +306,259 @@ class StreamWriter {
 
   void push(const T& v) {
     assert(count_ < vec_->capacity());
-    buffer_[count_ % block_records_] = v;
+    buffers_[cur_].records[count_ - group_first_] = v;
     ++count_;
-    if (count_ % block_records_ == 0) {
-      vec_->write_block(count_ / block_records_ - 1, std::span<const T>(buffer_));
+    if (count_ - group_first_ == shape_.group_records) {
+      flush_group(shape_.batch_blocks);
+      group_first_ = count_;
+      rotate();
     }
   }
 
-  /// Flush the trailing partial block and publish the logical size.
+  /// Flush the trailing partial group, wait out write-behind, publish the
+  /// logical size.
   void finish() {
     if (finished_) return;
-    if (count_ % block_records_ != 0) {
-      vec_->write_block(count_ / block_records_, std::span<const T>(buffer_));
+    const std::size_t filled = count_ - group_first_;
+    if (filled > 0) {
+      // Whole blocks plus possibly one partial block, still one device
+      // call.  Like the classic writer, the partial block is written with a
+      // full-block span whose tail holds unspecified bytes.
+      flush_group((filled + shape_.block_records - 1) / shape_.block_records);
     }
+    drain();
     vec_->set_size(count_);
     finished_ = true;
   }
 
  private:
+  struct Buffer {
+    std::vector<T> records;
+    IoPipeline::Ticket ticket = 0;
+    bool pending = false;
+  };
+
+  void flush_group(std::size_t nblocks) {
+    Buffer& buf = buffers_[cur_];
+    const std::size_t first_block = group_first_ / shape_.block_records;
+    const std::size_t nrec = nblocks * shape_.block_records;
+    IoPipeline* pipe = pipe_;
+    if (shape_.depth > 0 && pipe != nullptr) {
+      EmVector<T>* vec = vec_;
+      const std::span<const T> src(buf.records.data(), nrec);
+      buf.ticket = pipe->submit([vec, first_block, nblocks, src] {
+        vec->write_blocks(first_block, nblocks, src);
+      });
+      buf.pending = true;
+    } else {
+      vec_->write_blocks(first_block, nblocks,
+                         std::span<const T>(buf.records).first(nrec));
+    }
+  }
+
+  void rotate() {
+    if (shape_.depth == 0 || pipe_ == nullptr) return;
+    cur_ = (cur_ + 1) % buffers_.size();
+    Buffer& buf = buffers_[cur_];
+    if (buf.pending) {
+      buf.pending = false;  // cleared first: wait() may throw
+      pipe_->wait(buf.ticket);
+    }
+  }
+
+  void drain() {
+    for (auto& buf : buffers_) {
+      if (!buf.pending) continue;
+      buf.pending = false;
+      if (pipe_ != nullptr) pipe_->wait(buf.ticket);
+    }
+  }
+
+  void drain_noexcept() noexcept {
+    for (auto& buf : buffers_) {
+      if (!buf.pending) continue;
+      buf.pending = false;
+      if (pipe_ == nullptr) continue;
+      try {
+        pipe_->wait(buf.ticket);
+      } catch (...) {
+        // Teardown without finish(): the write's fate no longer matters,
+        // only that the buffer is safe to free.
+      }
+    }
+  }
+
   EmVector<T>* vec_;
-  std::size_t block_records_;
+  detail::StreamShape<T> shape_;
+  IoPipeline* pipe_;  // snapshotted; see StreamReader::pipe_
   std::size_t count_ = 0;
+  std::size_t group_first_ = 0;  // record index where the current group starts
+  std::size_t cur_ = 0;
   bool finished_ = false;
   MemoryReservation reservation_;
-  std::vector<T> buffer_;
+  std::vector<Buffer> buffers_;
 };
 
 /// Sequential writer into an arbitrary record range [start, start + n) of an
 /// EmVector that may be written concurrently by neighbouring RangeWriters.
 ///
-/// Interior blocks are written with plain one-I/O writes; the partial edge
-/// blocks at the two ends are flushed with an atomic read-merge-write so
-/// that records owned by an adjacent range in the same block survive.  The
-/// edge read happens at flush time (never cached earlier), so any number of
-/// single-threaded writers may interleave on a shared edge block without
-/// lost updates.  Used by multi-partition to let distribution passes write
-/// final partitions straight into the output vector.
+/// Interior blocks are written with plain (batched, possibly write-behind)
+/// block writes; the partial edge blocks at the two ends are flushed with an
+/// atomic read-merge-write so that records owned by an adjacent range in the
+/// same block survive.  The edge read happens at flush time (never cached
+/// earlier) and always synchronously on the calling thread — a shared edge
+/// block is partial for *both* neighbours, so it is never covered by anyone's
+/// async interior writes.  Used by multi-partition to let distribution passes
+/// write final partitions straight into the output vector.
 template <EmRecord T>
 class RangeWriter {
  public:
   RangeWriter(EmVector<T>& vec, std::size_t start)
       : vec_(&vec),
-        block_records_(vec.block_records()),
+        shape_(vec),
+        pipe_(shape_.depth > 0 ? vec.context().pipeline() : nullptr),
+        start_(start),
         pos_(start),
-        reservation_(vec.context().budget().reserve(block_records_ *
-                                                    sizeof(T))),
-        buffer_(block_records_) {}
+        reservation_(vec.context().budget().reserve(shape_.footprint_records *
+                                                    sizeof(T))) {
+    buffers_.resize(1 + shape_.depth);
+    for (auto& buf : buffers_) buf.records.resize(shape_.group_records);
+    // Groups are anchored at the block grid so interior flushes stay aligned.
+    group_first_ = (start / shape_.block_records) * shape_.block_records;
+  }
+
+  ~RangeWriter() { drain_noexcept(); }
+  RangeWriter(const RangeWriter&) = delete;
+  RangeWriter& operator=(const RangeWriter&) = delete;
 
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
 
   void push(const T& v) {
     assert(pos_ < vec_->capacity());
-    buffer_[pos_ % block_records_] = v;
+    buffers_[cur_].records[pos_ - group_first_] = v;
     ++pos_;
     ++count_;
-    if (pos_ % block_records_ == 0) flush_block(pos_ / block_records_ - 1);
+    if (pos_ - group_first_ == shape_.group_records) {
+      flush_group();
+      group_first_ = pos_;
+      rotate();
+    }
   }
 
-  /// Flush the trailing partial block (idempotent).  Does not touch the
-  /// vector's logical size — the caller owns that.
+  /// Flush the trailing partial group and wait out write-behind (idempotent).
+  /// Does not touch the vector's logical size — the caller owns that.
   void finish() {
     if (finished_) return;
-    if (pos_ % block_records_ != 0 && count_ > 0) {
-      flush_block(pos_ / block_records_);
-    }
+    if (count_ > 0 && pos_ > group_first_) flush_group();
+    drain();
     finished_ = true;
   }
 
  private:
-  void flush_block(std::size_t blk) {
-    // Records this flush owns: the intersection of the writer's range so far
-    // ([start, pos)) with this block.  A block not fully covered is merged
-    // with the device copy read *now* (never cached), so adjacent writers
-    // interleaving on a shared edge block cannot lose each other's records.
-    const std::size_t blk_first = blk * block_records_;
-    const std::size_t start = pos_ - count_;
-    const std::size_t range_lo = std::max(start, blk_first);
-    const std::size_t range_hi = pos_;  // <= blk_first + block_records_
-    if (range_lo == blk_first && range_hi == blk_first + block_records_) {
-      vec_->write_block(blk, std::span<const T>(buffer_));
-      return;
+  struct Buffer {
+    std::vector<T> records;
+    IoPipeline::Ticket ticket = 0;
+    bool pending = false;
+  };
+
+  /// Flush the records this group owns: [max(start, group_first), pos).
+  /// Partial edge blocks merge synchronously; whole interior blocks go out
+  /// as one batched (possibly async) write.
+  void flush_group() {
+    const std::size_t b = shape_.block_records;
+    Buffer& buf = buffers_[cur_];
+    std::size_t lo = std::max(start_, group_first_);
+    const std::size_t hi = pos_;
+    if (lo % b != 0) {  // partial head block (only ever the first group's)
+      const std::size_t head_end = std::min(hi, (lo / b + 1) * b);
+      merge_flush(lo, head_end, buf);
+      lo = head_end;
     }
+    const std::size_t hi_full = hi - hi % b;
+    if (lo < hi_full) {
+      const std::size_t nblocks = (hi_full - lo) / b;
+      const std::span<const T> src(buf.records.data() + (lo - group_first_),
+                                   hi_full - lo);
+      emit(lo / b, nblocks, src);
+    }
+    if (hi % b != 0 && hi_full >= lo) {  // partial tail block (finish only)
+      merge_flush(std::max(lo, hi_full), hi, buf);
+    }
+  }
+
+  /// Read-merge-write of one partial block, records [range_lo, range_hi).
+  void merge_flush(std::size_t range_lo, std::size_t range_hi,
+                   const Buffer& buf) {
+    const std::size_t b = shape_.block_records;
+    const std::size_t blk = range_lo / b;
+    const std::size_t blk_first = blk * b;
     // The merge copy is a transient reservation: flushes are sequential, so
     // at most one exists at a time even with many writers alive.
-    auto merge_res =
-        vec_->context().budget().reserve(block_records_ * sizeof(T));
-    std::vector<T> merged(block_records_);
+    auto merge_res = vec_->context().budget().reserve(b * sizeof(T));
+    std::vector<T> merged(b);
     vec_->read_block(blk, merged);
     for (std::size_t r = range_lo; r < range_hi; ++r) {
-      merged[r - blk_first] = buffer_[r % block_records_];
+      merged[r - blk_first] = buf.records[r - group_first_];
     }
     vec_->write_block(blk, std::span<const T>(merged));
   }
 
+  void emit(std::size_t first_block, std::size_t nblocks,
+            std::span<const T> src) {
+    IoPipeline* pipe = pipe_;
+    Buffer& buf = buffers_[cur_];
+    if (shape_.depth > 0 && pipe != nullptr) {
+      EmVector<T>* vec = vec_;
+      buf.ticket = pipe->submit([vec, first_block, nblocks, src] {
+        vec->write_blocks(first_block, nblocks, src);
+      });
+      buf.pending = true;
+    } else {
+      vec_->write_blocks(first_block, nblocks, src);
+    }
+  }
+
+  void rotate() {
+    if (shape_.depth == 0 || pipe_ == nullptr) return;
+    cur_ = (cur_ + 1) % buffers_.size();
+    Buffer& buf = buffers_[cur_];
+    if (buf.pending) {
+      buf.pending = false;
+      pipe_->wait(buf.ticket);
+    }
+  }
+
+  void drain() {
+    for (auto& buf : buffers_) {
+      if (!buf.pending) continue;
+      buf.pending = false;
+      if (pipe_ != nullptr) pipe_->wait(buf.ticket);
+    }
+  }
+
+  void drain_noexcept() noexcept {
+    for (auto& buf : buffers_) {
+      if (!buf.pending) continue;
+      buf.pending = false;
+      if (pipe_ == nullptr) continue;
+      try {
+        pipe_->wait(buf.ticket);
+      } catch (...) {
+      }
+    }
+  }
+
   EmVector<T>* vec_;
-  std::size_t block_records_;
+  detail::StreamShape<T> shape_;
+  IoPipeline* pipe_;  // snapshotted; see StreamReader::pipe_
+  std::size_t start_;
   std::size_t pos_;
   std::size_t count_ = 0;
+  std::size_t group_first_ = 0;  // record index where the current group starts
+  std::size_t cur_ = 0;
   bool finished_ = false;
   MemoryReservation reservation_;
-  std::vector<T> buffer_;
+  std::vector<Buffer> buffers_;
 };
 
 // ---------------------------------------------------------------------------
@@ -221,15 +567,26 @@ class RangeWriter {
 
 /// Load records [first, first + out.size()) of `vec` into `out`.
 /// Costs the number of blocks the range touches.  The caller is responsible
-/// for having reserved `out`'s bytes against the budget; the transfer block
-/// buffer is reserved here.
+/// for having reserved `out`'s bytes against the budget.  On contiguous
+/// layouts with batching enabled, whole aligned extents transfer straight
+/// into `out` in a single device call (no staging memory at all); otherwise
+/// a one-block staging buffer is reserved here.
 template <EmRecord T>
 void load_range(const EmVector<T>& vec, std::size_t first, std::span<T> out) {
   assert(first + out.size() <= vec.size());
   const std::size_t b = vec.block_records();
+  const bool batched = vec.context().io_tuning().batch_blocks > 1 &&
+                       vec.contiguous_layout();
+  std::size_t i = 0;
+  if (batched && first % b == 0 && out.size() >= b) {
+    // Aligned bulk prefix: one call for all whole blocks.
+    const std::size_t nblocks = out.size() / b;
+    vec.read_blocks(first / b, nblocks, out.first(nblocks * b));
+    i = nblocks * b;
+    if (i == out.size()) return;
+  }
   auto res = vec.context().budget().reserve(b * sizeof(T));
   std::vector<T> blockbuf(b);
-  std::size_t i = 0;
   while (i < out.size()) {
     const std::size_t blk = (first + i) / b;
     const std::size_t off = (first + i) % b;
@@ -242,13 +599,23 @@ void load_range(const EmVector<T>& vec, std::size_t first, std::span<T> out) {
 
 /// Store `in` into `vec` at record offset `first` (block-aligned offsets give
 /// pure writes; unaligned edges need a read-modify-write of the edge blocks).
+/// Same batching as load_range: aligned whole-block extents go out in one
+/// device call directly from `in`.
 template <EmRecord T>
 void store_range(EmVector<T>& vec, std::size_t first, std::span<const T> in) {
   assert(first + in.size() <= vec.capacity());
   const std::size_t b = vec.block_records();
+  const bool batched = vec.context().io_tuning().batch_blocks > 1 &&
+                       vec.contiguous_layout();
+  std::size_t i = 0;
+  if (batched && first % b == 0 && in.size() >= b) {
+    const std::size_t nblocks = in.size() / b;
+    vec.write_blocks(first / b, nblocks, in.first(nblocks * b));
+    i = nblocks * b;
+    if (i == in.size()) return;
+  }
   auto res = vec.context().budget().reserve(b * sizeof(T));
   std::vector<T> blockbuf(b);
-  std::size_t i = 0;
   while (i < in.size()) {
     const std::size_t blk = (first + i) / b;
     const std::size_t off = (first + i) % b;

@@ -51,17 +51,21 @@ struct MultiPartitionResult {
 
 namespace detail {
 
-/// Distribution fan-out this context supports: d output block buffers plus a
-/// reader, the transient edge-merge block a RangeWriter flush may need, and
-/// the cut-element table must fit in memory.
+/// Distribution fan-out this context supports: d output stream buffers plus
+/// a reader, the transient edge-merge block a RangeWriter flush may need,
+/// and the cut-element table must fit in memory.  Every stream buffers
+/// s = stream_blocks() blocks under the current I/O tuning (s = 1 by
+/// default, reproducing the classic geometry).
 template <EmRecord T>
 std::size_t partition_fanout(const Context& ctx) {
   const std::size_t bb = ctx.block_bytes();
   const std::size_t blocks = ctx.mem_bytes() / bb;
-  if (blocks <= 4) return 2;
-  // d block buffers + d cut elements + reader + transient merge block +
-  // one block of slack must fit:  d * (bb + sizeof(T)) <= (blocks - 3) * bb.
-  const std::size_t d = (blocks - 3) * bb / (bb + sizeof(T));
+  const std::size_t s = ctx.stream_blocks();
+  if (blocks <= 2 * s + 2) return 2;
+  // d stream buffers (s blocks each) + d cut elements + reader (s blocks) +
+  // transient merge block + one block of slack must fit:
+  //   d * (s * bb + sizeof(T)) <= (blocks - s - 2) * bb.
+  const std::size_t d = (blocks - s - 2) * bb / (s * bb + sizeof(T));
   return std::max<std::size_t>(2, d);
 }
 

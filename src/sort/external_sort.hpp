@@ -55,6 +55,9 @@ std::pair<EmVector<T>, RunOffsets> form_runs(Context& ctx,
   ScopedPhase phase(ctx.profile(), "sort/run-formation");
   const std::size_t b = ctx.block_records<T>();
   // Leave room for load/store transfer buffers (2 blocks) on top of chunk.
+  // The chunk size deliberately ignores the I/O tuning: bulk load/store
+  // coalesce their aligned extents straight into `buf`, so batching changes
+  // neither the run geometry nor the I/O counts here.
   const std::size_t mem = ctx.mem_records<T>();
   const std::size_t chunk = std::max<std::size_t>(b, mem - 2 * b);
   EmVector<T> runs(ctx, input.size());
@@ -122,8 +125,13 @@ template <EmRecord T, typename Less = std::less<T>>
           ? detail::form_runs_replacement<T>(ctx, input, less)
           : detail::form_runs<T>(ctx, input, less);
   const std::size_t b = ctx.block_records<T>();
+  // Every stream buffers stream_blocks() blocks (batching x queue depth), so
+  // the fan-in shrinks accordingly: f readers plus one writer must fit in M.
+  // stream_blocks() is tuning-defined and async-agnostic, which keeps sync
+  // and async runs of the same tuning I/O-count identical.
+  const std::size_t s = ctx.stream_blocks();
   const std::size_t fan_in =
-      std::max<std::size_t>(2, ctx.mem_records<T>() / b - 1);
+      std::max<std::size_t>(2, ctx.mem_records<T>() / (b * s) - 1);
   while (offsets.size() - 1 > 1) {
     auto [next, next_offsets] =
         detail::merge_pass<T>(ctx, runs, offsets, fan_in, less);

@@ -1,0 +1,123 @@
+// The async pipeline's core contract: switching the background worker on or
+// off never changes the I/O accounting or the results — only wall-clock.
+// Geometry derives from stream_blocks(), which depends on batch_blocks and
+// queue_depth but not on the async flag (docs/model.md, "I/O batching and
+// asynchrony"), so sync and async runs of the same tuning must be
+// bit-identical in both outputs and IoStats totals.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "em/context.hpp"
+#include "em/stream.hpp"
+#include "partition/multi_partition.hpp"
+#include "sort/external_sort.hpp"
+#include "test_helpers.hpp"
+
+namespace emsplit {
+namespace {
+
+struct Shape {
+  const char* name;
+  std::size_t block_bytes;
+  std::size_t mem_blocks;
+  std::size_t n;
+};
+
+constexpr Shape kShapes[] = {
+    {"small_blocks", 128, 32, 20000},
+    // 32 blocks, not fewer: at tuning {2,1} the distribution pass holds a
+    // reader plus up to three sink writers of stream_blocks() = 4 blocks
+    // each, and the budget floor must accommodate all of them.
+    {"large_blocks", 1024, 32, 60000},
+};
+
+std::vector<int> workload(std::size_t n) {
+  std::vector<int> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = int((i * 2654435761u) % (n / 2 + 1));
+  }
+  return data;
+}
+
+struct RunResult {
+  IoStats ios;
+  std::vector<int> output;
+};
+
+template <typename Algo>
+RunResult run_tuned(const Shape& shape, const IoTuning& tuning, Algo&& algo) {
+  testutil::EmEnv env(shape.block_bytes, shape.mem_blocks);
+  env.ctx.set_io_tuning(tuning);
+  const auto data = workload(shape.n);
+  EmVector<int> input = materialize<int>(env.ctx, std::span<const int>(data));
+  env.dev.reset_stats();
+  env.ctx.budget().reset_peak();
+  EmVector<int> out = algo(env.ctx, input);
+  RunResult r{env.dev.stats(), to_host(out)};
+  // Prefetch buffers are budgeted like everything else: async never puts the
+  // run over M.
+  EXPECT_LE(env.ctx.budget().peak(), env.ctx.budget().capacity())
+      << shape.name;
+  return r;
+}
+
+template <typename Algo>
+void expect_async_transparent(const Shape& shape, Algo&& algo) {
+  const IoTuning sync{2, 1, false};
+  const IoTuning async{2, 1, true};
+  const RunResult s = run_tuned(shape, sync, algo);
+  const RunResult a = run_tuned(shape, async, algo);
+  EXPECT_EQ(a.ios.reads, s.ios.reads) << shape.name;
+  EXPECT_EQ(a.ios.writes, s.ios.writes) << shape.name;
+  EXPECT_EQ(a.output, s.output) << shape.name;
+}
+
+TEST(AsyncDeterminismTest, ExternalSortCountsAndOutputMatchSync) {
+  for (const Shape& shape : kShapes) {
+    expect_async_transparent(shape, [](Context& ctx, EmVector<int>& input) {
+      return external_sort<int>(ctx, input);
+    });
+  }
+}
+
+TEST(AsyncDeterminismTest, ReplacementSelectionSortMatchesSync) {
+  for (const Shape& shape : kShapes) {
+    expect_async_transparent(shape, [](Context& ctx, EmVector<int>& input) {
+      return external_sort<int>(ctx, input, std::less<int>{},
+                                RunStrategy::kReplacementSelection);
+    });
+  }
+}
+
+TEST(AsyncDeterminismTest, MultiPartitionCountsAndOutputMatchSync) {
+  for (const Shape& shape : kShapes) {
+    expect_async_transparent(shape, [&](Context& ctx, EmVector<int>& input) {
+      std::vector<std::uint64_t> ranks;
+      for (std::uint64_t r = 1; r < 16; ++r) {
+        ranks.push_back(r * (shape.n / 16));
+      }
+      auto res = multi_partition<int>(ctx, input, ranks);
+      return std::move(res.data);
+    });
+  }
+}
+
+TEST(AsyncDeterminismTest, DeeperQueuesStaySelfConsistent) {
+  const Shape shape{"deep_queue", 128, 64, 30000};
+  const RunResult s = run_tuned(shape, {4, 2, false},
+                                [](Context& ctx, EmVector<int>& input) {
+                                  return external_sort<int>(ctx, input);
+                                });
+  const RunResult a = run_tuned(shape, {4, 2, true},
+                                [](Context& ctx, EmVector<int>& input) {
+                                  return external_sort<int>(ctx, input);
+                                });
+  EXPECT_EQ(a.ios.reads, s.ios.reads);
+  EXPECT_EQ(a.ios.writes, s.ios.writes);
+  EXPECT_EQ(a.output, s.output);
+}
+
+}  // namespace
+}  // namespace emsplit
