@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_anatomy.dir/bench_cost_anatomy.cpp.o"
+  "CMakeFiles/bench_cost_anatomy.dir/bench_cost_anatomy.cpp.o.d"
+  "bench_cost_anatomy"
+  "bench_cost_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

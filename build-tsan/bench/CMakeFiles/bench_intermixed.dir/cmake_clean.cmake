@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intermixed.dir/bench_intermixed.cpp.o"
+  "CMakeFiles/bench_intermixed.dir/bench_intermixed.cpp.o.d"
+  "bench_intermixed"
+  "bench_intermixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intermixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiselect_vs_multipartition.dir/bench_multiselect_vs_multipartition.cpp.o"
+  "CMakeFiles/bench_multiselect_vs_multipartition.dir/bench_multiselect_vs_multipartition.cpp.o.d"
+  "bench_multiselect_vs_multipartition"
+  "bench_multiselect_vs_multipartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiselect_vs_multipartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

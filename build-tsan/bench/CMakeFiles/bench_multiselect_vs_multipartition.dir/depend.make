@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_multiselect_vs_multipartition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paging_vs_explicit.dir/bench_paging_vs_explicit.cpp.o"
+  "CMakeFiles/bench_paging_vs_explicit.dir/bench_paging_vs_explicit.cpp.o.d"
+  "bench_paging_vs_explicit"
+  "bench_paging_vs_explicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paging_vs_explicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_paging_vs_explicit.
+# This may be replaced when dependencies are built.

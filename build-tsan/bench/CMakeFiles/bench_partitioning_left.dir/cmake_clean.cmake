@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioning_left.dir/bench_partitioning_left.cpp.o"
+  "CMakeFiles/bench_partitioning_left.dir/bench_partitioning_left.cpp.o.d"
+  "bench_partitioning_left"
+  "bench_partitioning_left.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioning_left.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioning_right.dir/bench_partitioning_right.cpp.o"
+  "CMakeFiles/bench_partitioning_right.dir/bench_partitioning_right.cpp.o.d"
+  "bench_partitioning_right"
+  "bench_partitioning_right.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioning_right.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

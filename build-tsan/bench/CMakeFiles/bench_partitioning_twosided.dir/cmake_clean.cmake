@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioning_twosided.dir/bench_partitioning_twosided.cpp.o"
+  "CMakeFiles/bench_partitioning_twosided.dir/bench_partitioning_twosided.cpp.o.d"
+  "bench_partitioning_twosided"
+  "bench_partitioning_twosided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioning_twosided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

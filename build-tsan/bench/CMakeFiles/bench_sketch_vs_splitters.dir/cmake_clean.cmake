@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sketch_vs_splitters.dir/bench_sketch_vs_splitters.cpp.o"
+  "CMakeFiles/bench_sketch_vs_splitters.dir/bench_sketch_vs_splitters.cpp.o.d"
+  "bench_sketch_vs_splitters"
+  "bench_sketch_vs_splitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sketch_vs_splitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

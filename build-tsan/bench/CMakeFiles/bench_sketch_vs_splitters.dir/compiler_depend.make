@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sketch_vs_splitters.
+# This may be replaced when dependencies are built.

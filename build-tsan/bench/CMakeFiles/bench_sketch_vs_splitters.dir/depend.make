@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sketch_vs_splitters.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_strategies.dir/bench_sort_strategies.cpp.o"
+  "CMakeFiles/bench_sort_strategies.dir/bench_sort_strategies.cpp.o.d"
+  "bench_sort_strategies"
+  "bench_sort_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_splitter_ablation.dir/bench_splitter_ablation.cpp.o"
+  "CMakeFiles/bench_splitter_ablation.dir/bench_splitter_ablation.cpp.o.d"
+  "bench_splitter_ablation"
+  "bench_splitter_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_splitter_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

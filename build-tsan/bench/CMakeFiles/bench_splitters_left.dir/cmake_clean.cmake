@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_splitters_left.dir/bench_splitters_left.cpp.o"
+  "CMakeFiles/bench_splitters_left.dir/bench_splitters_left.cpp.o.d"
+  "bench_splitters_left"
+  "bench_splitters_left.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_splitters_left.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

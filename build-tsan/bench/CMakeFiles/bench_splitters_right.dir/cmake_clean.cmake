@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_splitters_right.dir/bench_splitters_right.cpp.o"
+  "CMakeFiles/bench_splitters_right.dir/bench_splitters_right.cpp.o.d"
+  "bench_splitters_right"
+  "bench_splitters_right.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_splitters_right.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

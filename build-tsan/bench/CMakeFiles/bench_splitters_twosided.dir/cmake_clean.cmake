@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_splitters_twosided.dir/bench_splitters_twosided.cpp.o"
+  "CMakeFiles/bench_splitters_twosided.dir/bench_splitters_twosided.cpp.o.d"
+  "bench_splitters_twosided"
+  "bench_splitters_twosided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_splitters_twosided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_splitters_twosided.
+# This may be replaced when dependencies are built.

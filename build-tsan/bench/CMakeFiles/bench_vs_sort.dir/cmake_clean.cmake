@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_sort.dir/bench_vs_sort.cpp.o"
+  "CMakeFiles/bench_vs_sort.dir/bench_vs_sort.cpp.o.d"
+  "bench_vs_sort"
+  "bench_vs_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_load_index.dir/bulk_load_index.cpp.o"
+  "CMakeFiles/bulk_load_index.dir/bulk_load_index.cpp.o.d"
+  "bulk_load_index"
+  "bulk_load_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_load_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

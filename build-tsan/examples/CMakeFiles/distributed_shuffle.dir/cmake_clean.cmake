@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_shuffle.dir/distributed_shuffle.cpp.o"
+  "CMakeFiles/distributed_shuffle.dir/distributed_shuffle.cpp.o.d"
+  "distributed_shuffle"
+  "distributed_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equi_depth_histogram.dir/equi_depth_histogram.cpp.o"
+  "CMakeFiles/equi_depth_histogram.dir/equi_depth_histogram.cpp.o.d"
+  "equi_depth_histogram"
+  "equi_depth_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equi_depth_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

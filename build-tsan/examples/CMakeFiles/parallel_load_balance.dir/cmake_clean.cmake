@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_load_balance.dir/parallel_load_balance.cpp.o"
+  "CMakeFiles/parallel_load_balance.dir/parallel_load_balance.cpp.o.d"
+  "parallel_load_balance"
+  "parallel_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percentile_monitor.dir/percentile_monitor.cpp.o"
+  "CMakeFiles/percentile_monitor.dir/percentile_monitor.cpp.o.d"
+  "percentile_monitor"
+  "percentile_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percentile_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/block_device.cpp" "src/CMakeFiles/emsplit.dir/em/block_device.cpp.o" "gcc" "src/CMakeFiles/emsplit.dir/em/block_device.cpp.o.d"
+  "/root/repo/src/em/io_pipeline.cpp" "src/CMakeFiles/emsplit.dir/em/io_pipeline.cpp.o" "gcc" "src/CMakeFiles/emsplit.dir/em/io_pipeline.cpp.o.d"
+  "/root/repo/src/em/io_stats.cpp" "src/CMakeFiles/emsplit.dir/em/io_stats.cpp.o" "gcc" "src/CMakeFiles/emsplit.dir/em/io_stats.cpp.o.d"
+  "/root/repo/src/em/memory_budget.cpp" "src/CMakeFiles/emsplit.dir/em/memory_budget.cpp.o" "gcc" "src/CMakeFiles/emsplit.dir/em/memory_budget.cpp.o.d"
+  "/root/repo/src/util/workload.cpp" "src/CMakeFiles/emsplit.dir/util/workload.cpp.o" "gcc" "src/CMakeFiles/emsplit.dir/util/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

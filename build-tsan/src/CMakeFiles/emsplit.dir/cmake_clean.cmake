@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsplit.dir/em/block_device.cpp.o"
+  "CMakeFiles/emsplit.dir/em/block_device.cpp.o.d"
+  "CMakeFiles/emsplit.dir/em/io_pipeline.cpp.o"
+  "CMakeFiles/emsplit.dir/em/io_pipeline.cpp.o.d"
+  "CMakeFiles/emsplit.dir/em/io_stats.cpp.o"
+  "CMakeFiles/emsplit.dir/em/io_stats.cpp.o.d"
+  "CMakeFiles/emsplit.dir/em/memory_budget.cpp.o"
+  "CMakeFiles/emsplit.dir/em/memory_budget.cpp.o.d"
+  "CMakeFiles/emsplit.dir/util/workload.cpp.o"
+  "CMakeFiles/emsplit.dir/util/workload.cpp.o.d"
+  "libemsplit.a"
+  "libemsplit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

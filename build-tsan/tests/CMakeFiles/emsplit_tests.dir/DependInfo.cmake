@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_async_determinism.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_async_determinism.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_async_determinism.cpp.o.d"
+  "/root/repo/tests/test_batched_io.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_batched_io.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_batched_io.cpp.o.d"
+  "/root/repo/tests/test_differential.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_differential.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_differential.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_histogram_extra.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_histogram_extra.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_histogram_extra.cpp.o.d"
+  "/root/repo/tests/test_intermixed.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_intermixed.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_intermixed.cpp.o.d"
+  "/root/repo/tests/test_linear_splitters.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_linear_splitters.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_linear_splitters.cpp.o.d"
+  "/root/repo/tests/test_merge_and_range.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_merge_and_range.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_merge_and_range.cpp.o.d"
+  "/root/repo/tests/test_multi_partition.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_multi_partition.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_multi_partition.cpp.o.d"
+  "/root/repo/tests/test_multi_select.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_multi_select.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_multi_select.cpp.o.d"
+  "/root/repo/tests/test_partitioning.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_partitioning.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_partitioning.cpp.o.d"
+  "/root/repo/tests/test_phase_profile.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_phase_profile.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_phase_profile.cpp.o.d"
+  "/root/repo/tests/test_range_writer.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_range_writer.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_range_writer.cpp.o.d"
+  "/root/repo/tests/test_sketch_and_variants.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_sketch_and_variants.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_sketch_and_variants.cpp.o.d"
+  "/root/repo/tests/test_sort.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_sort.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_sort.cpp.o.d"
+  "/root/repo/tests/test_sort_variants.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_sort_variants.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_sort_variants.cpp.o.d"
+  "/root/repo/tests/test_spec_and_types.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_spec_and_types.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_spec_and_types.cpp.o.d"
+  "/root/repo/tests/test_splitters.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_splitters.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_splitters.cpp.o.d"
+  "/root/repo/tests/test_substrate.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_substrate.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_substrate.cpp.o.d"
+  "/root/repo/tests/test_top_k_and_sizes.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_top_k_and_sizes.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_top_k_and_sizes.cpp.o.d"
+  "/root/repo/tests/test_verify_and_edges.cpp" "tests/CMakeFiles/emsplit_tests.dir/test_verify_and_edges.cpp.o" "gcc" "tests/CMakeFiles/emsplit_tests.dir/test_verify_and_edges.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/emsplit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

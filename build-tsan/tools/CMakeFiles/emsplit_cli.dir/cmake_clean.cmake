@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsplit_cli.dir/emsplit_cli.cpp.o"
+  "CMakeFiles/emsplit_cli.dir/emsplit_cli.cpp.o.d"
+  "emsplit"
+  "emsplit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsplit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
