@@ -37,22 +37,24 @@ class JsonEmitter {
     out_ += "{";
   }
   void field(const char* key, const std::string& v) {
-    sep();
-    out_ += "\"" + std::string(key) + "\": \"" + v + "\"";
+    raw_field(key);
+    out_ += '"';
+    out_ += v;
+    out_ += '"';
   }
   void field(const char* key, double v) {
     char num[64];
     std::snprintf(num, sizeof num, "%.6g", v);
-    sep();
-    out_ += "\"" + std::string(key) + "\": " + num;
+    raw_field(key);
+    out_ += num;
   }
   void field(const char* key, std::uint64_t v) {
-    sep();
-    out_ += "\"" + std::string(key) + "\": " + std::to_string(v);
+    raw_field(key);
+    out_ += std::to_string(v);
   }
   void field(const char* key, bool v) {
-    sep();
-    out_ += "\"" + std::string(key) + "\": " + (v ? "true" : "false");
+    raw_field(key);
+    out_ += v ? "true" : "false";
   }
   void end_row() { out_ += "}"; }
 
@@ -66,9 +68,14 @@ class JsonEmitter {
   }
 
  private:
-  void sep() {
+  // Appends, not operator+ chains: sequential += sidesteps a GCC 12
+  // -Werror=restrict false positive in inlined basic_string concatenation.
+  void raw_field(const char* key) {
     if (!first_field_) out_ += ", ";
     first_field_ = false;
+    out_ += '"';
+    out_ += key;
+    out_ += "\": ";
   }
 
   std::string out_;

@@ -54,19 +54,36 @@ constexpr std::size_t kCmpRecords = std::size_t{1} << 20;
 struct ModeSpec {
   const char* name;
   IoTuning tuning;
+  CpuTuning cpu{1, 1};
 };
 
 struct ModeResult {
   double seconds = 0;
   std::uint64_t ios = 0;
   std::uint64_t peak = 0;
+  std::uint64_t checksum = 0;
   bool sorted = false;
 };
+
+// Order-sensitive FNV-1a over the output records: equal checksums across
+// modes certify bit-identical output, the cheap half of the determinism
+// contract (test_parallel_determinism.cpp holds the strict version).
+std::uint64_t checksum_em(EmVector<Record>& v) {
+  StreamReader<Record> r(v);
+  std::uint64_t h = 1469598103934665603ull;
+  while (!r.done()) {
+    const Record rec = r.next();
+    h = (h ^ rec.key) * 1099511628211ull;
+    h = (h ^ rec.payload) * 1099511628211ull;
+  }
+  return h;
+}
 
 ModeResult run_sort_mode(const ModeSpec& mode) {
   FileBlockDevice dev(bench_path("cmp_sort"), kCmpBlockBytes);
   Context ctx(dev, kCmpMemBlocks * kCmpBlockBytes);
   ctx.set_io_tuning(mode.tuning);
+  ctx.set_cpu_tuning(mode.cpu);
   auto host = make_workload(Workload::kUniform, kCmpRecords, 42);
   auto data = materialize<Record>(ctx, host);
   ModeResult res;
@@ -80,6 +97,7 @@ ModeResult run_sort_mode(const ModeSpec& mode) {
     res.ios = dev.stats().total();
     res.peak = ctx.budget().peak();
     res.sorted = is_sorted_em<Record>(sorted);
+    res.checksum = checksum_em(sorted);
     if (rep == 0 || dt.count() < res.seconds) res.seconds = dt.count();
   }
   return res;
@@ -89,6 +107,7 @@ ModeResult run_partition_mode(const ModeSpec& mode) {
   FileBlockDevice dev(bench_path("cmp_part"), kCmpBlockBytes);
   Context ctx(dev, kCmpMemBlocks * kCmpBlockBytes);
   ctx.set_io_tuning(mode.tuning);
+  ctx.set_cpu_tuning(mode.cpu);
   auto host = make_workload(Workload::kUniform, kCmpRecords, 43);
   auto data = materialize<Record>(ctx, host);
   std::vector<std::uint64_t> ranks;
@@ -106,6 +125,7 @@ ModeResult run_partition_mode(const ModeSpec& mode) {
     res.ios = dev.stats().total();
     res.peak = ctx.budget().peak();
     res.sorted = part.bounds.size() == 65;
+    res.checksum = checksum_em(part.data);
     if (rep == 0 || dt.count() < res.seconds) res.seconds = dt.count();
   }
   return res;
@@ -121,41 +141,66 @@ void run_mode_comparison() {
        IoTuning{.batch_blocks = 32, .queue_depth = 0, .async = false}},
       {"async",
        IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true}},
+      // CPU-parallel legs on top of the async pipeline: same stream geometry
+      // as "async", so I/O totals and output checksums must match it exactly
+      // for every thread count (the determinism contract).  sort_shards = 8
+      // is geometry too, but record order is total, so even it cannot move
+      // a byte.  On a single-core host these report honestly flat times.
+      {"async+t2", IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true},
+       CpuTuning{2, 8}},
+      {"async+t4", IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true},
+       CpuTuning{4, 8}},
   };
 
   bench::JsonEmitter json("wallclock");
   std::printf(
-      "# E10a: sync vs batched vs async, FileBlockDevice, B = %zu bytes, "
-      "M = %zu blocks, N = %zu records\n",
+      "# E10a: sync vs batched vs async vs async+threads, FileBlockDevice, "
+      "B = %zu bytes, M = %zu blocks, N = %zu records\n",
       kCmpBlockBytes, kCmpMemBlocks, kCmpRecords);
-  std::printf("# %-16s %-8s %10s %12s %10s %8s\n", "op", "mode", "secs",
+  std::printf("# %-16s %-9s %10s %12s %10s %8s\n", "op", "mode", "secs",
               "ios", "peak/M", "speedup");
 
   for (const bool is_sort : {true, false}) {
     double sync_secs = 0;
+    std::uint64_t async_ios = 0;
+    std::uint64_t async_checksum = 0;
     for (const auto& mode : modes) {
+      const std::string name = mode.name;
       const ModeResult r =
           is_sort ? run_sort_mode(mode) : run_partition_mode(mode);
-      if (std::string(mode.name) == "sync") sync_secs = r.seconds;
+      if (name == "sync") sync_secs = r.seconds;
+      if (name == "async") {
+        async_ios = r.ios;
+        async_checksum = r.checksum;
+      }
+      // Threaded legs share the async stream geometry, so both halves of the
+      // determinism contract are checkable right here.
+      const bool deterministic = name.rfind("async+", 0) != 0 ||
+                                 (r.ios == async_ios &&
+                                  r.checksum == async_checksum);
       const double speedup = r.seconds > 0 ? sync_secs / r.seconds : 0.0;
       const double peak_frac = static_cast<double>(r.peak) /
                                static_cast<double>(kCmpMemBlocks * kCmpBlockBytes);
-      std::printf("  %-16s %-8s %10.3f %12llu %10.3f %7.2fx%s\n",
+      std::printf("  %-16s %-9s %10.3f %12llu %10.3f %7.2fx%s%s\n",
                   is_sort ? "external_sort" : "multi_partition", mode.name,
                   r.seconds, static_cast<unsigned long long>(r.ios), peak_frac,
-                  speedup, r.sorted ? "" : "  [CHECK FAILED]");
+                  speedup, r.sorted ? "" : "  [CHECK FAILED]",
+                  deterministic ? "" : "  [DETERMINISM FAILED]");
       json.begin_row();
       json.field("op", std::string(is_sort ? "external_sort" : "multi_partition"));
       json.field("mode", std::string(mode.name));
       json.field("batch_blocks", static_cast<std::uint64_t>(mode.tuning.batch_blocks));
       json.field("queue_depth", static_cast<std::uint64_t>(mode.tuning.queue_depth));
       json.field("async", mode.tuning.async);
+      json.field("threads", static_cast<std::uint64_t>(mode.cpu.threads));
+      json.field("sort_shards", static_cast<std::uint64_t>(mode.cpu.sort_shards));
       json.field("block_bytes", static_cast<std::uint64_t>(kCmpBlockBytes));
       json.field("mem_blocks", static_cast<std::uint64_t>(kCmpMemBlocks));
       json.field("records", static_cast<std::uint64_t>(kCmpRecords));
       json.field("seconds", r.seconds);
       json.field("ios", r.ios);
       json.field("peak_bytes", r.peak);
+      json.field("checksum", r.checksum);
       json.field("speedup_vs_sync", speedup);
       json.end_row();
     }

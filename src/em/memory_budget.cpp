@@ -8,16 +8,27 @@ MemoryReservation MemoryBudget::reserve(std::size_t bytes) {
   return MemoryReservation(*this, bytes);
 }
 
+std::optional<MemoryReservation> MemoryBudget::try_reserve(std::size_t bytes) {
+  if (bytes > available()) return std::nullopt;
+  return MemoryReservation(*this, bytes);
+}
+
 void MemoryBudget::acquire(std::size_t bytes) {
   if (bytes > capacity_ - used_) {
-    std::string held = " live reservations:";
+    std::string msg = "MemoryBudget: reserving ";
+    msg += std::to_string(bytes);
+    msg += " bytes over capacity ";
+    msg += std::to_string(capacity_);
+    msg += " with ";
+    msg += std::to_string(used_);
+    msg += " already used; live reservations:";
     for (const auto& [size, count] : live_) {
-      held += " " + std::to_string(count) + "x" + std::to_string(size);
+      msg += ' ';
+      msg += std::to_string(count);
+      msg += 'x';
+      msg += std::to_string(size);
     }
-    throw BudgetExceeded("MemoryBudget: reserving " + std::to_string(bytes) +
-                         " bytes over capacity " + std::to_string(capacity_) +
-                         " with " + std::to_string(used_) + " already used;" +
-                         held);
+    throw BudgetExceeded(msg);
   }
   used_ += bytes;
   peak_ = std::max(peak_, used_);

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -31,7 +32,10 @@ class BudgetExceeded : public std::logic_error {
 class MemoryReservation;
 
 /// Tracks reserved bytes against a fixed capacity, with a peak high-water
-/// mark.  Single-threaded, like everything in the EM layer.
+/// mark.  All reservations are made on the main thread: CPU pool tasks
+/// (em/thread_pool.hpp) receive their scratch from the caller, which sizes
+/// it with try_reserve() before dispatch and falls back to the serial code
+/// path when the budget has no room for per-thread state.
 class MemoryBudget {
  public:
   explicit MemoryBudget(std::size_t capacity_bytes)
@@ -49,6 +53,12 @@ class MemoryBudget {
 
   /// Reserve `bytes`; throws BudgetExceeded if the budget cannot hold them.
   [[nodiscard]] MemoryReservation reserve(std::size_t bytes);
+
+  /// Reserve `bytes` if they fit, nullopt otherwise.  For *optional* state —
+  /// parallel kernels use it for per-thread scratch and degrade to their
+  /// serial loop when M is too tight, rather than failing the run.
+  [[nodiscard]] std::optional<MemoryReservation> try_reserve(
+      std::size_t bytes);
 
   void reset_peak() noexcept { peak_ = used_; }
 

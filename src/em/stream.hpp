@@ -144,6 +144,29 @@ class StreamReader {
     pos_ += n;
   }
 
+  /// The resident records from the current position to the end of the
+  /// buffered group (never empty unless done()).  Fills the buffer if
+  /// needed.  Batch consumers (parallel classification, quintet formation)
+  /// process this span in place — data-parallel over the same blocks a
+  /// record-at-a-time loop would have read, so I/O counts cannot differ —
+  /// then retire it with consume().  The span is invalidated by any other
+  /// call on the reader.
+  [[nodiscard]] std::span<const T> peek_span() {
+    assert(!done());
+    fill();
+    const Buffer& buf = buffers_[cur_];
+    const std::size_t off = pos_ - buf.first_block * shape_.block_records;
+    const std::size_t avail =
+        std::min(group_span(buf.first_block, buf.nblocks) - off, end_ - pos_);
+    return std::span<const T>(buf.records.data() + off, avail);
+  }
+
+  /// Consume `n` records previously exposed by peek_span().
+  void consume(std::size_t n) {
+    assert(n <= remaining());
+    pos_ += n;
+  }
+
  private:
   struct Buffer {
     std::vector<T> records;

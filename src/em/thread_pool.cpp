@@ -1,0 +1,96 @@
+#include "em/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace emsplit {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // run() always drains its own batch before returning, so there is
+    // nothing in flight here unless a task is still being torn down.
+    stop_ = true;
+  }
+  batch_ready_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run(std::size_t ntasks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (ntasks == 0) return;
+  if (workers_.empty() || ntasks == 1) {
+    // Serial fast path: no pool traffic, exceptions propagate directly (a
+    // left-to-right loop already surfaces the smallest failing index).
+    for (std::size_t i = 0; i < ntasks; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    assert(fn_ == nullptr && "ThreadPool::run is not reentrant");
+    fn_ = &fn;
+    ntasks_ = ntasks;
+    next_ = 0;
+    pending_ = ntasks;
+    errors_.clear();
+    ++generation_;
+  }
+  batch_ready_.notify_all();
+  work_on_batch();
+  std::unique_lock<std::mutex> lk(mu_);
+  batch_done_.wait(lk, [this] { return pending_ == 0; });
+  fn_ = nullptr;
+  if (!errors_.empty()) {
+    const auto first = std::min_element(
+        errors_.begin(), errors_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::exception_ptr err = first->second;
+    errors_.clear();
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::work_on_batch() {
+  for (;;) {
+    std::size_t i = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (next_ == ntasks_) return;
+      i = next_++;
+    }
+    std::exception_ptr err;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (err != nullptr) errors_.emplace_back(i, err);
+      if (--pending_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      batch_ready_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    work_on_batch();
+  }
+}
+
+}  // namespace emsplit

@@ -37,9 +37,23 @@
 #include "em/phase_profile.hpp"
 #include "em/em_vector.hpp"
 #include "em/stream.hpp"
+#include "em/thread_pool.hpp"
 #include "select/linear_splitters.hpp"
+#include "sort/chunk_sort.hpp"
 
 namespace emsplit {
+
+/// One maximal run of output as realized by the partition recursion.  Cut
+/// boundaries are exact counts, so every realized run already occupies its
+/// final record range; a `sorted` run (an in-memory leaf) is moreover in
+/// final sorted order, while an unsorted one (a finished partition streamed
+/// straight through) still needs an internal sort if the caller wants total
+/// order.  distribution_sort exploits this to skip re-sorting leaf output.
+struct MultiPartitionSpan {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool sorted = false;
+};
 
 template <EmRecord T>
 struct MultiPartitionResult {
@@ -47,9 +61,16 @@ struct MultiPartitionResult {
   EmVector<T> data;
   /// Partition i occupies records [bounds[i], bounds[i+1]) of `data`.
   std::vector<std::uint64_t> bounds;
+  /// Disjoint realized runs tiling [0, n), in increasing position order.
+  std::vector<MultiPartitionSpan> spans;
 };
 
 namespace detail {
+
+/// Below this many resident records a classification batch is not worth a
+/// pool dispatch; the serial per-record loop runs instead.  An execution
+/// threshold, not geometry: both paths push the same sequence.
+inline constexpr std::size_t kClassifyGrain = 1024;
 
 /// Distribution fan-out this context supports: d output stream buffers plus
 /// a reader, the transient edge-merge block a RangeWriter flush may need,
@@ -116,7 +137,8 @@ template <EmRecord T, typename Less>
 void partition_node(Context& ctx, const EmVector<T>* root, std::size_t first,
                     std::size_t last, EmVector<T> owned,
                     std::span<const std::uint64_t> ranks, EmVector<T>& out,
-                    std::size_t out_offset, Less less) {
+                    std::size_t out_offset, Less less,
+                    std::vector<MultiPartitionSpan>& spans) {
   const EmVector<T>& src = owned.bound() ? owned : *root;
   if (owned.bound()) {
     first = 0;
@@ -131,6 +153,7 @@ void partition_node(Context& ctx, const EmVector<T>* root, std::size_t first,
     RangeWriter<T> writer(out, out_offset);
     while (!reader.done()) writer.push(reader.next());
     writer.finish();
+    if (n > 0) spans.push_back({out_offset, out_offset + n, false});
     owned.reset();
     return;
   }
@@ -140,14 +163,18 @@ void partition_node(Context& ctx, const EmVector<T>* root, std::size_t first,
     // Memory-sized piece: sort it in memory; the sorted run realizes every
     // remaining rank at once.  This caps the recursion depth at
     // O(log_{M/B} min{K, N/M'}) — the min{...} terms in the paper's
-    // Theorems 3 and 6.
+    // Theorems 3 and 6.  The sort is shard-parallel (chunk_sort.hpp); the
+    // merged push sequence is the same as a single std::sort's, so the
+    // RangeWriter performs identical I/O.
     auto res = ctx.budget().reserve(n * sizeof(T));
     std::vector<T> buf(n);
     load_range<T>(src, first, buf);
-    std::sort(buf.begin(), buf.end(), less);
+    const auto shards = sort_shards_in_place<T>(ctx, std::span<T>(buf), less);
     RangeWriter<T> writer(out, out_offset);
-    for (const T& v : buf) writer.push(v);
+    merge_shards<T>(std::span<const T>(buf), shards, less,
+                    [&writer](const T& v) { writer.push(v); });
     writer.finish();
+    spans.push_back({out_offset, out_offset + n, true});
     owned.reset();
     return;
   }
@@ -224,6 +251,18 @@ void partition_node(Context& ctx, const EmVector<T>* root, std::size_t first,
     }
     std::sort(picked.begin(), picked.end());
     picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+    // The distribution pass affords `fan` sink streams, so at most fan-1
+    // cuts; bracketing can exceed that at tiny fan (each target contributes
+    // two boundaries).  Keep an evenly spaced subset — extra cuts only ever
+    // refine, so dropping some costs depth, never correctness.
+    if (const std::size_t max_cuts = fan - 1; picked.size() > max_cuts) {
+      std::vector<std::size_t> trimmed;
+      trimmed.reserve(max_cuts);
+      for (std::size_t i = 0; i < max_cuts; ++i) {
+        trimmed.push_back(picked[(i + 1) * picked.size() / (max_cuts + 1)]);
+      }
+      picked = std::move(trimmed);
+    }
     for (const std::size_t j : picked) {
       cut_ranks.push_back(cum[j]);
       cut_elems.push_back(sp[j]);
@@ -258,6 +297,11 @@ void partition_node(Context& ctx, const EmVector<T>* root, std::size_t first,
       if (ri_lo[q] == ri_hi[q]) {
         sinks[q].direct_writer = std::make_unique<RangeWriter<T>>(
             out, out_offset + static_cast<std::size_t>(lo[q]));
+        // A direct bucket is a realized run too — it just never reaches a
+        // leaf of the recursion, so record its span here.
+        if (hi[q] > lo[q]) {
+          spans.push_back({out_offset + lo[q], out_offset + hi[q], false});
+        }
       } else {
         sinks[q].scratch =
             EmVector<T>(ctx, static_cast<std::size_t>(hi[q] - lo[q]));
@@ -265,13 +309,45 @@ void partition_node(Context& ctx, const EmVector<T>* root, std::size_t first,
             std::make_unique<StreamWriter<T>>(sinks[q].scratch);
       }
     }
-    StreamReader<T> reader(src, first, last);
-    while (!reader.done()) {
-      const T e = reader.next();
+    // Pivot classification is data-parallel over each resident block batch:
+    // lanes fill a per-record bucket-index array concurrently, then the main
+    // thread pushes the records in stream order — the sink push sequence
+    // (and hence every write) is identical to the serial loop's for any
+    // thread count.  The index array is optional scratch: when the budget
+    // is too tight next to the sink buffers (or the batch is too small to
+    // pay for a dispatch), the per-record serial path runs instead.
+    auto classify = [&](const T& e) {
       const auto it = std::lower_bound(
           cut_elems.begin(), cut_elems.end(), e,
           [&](const T& p, const T& x) { return less(p, x); });
-      sinks[static_cast<std::size_t>(it - cut_elems.begin())].push(e);
+      return static_cast<std::size_t>(it - cut_elems.begin());
+    };
+    ThreadPool* pool = ctx.cpu_pool();
+    std::optional<MemoryReservation> idx_res;
+    std::vector<std::uint32_t> idx;
+    if (pool != nullptr) {
+      const std::size_t group =
+          ctx.io_tuning().batch_blocks * ctx.block_records<T>();
+      idx_res = ctx.budget().try_reserve(group * sizeof(std::uint32_t));
+      if (idx_res.has_value()) idx.resize(group);
+    }
+    StreamReader<T> reader(src, first, last);
+    while (!reader.done()) {
+      const std::span<const T> sp = reader.peek_span();
+      if (sp.size() >= kClassifyGrain && sp.size() <= idx.size()) {
+        const std::size_t lanes = ctx.cpu_lanes();
+        pool->run(lanes, [&](std::size_t t) {
+          const std::size_t beg = sp.size() * t / lanes;
+          const std::size_t end = sp.size() * (t + 1) / lanes;
+          for (std::size_t i = beg; i < end; ++i) {
+            idx[i] = static_cast<std::uint32_t>(classify(sp[i]));
+          }
+        });
+        for (std::size_t i = 0; i < sp.size(); ++i) sinks[idx[i]].push(sp[i]);
+      } else {
+        for (const T& e : sp) sinks[classify(e)].push(e);
+      }
+      reader.consume(sp.size());
     }
     for (auto& sink : sinks) {
       sink.finish();
@@ -297,7 +373,7 @@ void partition_node(Context& ctx, const EmVector<T>* root, std::size_t first,
     partition_node<T, Less>(ctx, nullptr, 0, 0, std::move(sinks[q].scratch),
                             sub, out,
                             out_offset + static_cast<std::size_t>(lo[q]),
-                            less);
+                            less, spans);
   }
 }
 
@@ -333,8 +409,13 @@ template <EmRecord T, typename Less = std::less<T>>
   MultiPartitionResult<T> result;
   result.data = EmVector<T>(ctx, n);
   detail::partition_node<T, Less>(ctx, &input, first, last, EmVector<T>{},
-                                  split_ranks, result.data, 0, less);
+                                  split_ranks, result.data, 0, less,
+                                  result.spans);
   result.data.set_size(n);
+  std::sort(result.spans.begin(), result.spans.end(),
+            [](const MultiPartitionSpan& a, const MultiPartitionSpan& b) {
+              return a.lo < b.lo;
+            });
   result.bounds.reserve(split_ranks.size() + 2);
   result.bounds.push_back(0);
   result.bounds.insert(result.bounds.end(), split_ranks.begin(),

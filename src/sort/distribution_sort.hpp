@@ -11,12 +11,15 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <functional>
+#include <optional>
 
 #include "em/context.hpp"
 #include "em/em_vector.hpp"
 #include "em/stream.hpp"
 #include "partition/multi_partition.hpp"
+#include "sort/chunk_sort.hpp"
 
 namespace emsplit {
 
@@ -33,21 +36,56 @@ template <EmRecord T, typename Less = std::less<T>>
   for (std::size_t r = segment; r < n; r += segment) ranks.push_back(r);
   auto part = multi_partition<T, Less>(ctx, input, ranks, less);
 
-  // Final pass: sort each segment in memory.  Segments that the recursion
-  // already realized through in-memory leaves are sorted again — harmless
-  // for correctness; the pass is two scans either way.
+  // Final pass: every realized run already sits at its final record range
+  // (cut counts are exact), so runs the recursion sorted through in-memory
+  // leaves are *done* — re-reading them would be pure waste.  Only the
+  // unsorted runs (finished partitions streamed through leaf-copy) still
+  // need an internal sort.  Each one is confined between consecutive
+  // requested ranks, hence at most `segment` records; adjacent unsorted
+  // runs are coalesced up to the segment buffer before loading.
   EmVector<T> out = std::move(part.data);
   {
     auto res = ctx.budget().reserve(segment * sizeof(T));
     std::vector<T> buf(segment);
-    for (std::size_t i = 0; i + 1 < part.bounds.size(); ++i) {
-      const std::size_t lo = part.bounds[i];
-      const std::size_t hi = part.bounds[i + 1];
-      const auto span = std::span<T>(buf).subspan(0, hi - lo);
-      load_range<T>(out, lo, span);
-      std::sort(span.begin(), span.end(), less);
-      store_range<T>(out, lo, span);
+    // Scratch for the shard merge so the sorted group can stream out of a
+    // contiguous array; when M has no room next to `buf`, the in-place
+    // std::sort path runs instead (a geometry decision, thread-independent).
+    std::optional<MemoryReservation> scratch_res;
+    std::vector<T> scratch;
+    if (ctx.sort_shards() > 1) {
+      scratch_res = ctx.budget().try_reserve(segment * sizeof(T));
+      if (scratch_res.has_value()) scratch.resize(segment);
     }
+    std::size_t group_lo = 0;
+    std::size_t group_hi = 0;
+    const auto flush = [&] {
+      if (group_lo == group_hi) return;
+      const auto span = std::span<T>(buf).first(group_hi - group_lo);
+      load_range<T>(out, group_lo, span);
+      if (!scratch.empty()) {
+        const auto shards = detail::sort_shards_in_place<T>(ctx, span, less);
+        std::size_t filled = 0;
+        detail::merge_shards<T>(span, shards, less,
+                                [&](const T& v) { scratch[filled++] = v; });
+        store_range<T>(out, group_lo,
+                       std::span<const T>(scratch.data(), filled));
+      } else {
+        std::sort(span.begin(), span.end(), less);
+        store_range<T>(out, group_lo, span);
+      }
+      group_lo = group_hi;
+    };
+    for (const MultiPartitionSpan& s : part.spans) {
+      if (s.sorted) {
+        flush();
+        group_lo = group_hi = static_cast<std::size_t>(s.hi);
+        continue;
+      }
+      assert(s.hi - s.lo <= segment);
+      if (static_cast<std::size_t>(s.hi) - group_lo > segment) flush();
+      group_hi = static_cast<std::size_t>(s.hi);
+    }
+    flush();
   }
   return out;
 }

@@ -22,6 +22,7 @@
 #include "em/phase_profile.hpp"
 #include "em/em_vector.hpp"
 #include "em/stream.hpp"
+#include "sort/chunk_sort.hpp"
 #include "sort/loser_tree.hpp"
 #include "sort/replacement_selection.hpp"
 
@@ -48,21 +49,30 @@ namespace detail {
 using RunOffsets = std::vector<std::size_t>;
 
 /// Phase 1 — split `input` into sorted runs written to a fresh vector.
+///
+/// Runs are produced through a StreamReader/StreamWriter pair so that the
+/// async tuning's read-ahead and write-behind overlap with the in-memory
+/// sorting: while chunk i sorts (shard-parallel on the CPU pool, see
+/// chunk_sort.hpp), up to queue_depth prefetched groups of chunk i + 1 are
+/// already in flight, and the merged output of chunk i drains behind the
+/// computation.  The chunk size is M minus the two stream footprints —
+/// at the default tuning that is the classic M - 2B, so the default path
+/// reproduces the seed's run geometry and I/O counts exactly.
 template <EmRecord T, typename Less>
 std::pair<EmVector<T>, RunOffsets> form_runs(Context& ctx,
                                              const EmVector<T>& input,
                                              Less less) {
   ScopedPhase phase(ctx.profile(), "sort/run-formation");
   const std::size_t b = ctx.block_records<T>();
-  // Leave room for load/store transfer buffers (2 blocks) on top of chunk.
-  // The chunk size deliberately ignores the I/O tuning: bulk load/store
-  // coalesce their aligned extents straight into `buf`, so batching changes
-  // neither the run geometry nor the I/O counts here.
   const std::size_t mem = ctx.mem_records<T>();
-  const std::size_t chunk = std::max<std::size_t>(b, mem - 2 * b);
+  const std::size_t sb = ctx.stream_blocks() * b;  // one stream's records
   EmVector<T> runs(ctx, input.size());
   RunOffsets offsets{0};
-  {
+  if (mem < 2 * sb + b) {
+    // Degenerate tuning: the stream pair leaves no room for even a block of
+    // chunk.  Fall back to the bulk load/sort/store path (chunk M - 2B, one
+    // transfer buffer at a time), which needs no stream footprints.
+    const std::size_t chunk = std::max<std::size_t>(b, mem - 2 * b);
     auto chunk_res = ctx.budget().reserve(chunk * sizeof(T));
     std::vector<T> buf(chunk);
     for (std::size_t first = 0; first < input.size(); first += chunk) {
@@ -73,6 +83,29 @@ std::pair<EmVector<T>, RunOffsets> form_runs(Context& ctx,
       store_range<T>(runs, first, span);
       offsets.push_back(first + len);
     }
+  } else {
+    const std::size_t chunk = mem - 2 * sb;
+    auto chunk_res = ctx.budget().reserve(chunk * sizeof(T));
+    std::vector<T> buf(chunk);
+    StreamReader<T> reader(input);
+    StreamWriter<T> writer(runs);
+    while (!reader.done()) {
+      const std::size_t len = std::min(chunk, reader.remaining());
+      std::size_t got = 0;
+      while (got < len) {
+        const std::span<const T> sp = reader.peek_span();
+        const std::size_t take = std::min(sp.size(), len - got);
+        std::copy_n(sp.data(), take, buf.data() + got);
+        reader.consume(take);
+        got += take;
+      }
+      const auto span = std::span<T>(buf).first(len);
+      const auto shards = sort_shards_in_place<T>(ctx, span, less);
+      merge_shards<T>(span, shards, less,
+                      [&writer](const T& v) { writer.push(v); });
+      offsets.push_back(offsets.back() + len);
+    }
+    writer.finish();
   }
   runs.set_size(input.size());
   if (input.empty()) offsets.push_back(0);

@@ -16,6 +16,13 @@
 // Global options (before the subcommand):
 //   --block-bytes=N   simulated block size            [default 4096]
 //   --mem-bytes=N     simulated memory budget         [default 1048576]
+//   --threads=N       CPU worker threads              [default 1]
+//   --sort-shards=N   in-memory sort shard geometry   [default 1]
+//
+// --threads is pure execution width: for any value, the reported I/O cost
+// and the output bytes are identical (the determinism contract in
+// docs/model.md).  --sort-shards changes the in-memory sort geometry, but
+// record order is total, so outputs still match bit-for-bit.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -34,12 +41,19 @@ using namespace emsplit;
 struct Options {
   std::size_t block_bytes = 4096;
   std::size_t mem_bytes = 1 << 20;
+  std::size_t threads = 1;
+  std::size_t sort_shards = 1;
 };
+
+void apply_cpu_tuning(Context& ctx, const Options& opt) {
+  ctx.set_cpu_tuning(CpuTuning{opt.threads, opt.sort_shards});
+}
 
 [[noreturn]] void usage(const char* why = nullptr) {
   if (why != nullptr) std::fprintf(stderr, "error: %s\n\n", why);
   std::fprintf(stderr,
-               "usage: emsplit [--block-bytes=N] [--mem-bytes=N] <command>\n"
+               "usage: emsplit [--block-bytes=N] [--mem-bytes=N]"
+               " [--threads=N] [--sort-shards=N] <command>\n"
                "  gen       <file> <n> [workload] [seed]   create a dataset\n"
                "  sort      <in> <out>                     external sort\n"
                "  select    <file> <rank> [rank ...]       multi-selection\n"
@@ -139,6 +153,7 @@ int cmd_sort(const Options& opt, int argc, char** argv) {
   if (argc < 2) usage("sort needs <in> <out>");
   MemoryBlockDevice dev(opt.block_bytes);
   Context ctx(dev, opt.mem_bytes);
+  apply_cpu_tuning(ctx, opt);
   // Streamed in block-sized pieces: the dataset never has to fit in host
   // memory, matching the library's own discipline.
   auto data = import_file<Record>(ctx, argv[0]);
@@ -157,6 +172,7 @@ int cmd_select(const Options& opt, int argc, char** argv) {
   for (int i = 1; i < argc; ++i) ranks.push_back(parse_u64(argv[i], "rank"));
   MemoryBlockDevice dev(opt.block_bytes);
   Context ctx(dev, opt.mem_bytes);
+  apply_cpu_tuning(ctx, opt);
   auto data = materialize<Record>(ctx, host);
   dev.reset_stats();
   auto got = multi_select<Record>(ctx, data, ranks);
@@ -176,6 +192,7 @@ int cmd_splitters(const Options& opt, int argc, char** argv) {
                         .b = parse_u64(argv[3], "b")};
   MemoryBlockDevice dev(opt.block_bytes);
   Context ctx(dev, opt.mem_bytes);
+  apply_cpu_tuning(ctx, opt);
   auto data = materialize<Record>(ctx, host);
   dev.reset_stats();
   auto splitters = approx_splitters<Record>(ctx, data, spec);
@@ -204,6 +221,7 @@ int cmd_partition(const Options& opt, int argc, char** argv) {
                         .b = parse_u64(argv[4], "b")};
   MemoryBlockDevice dev(opt.block_bytes);
   Context ctx(dev, opt.mem_bytes);
+  apply_cpu_tuning(ctx, opt);
   auto data = materialize<Record>(ctx, host);
   dev.reset_stats();
   auto result = approx_partitioning<Record>(ctx, data, spec);
@@ -229,6 +247,7 @@ int cmd_histogram(const Options& opt, int argc, char** argv) {
   const double slack = argc > 2 ? std::strtod(argv[2], nullptr) : 0.0;
   MemoryBlockDevice dev(opt.block_bytes);
   Context ctx(dev, opt.mem_bytes);
+  apply_cpu_tuning(ctx, opt);
   auto data = materialize<Record>(ctx, host);
   dev.reset_stats();
   auto h = build_equi_depth_histogram<Record>(ctx, data, buckets, slack);
@@ -258,6 +277,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--mem-bytes=", 0) == 0) {
       opt.mem_bytes =
           static_cast<std::size_t>(parse_u64(arg.c_str() + 12, "mem-bytes"));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt.threads =
+          static_cast<std::size_t>(parse_u64(arg.c_str() + 10, "threads"));
+    } else if (arg.rfind("--sort-shards=", 0) == 0) {
+      opt.sort_shards = static_cast<std::size_t>(
+          parse_u64(arg.c_str() + 14, "sort-shards"));
     } else {
       usage(("unknown option " + arg).c_str());
     }
