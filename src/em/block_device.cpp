@@ -3,11 +3,45 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace emsplit {
+
+namespace {
+
+/// FNV-1a over a byte span — the block checksum.
+std::uint64_t fnv1a(std::span<const std::byte> bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// splitmix64: the probabilistic schedule's per-attempt uniform draw.
+double uniform_draw(std::uint64_t seed, std::uint64_t counter) {
+  std::uint64_t z = seed + (counter + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+std::string fault_message(const char* op, BlockId first, std::uint64_t count,
+                          std::uint64_t completed, bool transient) {
+  return std::string("injected ") + (transient ? "transient" : "permanent") +
+         " fault on " + op + ": blocks [" + std::to_string(first) + ", " +
+         std::to_string(first + count) + "), " + std::to_string(completed) +
+         "/" + std::to_string(count) + " transferred";
+}
+
+}  // namespace
 
 BlockDevice::BlockDevice(std::size_t block_bytes) : block_bytes_(block_bytes) {
   if (block_bytes_ == 0) {
@@ -43,6 +77,14 @@ BlockRange BlockDevice::allocate(std::uint64_t count) {
 void BlockDevice::deallocate(const BlockRange& range) noexcept {
   if (!range.valid() || range.count == 0) return;
   allocated_blocks_ -= range.count;
+  {
+    // Drop checksum entries with the extent: a recycled block's first read
+    // (before its first write) must not be judged against a dead owner's
+    // checksum.
+    const std::lock_guard<std::mutex> lock(sum_mu_);
+    sums_.erase(sums_.lower_bound(range.first),
+                sums_.lower_bound(range.first + range.count));
+  }
   BlockId first = range.first;
   std::uint64_t count = range.count;
   // Coalesce with the successor extent if adjacent.
@@ -83,33 +125,179 @@ void BlockDevice::check_range(BlockId first, std::uint64_t count,
   }
 }
 
-std::uint64_t BlockDevice::fault_allowance(std::uint64_t count) {
-  if (!fault_armed_.load(std::memory_order_acquire)) return count;
+BlockDevice::FaultDecision BlockDevice::fault_check(std::uint64_t count) {
+  if (!fault_armed_.load(std::memory_order_acquire)) return {count, false, false};
   const std::lock_guard<std::mutex> lock(fault_mu_);
-  if (!fault_armed_.load(std::memory_order_relaxed)) return count;
-  if (fault_countdown_ >= count) {
-    fault_countdown_ -= count;
-    return count;
+  if (!fault_armed_.load(std::memory_order_relaxed)) return {count, false, false};
+  switch (schedule_.kind) {
+    case FaultSchedule::Kind::kOneShot:
+      if (fault_countdown_ >= count) {
+        fault_countdown_ -= count;
+        return {count, false, false};
+      } else {
+        // The fault fires inside this request: allow the I/Os before it,
+        // disarm (one-shot).
+        const std::uint64_t allowed = fault_countdown_;
+        fault_countdown_ = 0;
+        fault_armed_.store(false, std::memory_order_relaxed);
+        return {allowed, true, schedule_.transient};
+      }
+    case FaultSchedule::Kind::kFailThenSucceed:
+      if (fault_countdown_ >= count) {
+        fault_countdown_ -= count;
+        return {count, false, false};
+      } else {
+        // One faulting *attempt* per consultation; the burst counts attempts,
+        // so a retry re-enters here and consumes the next one.
+        const std::uint64_t allowed = fault_countdown_;
+        fault_countdown_ = 0;
+        if (--fault_burst_left_ == 0) {
+          fault_armed_.store(false, std::memory_order_relaxed);
+        }
+        return {allowed, true, schedule_.transient};
+      }
+    case FaultSchedule::Kind::kEveryNth: {
+      if (schedule_.period == 0) return {count, false, false};
+      for (std::uint64_t j = 0; j < count; ++j) {
+        ++fault_attempts_;
+        if (fault_attempts_ % schedule_.period == 0) {
+          return {j, true, schedule_.transient};
+        }
+      }
+      return {count, false, false};
+    }
+    case FaultSchedule::Kind::kProbabilistic: {
+      for (std::uint64_t j = 0; j < count; ++j) {
+        ++fault_attempts_;
+        if (uniform_draw(schedule_.seed, fault_attempts_) <
+            schedule_.probability) {
+          return {j, true, schedule_.transient};
+        }
+      }
+      return {count, false, false};
+    }
   }
-  // The fault fires inside this request: allow the I/Os before it, disarm.
-  const std::uint64_t allowed = fault_countdown_;
-  fault_countdown_ = 0;
-  fault_armed_.store(false, std::memory_order_relaxed);
-  return allowed;
+  return {count, false, false};
+}
+
+void BlockDevice::backoff_sleep(std::uint64_t attempt) const {
+  if (fault_policy_.backoff.count() <= 0) return;
+  const std::uint64_t shift = std::min<std::uint64_t>(attempt - 1, 20);
+  const auto delay = std::min(
+      fault_policy_.max_backoff,
+      std::chrono::microseconds(fault_policy_.backoff.count() << shift));
+  std::this_thread::sleep_for(delay);
+}
+
+void BlockDevice::record_sums(BlockId first, std::uint64_t count,
+                              std::span<const std::byte> in) {
+  const std::lock_guard<std::mutex> lock(sum_mu_);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * block_bytes_;
+    const std::size_t len = std::min(block_bytes_, in.size() - off);
+    sums_[first + i] = BlockSum{static_cast<std::uint32_t>(len),
+                                fnv1a(in.subspan(off, len))};
+  }
+}
+
+void BlockDevice::verify_sums(BlockId first, std::uint64_t count,
+                              std::span<const std::byte> data) const {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * block_bytes_;
+    const std::size_t len = std::min(block_bytes_, data.size() - off);
+    BlockSum expect;
+    {
+      const std::lock_guard<std::mutex> lock(sum_mu_);
+      const auto it = sums_.find(first + i);
+      if (it == sums_.end()) continue;  // never written (or recycled): trusted
+      expect = it->second;
+    }
+    // A read shorter than the recorded write cannot be verified — the hash
+    // covers bytes this transfer did not move.
+    if (len < expect.len) continue;
+    if (fnv1a(data.subspan(off, expect.len)) != expect.sum) {
+      throw CorruptBlock(
+          "checksum mismatch on block " + std::to_string(first + i) +
+              " (torn or corrupted since last write)",
+          first + i);
+    }
+  }
+}
+
+void BlockDevice::read_core(const char* op, BlockId first, std::uint64_t count,
+                            std::span<std::byte> out) {
+  std::uint64_t done = 0;
+  std::uint64_t attempt = 0;
+  const bool verify = checksums();
+  for (;;) {
+    const std::uint64_t want = count - done;
+    const auto span = out.subspan(static_cast<std::size_t>(done) * block_bytes_);
+    const FaultDecision d = fault_check(want);
+    if (d.allowed > 0) {
+      // The blocks before a mid-batch fault transfer (and count) normally;
+      // the faulting block itself moves no bytes.
+      const std::size_t bytes =
+          d.allowed == want ? span.size()
+                            : static_cast<std::size_t>(d.allowed) * block_bytes_;
+      do_read_blocks(first + done, d.allowed, span.first(bytes));
+      reads_.fetch_add(d.allowed, std::memory_order_relaxed);
+      if (verify) verify_sums(first + done, d.allowed, span.first(bytes));
+      done += d.allowed;
+    }
+    if (!d.fires) return;
+    // Transient faults are retried (resuming at the first untransferred
+    // block, so base counts match the fault-free run); permanent faults and
+    // exhausted retry budgets surface with the request attached.
+    if (d.transient && attempt < fault_policy_.max_retries) {
+      ++attempt;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      backoff_sleep(attempt);
+      continue;
+    }
+    throw DeviceFault(fault_message(op, first, count, done, d.transient),
+                      d.transient, "read", first, count, done);
+  }
+}
+
+void BlockDevice::write_core(const char* op, BlockId first,
+                             std::uint64_t count,
+                             std::span<const std::byte> in) {
+  std::uint64_t done = 0;
+  std::uint64_t attempt = 0;
+  const bool track = checksums();
+  for (;;) {
+    const std::uint64_t want = count - done;
+    const auto span = in.subspan(static_cast<std::size_t>(done) * block_bytes_);
+    const FaultDecision d = fault_check(want);
+    if (d.allowed > 0) {
+      const std::size_t bytes =
+          d.allowed == want ? span.size()
+                            : static_cast<std::size_t>(d.allowed) * block_bytes_;
+      do_write_blocks(first + done, d.allowed, span.first(bytes));
+      writes_.fetch_add(d.allowed, std::memory_order_relaxed);
+      if (track) record_sums(first + done, d.allowed, span.first(bytes));
+      done += d.allowed;
+    }
+    if (!d.fires) return;
+    if (d.transient && attempt < fault_policy_.max_retries) {
+      ++attempt;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      backoff_sleep(attempt);
+      continue;
+    }
+    throw DeviceFault(fault_message(op, first, count, done, d.transient),
+                      d.transient, "write", first, count, done);
+  }
 }
 
 void BlockDevice::read(BlockId block, std::span<std::byte> out) {
   check_range(block, 1, out.size(), "read");
-  if (fault_allowance(1) == 0) throw DeviceFault("injected fault on read");
-  do_read(block, out);
-  reads_.fetch_add(1, std::memory_order_relaxed);
+  read_core("read", block, 1, out);
 }
 
 void BlockDevice::write(BlockId block, std::span<const std::byte> in) {
   check_range(block, 1, in.size(), "write");
-  if (fault_allowance(1) == 0) throw DeviceFault("injected fault on write");
-  do_write(block, in);
-  writes_.fetch_add(1, std::memory_order_relaxed);
+  write_core("write", block, 1, in);
 }
 
 void BlockDevice::read_blocks(BlockId first, std::uint64_t count,
@@ -122,18 +310,7 @@ void BlockDevice::read_blocks(BlockId first, std::uint64_t count,
     return;
   }
   check_range(first, count, out.size(), "read_blocks");
-  const std::uint64_t allowed = fault_allowance(count);
-  if (allowed > 0) {
-    // The blocks before a mid-batch fault transfer (and count) normally;
-    // the faulting block itself moves no bytes, exactly as in read().
-    const std::size_t bytes =
-        allowed == count
-            ? out.size()
-            : static_cast<std::size_t>(allowed) * block_bytes_;
-    do_read_blocks(first, allowed, out.first(bytes));
-    reads_.fetch_add(allowed, std::memory_order_relaxed);
-  }
-  if (allowed < count) throw DeviceFault("injected fault on read_blocks");
+  read_core("read_blocks", first, count, out);
 }
 
 void BlockDevice::write_blocks(BlockId first, std::uint64_t count,
@@ -146,16 +323,115 @@ void BlockDevice::write_blocks(BlockId first, std::uint64_t count,
     return;
   }
   check_range(first, count, in.size(), "write_blocks");
-  const std::uint64_t allowed = fault_allowance(count);
-  if (allowed > 0) {
-    const std::size_t bytes =
-        allowed == count
-            ? in.size()
-            : static_cast<std::size_t>(allowed) * block_bytes_;
-    do_write_blocks(first, allowed, in.first(bytes));
-    writes_.fetch_add(allowed, std::memory_order_relaxed);
+  write_core("write_blocks", first, count, in);
+}
+
+void BlockDevice::corrupt_bit(BlockId block, std::size_t bit) {
+  if (block >= size_blocks() || bit >= block_bytes_ * 8) {
+    throw std::out_of_range("BlockDevice::corrupt_bit: beyond device/block");
   }
-  if (allowed < count) throw DeviceFault("injected fault on write_blocks");
+  // Uncounted raw access, checksum map deliberately untouched: the stored
+  // bytes now disagree with the recorded hash, exactly like real bit rot.
+  std::vector<std::byte> buf(block_bytes_);
+  do_read_blocks(block, 1, buf);
+  buf[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  do_write_blocks(block, 1, buf);
+}
+
+void BlockDevice::restore(std::uint64_t size_blocks,
+                          std::span<const BlockRange> live) {
+  if (allocated_blocks_ != 0) {
+    throw std::logic_error(
+        "BlockDevice::restore: device already has live allocations");
+  }
+  std::vector<BlockRange> sorted(live.begin(), live.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const BlockRange& a, const BlockRange& b) {
+              return a.first < b.first;
+            });
+  std::uint64_t need = size_blocks;
+  std::uint64_t total_live = 0;
+  for (const auto& r : sorted) {
+    if (!r.valid() || r.count == 0) continue;
+    need = std::max(need, r.first + r.count);
+    total_live += r.count;
+  }
+  const std::uint64_t old_size = size_blocks_.load(std::memory_order_relaxed);
+  if (need > old_size) {
+    size_blocks_.store(need, std::memory_order_relaxed);
+    do_grow(need);
+  }
+  // Free list = complement of the live extents; checksums outside the live
+  // extents are stale (their owners died with the old process) and dropped.
+  free_extents_.clear();
+  std::uint64_t cursor = 0;
+  for (const auto& r : sorted) {
+    if (!r.valid() || r.count == 0) continue;
+    if (r.first < cursor) {
+      throw std::invalid_argument(
+          "BlockDevice::restore: live extents overlap");
+    }
+    if (r.first > cursor) free_extents_.emplace(cursor, r.first - cursor);
+    cursor = r.first + r.count;
+  }
+  const std::uint64_t total = size_blocks_.load(std::memory_order_relaxed);
+  if (cursor < total) free_extents_.emplace(cursor, total - cursor);
+  allocated_blocks_ = total_live;
+  {
+    const std::lock_guard<std::mutex> lock(sum_mu_);
+    auto it = sums_.begin();
+    std::size_t li = 0;
+    while (it != sums_.end()) {
+      while (li < sorted.size() &&
+             sorted[li].first + sorted[li].count <= it->first) {
+        ++li;
+      }
+      const bool live_block = li < sorted.size() &&
+                              it->first >= sorted[li].first &&
+                              it->first < sorted[li].first + sorted[li].count;
+      it = live_block ? std::next(it) : sums_.erase(it);
+    }
+  }
+}
+
+void BlockDevice::save_sums(const std::string& path) const {
+  const std::lock_guard<std::mutex> lock(sum_mu_);
+  if (sums_.empty()) {
+    std::remove(path.c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return;  // best-effort: losing the sidecar only loses verification
+  const std::uint64_t n = sums_.size();
+  bool ok = std::fwrite(&n, sizeof(n), 1, f) == 1;
+  for (const auto& [block, s] : sums_) {
+    if (!ok) break;
+    ok = std::fwrite(&block, sizeof(block), 1, f) == 1 &&
+         std::fwrite(&s.len, sizeof(s.len), 1, f) == 1 &&
+         std::fwrite(&s.sum, sizeof(s.sum), 1, f) == 1;
+  }
+  std::fclose(f);
+  if (!ok) std::remove(path.c_str());
+}
+
+void BlockDevice::load_sums(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return;
+  std::uint64_t n = 0;
+  std::map<BlockId, BlockSum> loaded;
+  bool ok = std::fread(&n, sizeof(n), 1, f) == 1;
+  for (std::uint64_t i = 0; ok && i < n; ++i) {
+    BlockId block = 0;
+    BlockSum s;
+    ok = std::fread(&block, sizeof(block), 1, f) == 1 &&
+         std::fread(&s.len, sizeof(s.len), 1, f) == 1 &&
+         std::fread(&s.sum, sizeof(s.sum), 1, f) == 1;
+    if (ok) loaded.emplace(block, s);
+  }
+  std::fclose(f);
+  if (!ok) return;  // torn sidecar: start unverified rather than miscarry
+  const std::lock_guard<std::mutex> lock(sum_mu_);
+  sums_ = std::move(loaded);
 }
 
 void BlockDevice::do_read_blocks(BlockId first, std::uint64_t count,
@@ -243,18 +519,27 @@ void MemoryBlockDevice::do_write_blocks(BlockId first, std::uint64_t count,
 // ---------------------------------------------------------------------------
 
 FileBlockDevice::FileBlockDevice(std::string path, std::size_t block_bytes,
-                                 bool keep_file)
+                                 bool keep_file, bool preserve_contents)
     : BlockDevice(block_bytes), path_(std::move(path)), keep_file_(keep_file) {
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  const int flags =
+      preserve_contents ? (O_RDWR | O_CREAT) : (O_RDWR | O_CREAT | O_TRUNC);
+  fd_ = ::open(path_.c_str(), flags, 0644);
   if (fd_ < 0) {
     throw std::runtime_error("FileBlockDevice: cannot open " + path_ + ": " +
                              std::strerror(errno));
   }
+  if (preserve_contents) load_sums(sidecar_path());
 }
 
 FileBlockDevice::~FileBlockDevice() {
+  if (keep_file_) {
+    save_sums(sidecar_path());
+  }
   if (fd_ >= 0) ::close(fd_);
-  if (!keep_file_) ::unlink(path_.c_str());
+  if (!keep_file_) {
+    ::unlink(path_.c_str());
+    ::unlink(sidecar_path().c_str());
+  }
 }
 
 void FileBlockDevice::do_grow(std::uint64_t new_size_blocks) {

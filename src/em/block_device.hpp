@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -36,6 +37,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "em/io_stats.hpp"
@@ -57,9 +59,122 @@ struct BlockRange {
 
 /// Thrown by the fault-injection hook; used by tests to verify that the RAII
 /// layers above the device are strongly exception-safe.
+///
+/// A fault is either *transient* (a retry of the same transfer may succeed —
+/// bus glitches, momentary device timeouts) or *permanent*.  The device's
+/// retry layer (see FaultPolicy) consumes transient faults up to the policy
+/// bound; whatever escapes to the caller — permanent faults, or transient
+/// ones past the retry budget — carries the exact request that failed:
+/// operation, block range, and how many blocks of the request had already
+/// transferred (and been counted) when the fault fired.
 class DeviceFault : public std::runtime_error {
  public:
   explicit DeviceFault(const std::string& what) : std::runtime_error(what) {}
+  DeviceFault(const std::string& what, bool transient, const char* op,
+              BlockId first, std::uint64_t count, std::uint64_t completed)
+      : std::runtime_error(what),
+        transient_(transient),
+        op_(op),
+        first_(first),
+        count_(count),
+        completed_(completed) {}
+
+  /// True when a retry of the remaining blocks may succeed.
+  [[nodiscard]] bool transient() const noexcept { return transient_; }
+  /// "read" or "write" (empty for faults constructed without a range).
+  [[nodiscard]] const char* op() const noexcept { return op_; }
+  /// The failed request's block range [first_block, first_block + count).
+  [[nodiscard]] BlockId first_block() const noexcept { return first_; }
+  [[nodiscard]] std::uint64_t block_count() const noexcept { return count_; }
+  /// Blocks of the request transferred (and counted) before the fault.
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+
+ private:
+  bool transient_ = false;
+  const char* op_ = "";
+  BlockId first_ = kInvalidBlock;
+  std::uint64_t count_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+/// A read returned bytes whose checksum does not match what was last written
+/// to that block (torn write, bit rot, or the test injector's flipped bit).
+/// Corruption is never transient: re-reading returns the same bytes, so the
+/// retry layer passes it straight through.  The faulting read has already
+/// been counted — the block really moved; it just arrived wrong.
+class CorruptBlock : public DeviceFault {
+ public:
+  CorruptBlock(const std::string& what, BlockId block)
+      : DeviceFault(what, /*transient=*/false, "read", block, 1, 1) {}
+};
+
+/// What the fault injector simulates.  One-shot countdown faults reproduce
+/// the classic `arm_fault_after` semantics; the other schedules model the
+/// transient-failure regimes a long-running deployment actually sees.
+struct FaultSchedule {
+  enum class Kind {
+    kOneShot,          ///< after `after` I/Os, the next I/O faults once
+    kFailThenSucceed,  ///< after `after` I/Os, the next `burst` *attempts*
+                       ///< fault (transient); retries then succeed
+    kEveryNth,         ///< every `period`-th attempted I/O faults
+    kProbabilistic,    ///< each attempt faults with probability `p` (seeded)
+  };
+
+  Kind kind = Kind::kOneShot;
+  std::uint64_t after = 0;       ///< successful I/Os before the first fault
+  std::uint64_t burst = 1;       ///< consecutive faulting attempts (kFailThenSucceed)
+  std::uint64_t period = 0;      ///< kEveryNth
+  double probability = 0.0;      ///< kProbabilistic
+  std::uint64_t seed = 0;        ///< kProbabilistic
+  bool transient = true;         ///< what DeviceFault::transient() reports
+
+  /// The classic permanent one-shot: `remaining` I/Os succeed, the next
+  /// throws, then the injector disarms.
+  static FaultSchedule one_shot_after(std::uint64_t remaining) {
+    FaultSchedule s;
+    s.kind = Kind::kOneShot;
+    s.after = remaining;
+    s.transient = false;
+    return s;
+  }
+  /// Transient one-shot: after `remaining` I/Os, `times` consecutive
+  /// attempts fault, then the injector disarms and retries succeed.
+  static FaultSchedule fail_then_succeed(std::uint64_t remaining,
+                                         std::uint64_t times = 1) {
+    FaultSchedule s;
+    s.kind = Kind::kFailThenSucceed;
+    s.after = remaining;
+    s.burst = times;
+    return s;
+  }
+  /// Every `period`-th attempted I/O faults transiently, forever.
+  static FaultSchedule every_nth(std::uint64_t period) {
+    FaultSchedule s;
+    s.kind = Kind::kEveryNth;
+    s.period = period;
+    return s;
+  }
+  /// Each attempted I/O faults transiently with probability `p`,
+  /// deterministically derived from `seed` and the attempt counter.
+  static FaultSchedule probabilistic(double p, std::uint64_t seed) {
+    FaultSchedule s;
+    s.kind = Kind::kProbabilistic;
+    s.probability = p;
+    s.seed = seed;
+    return s;
+  }
+};
+
+/// Bounded retry of transient faults, applied inside the device's public
+/// transfer methods — which covers every call site, the async I/O worker
+/// included.  A retry re-issues only the blocks the fault prevented, so the
+/// base read/write counts of a retried run are identical to the fault-free
+/// run; each retry attempt is tallied separately in IoStats::retries.
+/// The default (max_retries = 0) reproduces the classic fail-fast device.
+struct FaultPolicy {
+  std::uint64_t max_retries = 0;  ///< retry attempts per request
+  std::chrono::microseconds backoff{0};  ///< first retry delay, doubled per attempt
+  std::chrono::microseconds max_backoff{100000};  ///< backoff cap
 };
 
 /// Abstract block device with I/O accounting, extent allocation and fault
@@ -125,15 +240,17 @@ class BlockDevice {
   /// atomics that the background worker may be bumping concurrently.
   [[nodiscard]] IoStats stats() const noexcept {
     return IoStats{reads_.load(std::memory_order_relaxed),
-                   writes_.load(std::memory_order_relaxed)};
+                   writes_.load(std::memory_order_relaxed),
+                   retries_.load(std::memory_order_relaxed)};
   }
 
-  /// Zero both counters.  Main-thread only, and only at quiescent points
+  /// Zero the counters.  Main-thread only, and only at quiescent points
   /// (no async I/O in flight — e.g. between algorithm runs); a reset racing
   /// the worker's increments would produce torn totals.
   void reset_stats() noexcept {
     reads_.store(0, std::memory_order_relaxed);
     writes_.store(0, std::memory_order_relaxed);
+    retries_.store(0, std::memory_order_relaxed);
   }
 
   /// Total blocks ever grown to (capacity high-water mark).
@@ -147,15 +264,59 @@ class BlockDevice {
   }
 
   /// Fault injection: after `remaining` further I/Os succeed, the next I/O
-  /// throws DeviceFault.  Pass no value to disarm.
+  /// throws a *permanent* DeviceFault (the classic one-shot hook).
   void arm_fault_after(std::uint64_t remaining) {
+    arm_fault(FaultSchedule::one_shot_after(remaining));
+  }
+  /// Arm an arbitrary injection schedule (see FaultSchedule).
+  void arm_fault(const FaultSchedule& schedule) {
     const std::lock_guard<std::mutex> lock(fault_mu_);
-    fault_countdown_ = remaining;
+    schedule_ = schedule;
+    fault_countdown_ = schedule.after;
+    fault_burst_left_ = schedule.burst;
+    fault_attempts_ = 0;
     fault_armed_.store(true, std::memory_order_release);
   }
   void disarm_fault() noexcept {
     fault_armed_.store(false, std::memory_order_release);
   }
+
+  /// Retry policy for transient faults.  Main-thread only, at quiescent
+  /// points (no transfers in flight), like arm_fault.
+  void set_fault_policy(const FaultPolicy& policy) noexcept {
+    fault_policy_ = policy;
+  }
+  [[nodiscard]] const FaultPolicy& fault_policy() const noexcept {
+    return fault_policy_;
+  }
+
+  /// Corruption detection: when enabled, every block write records an FNV-1a
+  /// checksum of the bytes written in a sidecar page map, and every read of a
+  /// block with a recorded checksum re-hashes the returned bytes and throws
+  /// CorruptBlock on mismatch.  A read shorter than the recorded write (a
+  /// prefix transfer of a block written full) is left unverified — the hash
+  /// covers bytes the read did not move.  Blocks of deallocated extents drop
+  /// their entries, so recycled blocks never trip stale checksums.
+  /// Main-thread only, at quiescent points.
+  void set_checksums(bool enabled) noexcept {
+    checksums_.store(enabled, std::memory_order_release);
+  }
+  [[nodiscard]] bool checksums() const noexcept {
+    return checksums_.load(std::memory_order_acquire);
+  }
+
+  /// Test injector for corruption: flip one bit of a block's stored bytes,
+  /// bypassing the I/O counters and the checksum map — exactly what a torn
+  /// write or a decayed cell does to a device.
+  void corrupt_bit(BlockId block, std::size_t bit);
+
+  /// Recovery hook: rebuild allocator state on a device whose *contents*
+  /// survived a process death (FileBlockDevice reopened over its file).
+  /// Grows the device to `size_blocks` and marks exactly the `live` extents
+  /// allocated; everything else returns to the free list, and checksum
+  /// entries outside the live extents are dropped.  Call on a fresh device
+  /// before any allocation.
+  void restore(std::uint64_t size_blocks, std::span<const BlockRange> live);
 
  protected:
   virtual void do_read(BlockId block, std::span<std::byte> out) = 0;
@@ -171,12 +332,46 @@ class BlockDevice {
   virtual void do_grow(std::uint64_t new_size_blocks) = 0;
 
  private:
+  /// Outcome of consulting the fault injector for a `count`-I/O request.
+  struct FaultDecision {
+    std::uint64_t allowed = 0;  ///< I/Os that may proceed before the fault
+    bool fires = false;         ///< a fault fires after `allowed` transfers
+    bool transient = false;     ///< whether that fault is retryable
+  };
+
   void check_range(BlockId first, std::uint64_t count, std::size_t span_bytes,
                    const char* op) const;
-  /// Run the fault countdown for a `count`-I/O request: returns how many of
-  /// the I/Os may proceed (and charges the countdown for them).  A return
-  /// value < count means the fault fires after exactly that many transfers.
-  [[nodiscard]] std::uint64_t fault_allowance(std::uint64_t count);
+  /// Run the armed schedule for a `count`-I/O request: how many of the I/Os
+  /// may proceed (charging the schedule for them), and whether — and how — a
+  /// fault fires on the next attempt.
+  [[nodiscard]] FaultDecision fault_check(std::uint64_t count);
+  /// Shared transfer cores: validation done by the caller; these run the
+  /// fault schedule, the bounded transient retry loop, the counters and
+  /// (for reads) checksum verification.
+  void read_core(const char* op, BlockId first, std::uint64_t count,
+                 std::span<std::byte> out);
+  void write_core(const char* op, BlockId first, std::uint64_t count,
+                  std::span<const std::byte> in);
+  void record_sums(BlockId first, std::uint64_t count,
+                   std::span<const std::byte> in);
+  void verify_sums(BlockId first, std::uint64_t count,
+                   std::span<const std::byte> data) const;
+  void backoff_sleep(std::uint64_t attempt) const;
+
+ protected:
+  /// Sidecar checksum persistence (FileBlockDevice uses these to survive
+  /// clean restarts; a killed process simply loses the map, and unverified
+  /// reads are the safe degradation).
+  void save_sums(const std::string& path) const;
+  void load_sums(const std::string& path);
+
+ private:
+  /// Checksum of one block as last written: FNV-1a over the `len`-byte
+  /// prefix that the write actually transferred.
+  struct BlockSum {
+    std::uint32_t len = 0;
+    std::uint64_t sum = 0;
+  };
 
   std::size_t block_bytes_;
   std::atomic<std::uint64_t> size_blocks_{0};
@@ -186,11 +381,59 @@ class BlockDevice {
   std::map<BlockId, std::uint64_t> free_extents_;
   std::atomic<std::uint64_t> reads_{0};
   std::atomic<std::uint64_t> writes_{0};
-  // Fast path: one relaxed-ish load when disarmed.  The countdown itself is
-  // mutex-guarded so concurrent transfers decrement it exactly once each.
+  std::atomic<std::uint64_t> retries_{0};
+  // Fast path: one relaxed-ish load when disarmed.  The schedule state is
+  // mutex-guarded so concurrent transfers charge it exactly once each.
   std::atomic<bool> fault_armed_{false};
   std::mutex fault_mu_;
+  FaultSchedule schedule_;
   std::uint64_t fault_countdown_ = 0;
+  std::uint64_t fault_burst_left_ = 0;
+  std::uint64_t fault_attempts_ = 0;  // attempted I/Os (kEveryNth / kProbabilistic)
+  FaultPolicy fault_policy_;
+  // Sidecar page map: block -> checksum of its last write.  Guarded by its
+  // own mutex (transfers of disjoint blocks run concurrently).
+  std::atomic<bool> checksums_{false};
+  mutable std::mutex sum_mu_;
+  std::map<BlockId, BlockSum> sums_;
+};
+
+/// RAII ownership of a raw extent outside an EmVector — the recovery and
+/// checkpoint layers juggle BlockRanges directly, and this guard keeps them
+/// leak-free when an exception unwinds between allocate and hand-off.
+class ExtentGuard {
+ public:
+  ExtentGuard() noexcept = default;
+  ExtentGuard(BlockDevice& dev, BlockRange range) noexcept
+      : dev_(&dev), range_(range) {}
+  ~ExtentGuard() {
+    if (dev_ != nullptr) dev_->deallocate(range_);
+  }
+
+  ExtentGuard(ExtentGuard&& o) noexcept
+      : dev_(std::exchange(o.dev_, nullptr)),
+        range_(std::exchange(o.range_, BlockRange{})) {}
+  ExtentGuard& operator=(ExtentGuard&& o) noexcept {
+    if (this != &o) {
+      if (dev_ != nullptr) dev_->deallocate(range_);
+      dev_ = std::exchange(o.dev_, nullptr);
+      range_ = std::exchange(o.range_, BlockRange{});
+    }
+    return *this;
+  }
+  ExtentGuard(const ExtentGuard&) = delete;
+  ExtentGuard& operator=(const ExtentGuard&) = delete;
+
+  [[nodiscard]] const BlockRange& range() const noexcept { return range_; }
+  /// Transfer the extent out of the guard (it will not be deallocated).
+  BlockRange release() noexcept {
+    dev_ = nullptr;
+    return std::exchange(range_, BlockRange{});
+  }
+
+ private:
+  BlockDevice* dev_ = nullptr;
+  BlockRange range_;
 };
 
 /// RAM-backed simulator device.  Blocks are lazily materialized so a large
@@ -219,16 +462,20 @@ class MemoryBlockDevice final : public BlockDevice {
   std::vector<std::unique_ptr<std::byte[]>> blocks_;
 };
 
-/// File-backed device for wall-clock experiments.  Uses positional reads and
-/// writes on a regular file (pread/pwrite are thread-safe by construction);
-/// the file is removed on destruction unless `keep_file` was requested.
+/// File-backed device for wall-clock experiments and crash-recoverable runs.
+/// Uses positional reads and writes on a regular file (pread/pwrite are
+/// thread-safe by construction); the file is removed on destruction unless
+/// `keep_file` was requested.  With `preserve_contents`, an existing file is
+/// opened without truncation (and a checksum sidecar, if one was saved, is
+/// reloaded) — pair with restore() to resume a checkpointed run.
 class FileBlockDevice final : public BlockDevice {
  public:
   FileBlockDevice(std::string path, std::size_t block_bytes,
-                  bool keep_file = false);
+                  bool keep_file = false, bool preserve_contents = false);
   ~FileBlockDevice() override;
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::string sidecar_path() const { return path_ + ".sums"; }
 
  protected:
   void do_read(BlockId block, std::span<std::byte> out) override;

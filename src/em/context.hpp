@@ -22,6 +22,8 @@
 
 namespace emsplit {
 
+class CheckpointJournal;
+
 /// Knobs for the batched / asynchronous I/O subsystem (docs/model.md,
 /// "I/O batching and asynchrony").  The default — one block per call, no
 /// read-ahead, synchronous — reproduces the classic single-buffered streams
@@ -201,10 +203,35 @@ class Context {
   void set_profile(PhaseProfile* profile) noexcept { profile_ = profile; }
   [[nodiscard]] PhaseProfile* profile() const noexcept { return profile_; }
 
+  /// Retry policy for transient device faults (docs/model.md, "Failure
+  /// model, retries, and recovery").  Forwarded to the device, where the
+  /// retry loop lives — so it covers every transfer, the async I/O worker's
+  /// included.  Only call at quiescent points (no transfers in flight).
+  void set_fault_policy(const FaultPolicy& policy) noexcept {
+    fault_policy_ = policy;
+    device_->set_fault_policy(policy);
+  }
+  [[nodiscard]] const FaultPolicy& fault_policy() const noexcept {
+    return fault_policy_;
+  }
+
+  /// Optional checkpoint journal (see checkpoint.hpp).  Null by default —
+  /// algorithms then run exactly the seed code path.  When attached, the
+  /// long passes (external sort, multi-partition) publish pass boundaries to
+  /// it and consult it on entry to resume an interrupted run.  Non-owning.
+  void set_checkpoint(CheckpointJournal* journal) noexcept {
+    checkpoint_ = journal;
+  }
+  [[nodiscard]] CheckpointJournal* checkpoint() const noexcept {
+    return checkpoint_;
+  }
+
  private:
   BlockDevice* device_;
   MemoryBudget budget_;
   PhaseProfile* profile_ = nullptr;
+  CheckpointJournal* checkpoint_ = nullptr;
+  FaultPolicy fault_policy_;
   IoTuning tuning_;
   CpuTuning cpu_tuning_;
   std::unique_ptr<IoPipeline> pipeline_;

@@ -42,12 +42,35 @@ class EmVector {
 
   ~EmVector() { reset(); }
 
+  /// Bind a vector over an extent someone else allocated — the checkpoint
+  /// layer's bridge between journaled BlockRanges and typed vectors.  With
+  /// `owning` the vector adopts the extent (deallocated on reset/destruct,
+  /// as usual); without, it is a *view* and the extent's owner (e.g. the
+  /// journal) outlives it.  Capacity is whatever the extent holds.
+  static EmVector adopt(Context& ctx, BlockRange range, std::size_t size,
+                        bool owning) {
+    EmVector v;
+    v.ctx_ = &ctx;
+    v.range_ = range;
+    v.capacity_ = static_cast<std::size_t>(range.count) *
+                  ctx.block_records<T>();
+    v.size_ = size;
+    v.owns_ = owning;
+    assert(size <= v.capacity_);
+    return v;
+  }
+
   EmVector(EmVector&& o) noexcept
-      : ctx_(o.ctx_), range_(o.range_), capacity_(o.capacity_), size_(o.size_) {
+      : ctx_(o.ctx_),
+        range_(o.range_),
+        capacity_(o.capacity_),
+        size_(o.size_),
+        owns_(o.owns_) {
     o.ctx_ = nullptr;
     o.range_ = BlockRange{};
     o.capacity_ = 0;
     o.size_ = 0;
+    o.owns_ = true;
   }
   EmVector& operator=(EmVector&& o) noexcept {
     if (this != &o) {
@@ -56,19 +79,37 @@ class EmVector {
       range_ = std::exchange(o.range_, BlockRange{});
       capacity_ = std::exchange(o.capacity_, 0);
       size_ = std::exchange(o.size_, 0);
+      owns_ = std::exchange(o.owns_, true);
     }
     return *this;
   }
   EmVector(const EmVector&) = delete;
   EmVector& operator=(const EmVector&) = delete;
 
-  /// Release the device extent.
+  /// Release the device extent (a non-owning view just unbinds).
   void reset() noexcept {
-    if (ctx_ != nullptr) ctx_->device().deallocate(range_);
+    if (ctx_ != nullptr && owns_) ctx_->device().deallocate(range_);
     ctx_ = nullptr;
     range_ = BlockRange{};
     capacity_ = 0;
     size_ = 0;
+    owns_ = true;
+  }
+
+  /// The extent backing this vector (invalid when unbound).
+  [[nodiscard]] const BlockRange& extent() const noexcept { return range_; }
+
+  /// Transfer ownership of the extent to the caller and unbind.  Used when
+  /// publishing a pass result to the checkpoint journal: the journal then
+  /// owns the blocks across any subsequent unwind.
+  [[nodiscard]] BlockRange release_extent() noexcept {
+    const BlockRange r = range_;
+    ctx_ = nullptr;
+    range_ = BlockRange{};
+    capacity_ = 0;
+    size_ = 0;
+    owns_ = true;
+    return r;
   }
 
   [[nodiscard]] bool bound() const noexcept { return ctx_ != nullptr; }
@@ -141,6 +182,7 @@ class EmVector {
   BlockRange range_;
   std::size_t capacity_ = 0;
   std::size_t size_ = 0;
+  bool owns_ = true;
 };
 
 }  // namespace emsplit

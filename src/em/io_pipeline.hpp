@@ -49,6 +49,14 @@ class IoPipeline {
   /// dropped with the stream that owned them).
   void drain();
 
+  /// Parked errors not yet claimed by a wait().  Tests assert this returns
+  /// to zero after a fault surfaces — exactly-once delivery means the error
+  /// is consumed by the rethrow, not left to double-report.
+  [[nodiscard]] std::size_t pending_errors() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return errors_.size();
+  }
+
  private:
   void worker_loop();
 

@@ -5,8 +5,10 @@
 namespace emsplit {
 
 std::ostream& operator<<(std::ostream& os, const IoStats& s) {
-  return os << "{reads=" << s.reads << ", writes=" << s.writes
-            << ", total=" << s.total() << "}";
+  os << "{reads=" << s.reads << ", writes=" << s.writes
+     << ", total=" << s.total();
+  if (s.retries > 0) os << ", retries=" << s.retries;
+  return os << "}";
 }
 
 }  // namespace emsplit

@@ -24,18 +24,29 @@ namespace emsplit {
 struct IoStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
+  /// Transient-fault retry attempts (docs/model.md, "Failure model, retries,
+  /// and recovery").  Deliberately *not* part of total(): a retried request
+  /// re-issues only the blocks the fault prevented, so the base counts of a
+  /// retried run are identical to the fault-free run and the paper's bounds
+  /// stay stated in reads + writes alone.
+  std::uint64_t retries = 0;
 
   /// Combined I/O count — the quantity the paper's bounds are stated in.
   [[nodiscard]] std::uint64_t total() const noexcept { return reads + writes; }
 
+  /// The snapshot with retries zeroed — what determinism assertions compare.
+  [[nodiscard]] IoStats base() const noexcept { return IoStats{reads, writes}; }
+
   IoStats& operator+=(const IoStats& o) noexcept {
     reads += o.reads;
     writes += o.writes;
+    retries += o.retries;
     return *this;
   }
   friend IoStats operator-(IoStats a, const IoStats& b) noexcept {
     a.reads -= b.reads;
     a.writes -= b.writes;
+    a.retries -= b.retries;
     return a;
   }
   friend bool operator==(const IoStats&, const IoStats&) = default;

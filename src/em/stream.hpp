@@ -340,6 +340,12 @@ class StreamWriter {
 
   /// Flush the trailing partial group, wait out write-behind, publish the
   /// logical size.
+  ///
+  /// On a device fault this throws exactly once: the fault surfaces from
+  /// whichever wait() (or synchronous flush) first observes it and is then
+  /// consumed.  `group_first_` advances past the final flush *before* the
+  /// drain, so a caller that catches the fault and retries finish() drains
+  /// the remaining write-behind without ever re-writing the final group.
   void finish() {
     if (finished_) return;
     const std::size_t filled = count_ - group_first_;
@@ -348,6 +354,7 @@ class StreamWriter {
       // call.  Like the classic writer, the partial block is written with a
       // full-block span whose tail holds unspecified bytes.
       flush_group((filled + shape_.block_records - 1) / shape_.block_records);
+      group_first_ = count_;
     }
     drain();
     vec_->set_size(count_);
@@ -390,10 +397,14 @@ class StreamWriter {
   }
 
   void drain() {
-    for (auto& buf : buffers_) {
-      if (!buf.pending) continue;
-      buf.pending = false;
-      if (pipe_ != nullptr) pipe_->wait(buf.ticket);
+    // Ticket order, so the oldest in-flight fault is the one that surfaces
+    // (each buffer's pending flag is cleared before its wait: a throw leaves
+    // the remaining buffers for the destructor — or a retried finish() — to
+    // wait out, and the surfaced error is consumed by the rethrow, so it can
+    // never be reported twice).
+    for (auto* buf : pending_by_ticket()) {
+      buf->pending = false;
+      if (pipe_ != nullptr) pipe_->wait(buf->ticket);
     }
   }
 
@@ -409,6 +420,18 @@ class StreamWriter {
         // only that the buffer is safe to free.
       }
     }
+  }
+
+  [[nodiscard]] std::vector<Buffer*> pending_by_ticket() {
+    std::vector<Buffer*> pending;
+    for (auto& buf : buffers_) {
+      if (buf.pending) pending.push_back(&buf);
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const Buffer* a, const Buffer* b) {
+                return a->ticket < b->ticket;
+              });
+    return pending;
   }
 
   EmVector<T>* vec_;
@@ -470,9 +493,14 @@ class RangeWriter {
 
   /// Flush the trailing partial group and wait out write-behind (idempotent).
   /// Does not touch the vector's logical size — the caller owns that.
+  /// Like StreamWriter::finish(), a worker fault surfaces exactly once, and
+  /// a retried finish() resumes the drain without re-writing the final group.
   void finish() {
     if (finished_) return;
-    if (count_ > 0 && pos_ > group_first_) flush_group();
+    if (count_ > 0 && pos_ > group_first_) {
+      flush_group();
+      group_first_ = pos_;
+    }
     drain();
     finished_ = true;
   }
@@ -552,10 +580,11 @@ class RangeWriter {
   }
 
   void drain() {
-    for (auto& buf : buffers_) {
-      if (!buf.pending) continue;
-      buf.pending = false;
-      if (pipe_ != nullptr) pipe_->wait(buf.ticket);
+    // Ticket order with pending cleared before each wait — the same
+    // exactly-once fault-surfacing protocol as StreamWriter::drain().
+    for (auto* buf : pending_by_ticket()) {
+      buf->pending = false;
+      if (pipe_ != nullptr) pipe_->wait(buf->ticket);
     }
   }
 
@@ -569,6 +598,18 @@ class RangeWriter {
       } catch (...) {
       }
     }
+  }
+
+  [[nodiscard]] std::vector<Buffer*> pending_by_ticket() {
+    std::vector<Buffer*> pending;
+    for (auto& buf : buffers_) {
+      if (buf.pending) pending.push_back(&buf);
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const Buffer* a, const Buffer* b) {
+                return a->ticket < b->ticket;
+              });
+    return pending;
   }
 
   EmVector<T>* vec_;

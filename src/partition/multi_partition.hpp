@@ -33,6 +33,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "em/checkpoint.hpp"
 #include "em/context.hpp"
 #include "em/phase_profile.hpp"
 #include "em/em_vector.hpp"
@@ -124,6 +125,23 @@ struct BucketSink {
   }
 };
 
+/// One scratch bucket a distribution pass produced for further recursion:
+/// `scratch` holds the bucket's records, destined for output records
+/// [out_lo, out_lo + scratch.size()), with the enclosed split ranks made
+/// relative to the bucket.
+template <EmRecord T>
+struct PendingBucket {
+  EmVector<T> scratch;
+  std::vector<std::uint64_t> ranks;
+  std::uint64_t out_lo = 0;
+};
+
+template <EmRecord T, typename Less>
+std::vector<PendingBucket<T>> distribute_piece(
+    Context& ctx, const EmVector<T>& src, std::size_t first, std::size_t last,
+    std::span<const std::uint64_t> ranks, EmVector<T>& out,
+    std::size_t out_offset, Less less, std::vector<MultiPartitionSpan>& spans);
+
 /// Recursive node: partition a piece at the relative ranks `ranks` (strictly
 /// increasing, in (0, piece length)), writing the fully partitioned records
 /// into `out` at [out_offset, out_offset + piece length).
@@ -179,6 +197,29 @@ void partition_node(Context& ctx, const EmVector<T>* root, std::size_t first,
     return;
   }
 
+  auto pending = distribute_piece<T, Less>(ctx, src, first, last, ranks, out,
+                                           out_offset, less, spans);
+  owned.reset();  // parent data fully distributed; recycle its blocks
+
+  for (auto& pb : pending) {
+    partition_node<T, Less>(ctx, nullptr, 0, 0, std::move(pb.scratch),
+                            pb.ranks, out,
+                            static_cast<std::size_t>(pb.out_lo), less, spans);
+  }
+}
+
+/// The distribution pass of one node, factored out of partition_node so the
+/// checkpointed top level (multi_partition below) can journal its outcome
+/// at the pass boundary: cut selection, one scan distributing the piece over
+/// the cuts — finished buckets straight into `out`, the rest into scratch
+/// vectors — returning the scratch buckets that still need recursion.
+template <EmRecord T, typename Less>
+std::vector<PendingBucket<T>> distribute_piece(
+    Context& ctx, const EmVector<T>& src, std::size_t first, std::size_t last,
+    std::span<const std::uint64_t> ranks, EmVector<T>& out,
+    std::size_t out_offset, Less less,
+    std::vector<MultiPartitionSpan>& spans) {
+  const std::size_t n = last - first;
   const std::size_t nr = ranks.size();
   // Each target rank contributes up to two cuts (the bucket boundaries
   // enclosing it), so the number of targets per level is half the fan-out.
@@ -357,8 +398,8 @@ void partition_node(Context& ctx, const EmVector<T>* root, std::size_t first,
       sink.direct_writer.reset();
     }
   }
-  owned.reset();  // parent data fully distributed; recycle its blocks
 
+  std::vector<PendingBucket<T>> pending;
   for (std::size_t q = 0; q < nb; ++q) {
     if (!sinks[q].scratch.bound()) continue;
     if (sinks[q].scratch.size() != hi[q] - lo[q]) {
@@ -366,15 +407,33 @@ void partition_node(Context& ctx, const EmVector<T>* root, std::size_t first,
           "multi_partition: cut counts inconsistent with data (is the "
           "comparator a strict total order?)");
     }
-    std::vector<std::uint64_t> sub(
-        ranks.begin() + static_cast<std::ptrdiff_t>(ri_lo[q]),
-        ranks.begin() + static_cast<std::ptrdiff_t>(ri_hi[q]));
-    for (auto& r : sub) r -= lo[q];
-    partition_node<T, Less>(ctx, nullptr, 0, 0, std::move(sinks[q].scratch),
-                            sub, out,
-                            out_offset + static_cast<std::size_t>(lo[q]),
-                            less, spans);
+    PendingBucket<T> pb;
+    pb.scratch = std::move(sinks[q].scratch);
+    pb.ranks.assign(ranks.begin() + static_cast<std::ptrdiff_t>(ri_lo[q]),
+                    ranks.begin() + static_cast<std::ptrdiff_t>(ri_hi[q]));
+    for (auto& r : pb.ranks) r -= lo[q];
+    pb.out_lo = out_offset + lo[q];
+    pending.push_back(std::move(pb));
   }
+  return pending;
+}
+
+/// Job fingerprint for the partition checkpoint (see sort_fingerprint):
+/// digests the piece, the geometry and every requested rank.
+template <EmRecord T>
+std::uint64_t part_fingerprint(const Context& ctx, std::size_t first,
+                               std::size_t n,
+                               std::span<const std::uint64_t> ranks) {
+  std::uint64_t h = fingerprint_mix(kFingerprintSeed, 0x4D504152);  // "MPAR"
+  h = fingerprint_mix(h, first);
+  h = fingerprint_mix(h, n);
+  h = fingerprint_mix(h, sizeof(T));
+  h = fingerprint_mix(h, ctx.block_records<T>());
+  h = fingerprint_mix(h, ctx.stream_blocks());
+  h = fingerprint_mix(h, ctx.mem_records<T>());
+  h = fingerprint_mix(h, ranks.size());
+  for (const auto r : ranks) h = fingerprint_mix(h, r);
+  return h;
 }
 
 }  // namespace detail
@@ -388,6 +447,12 @@ void partition_node(Context& ctx, const EmVector<T>* root, std::size_t first,
 /// transient edge-merge block and the cut table — at least 5 blocks of
 /// memory in practice (the model's bare M >= 2B admits scanning but not
 /// partitioning).  Smaller budgets fail fast with BudgetExceeded.
+///
+/// With a CheckpointJournal attached to the context, the root distribution
+/// pass and each root bucket's completed subtree are published to the
+/// journal, and a rerun of the identical job resumes from the journaled
+/// state with bit-identical output, repaying only the interrupted work.
+/// Without a journal this is exactly the seed code path.
 template <EmRecord T, typename Less = std::less<T>>
 [[nodiscard]] MultiPartitionResult<T> multi_partition(
     Context& ctx, const EmVector<T>& input, std::size_t first,
@@ -407,11 +472,89 @@ template <EmRecord T, typename Less = std::less<T>>
   }
 
   MultiPartitionResult<T> result;
-  result.data = EmVector<T>(ctx, n);
-  detail::partition_node<T, Less>(ctx, &input, first, last, EmVector<T>{},
-                                  split_ranks, result.data, 0, less,
-                                  result.spans);
-  result.data.set_size(n);
+  CheckpointJournal* ckpt = ctx.checkpoint();
+  // Only a root that actually distributes is worth journaling: a leaf root
+  // (no ranks, or a piece an in-memory sort resolves) is one cheap pass.
+  const bool root_distributes =
+      ckpt != nullptr && !split_ranks.empty() && n > ctx.mem_records<T>() / 3;
+  if (root_distributes) {
+    const std::uint64_t fp =
+        detail::part_fingerprint<T>(ctx, first, n, split_ranks);
+    auto st = ckpt->resume_part(fp);
+    if (!st.has_value()) {
+      // Fresh run: perform the root distribution, then hand the output
+      // extent and every scratch bucket to the journal in one entry — from
+      // here on a crash resumes below instead of redistributing.
+      EmVector<T> out(ctx, n);
+      std::vector<MultiPartitionSpan> root_spans;
+      auto pending = detail::distribute_piece<T, Less>(
+          ctx, input, first, last, split_ranks, out, 0, less, root_spans);
+      // Extents leave their vectors here but reach journal ownership only
+      // inside publish_part_root: scope guards cover the window, so a
+      // failed journal append (or an allocation failure while assembling
+      // the entry) frees every bucket instead of leaking it.
+      std::vector<ExtentGuard> guards;
+      guards.reserve(pending.size() + 1);
+      std::vector<CheckpointJournal::PartBucket> buckets;
+      buckets.reserve(pending.size());
+      for (auto& pb : pending) {
+        CheckpointJournal::PartBucket b;
+        b.size = pb.scratch.size();
+        guards.emplace_back(ctx.device(), pb.scratch.release_extent());
+        b.extent = guards.back().range();
+        b.out_lo = pb.out_lo;
+        b.ranks = std::move(pb.ranks);
+        buckets.push_back(std::move(b));
+      }
+      std::vector<CkptSpan> cspans;
+      cspans.reserve(root_spans.size());
+      for (const auto& s : root_spans) {
+        cspans.push_back({s.lo, s.hi, s.sorted});
+      }
+      CheckpointJournal::PartState fresh;
+      guards.emplace_back(ctx.device(), out.release_extent());
+      fresh.out = guards.back().range();
+      fresh.n = n;
+      fresh.spans = cspans;
+      fresh.buckets = buckets;
+      ckpt->publish_part_root(fp, fresh.out, n, std::move(buckets), cspans);
+      for (auto& g : guards) (void)g.release();  // the journal owns them now
+      st = std::move(fresh);
+    }
+
+    // Replay what the journal already holds, then run the remaining
+    // buckets' subtrees, publishing each completion.
+    EmVector<T> out_view =
+        EmVector<T>::adopt(ctx, st->out, n, /*owning=*/false);
+    result.spans.reserve(st->spans.size());
+    for (const auto& s : st->spans) {
+      result.spans.push_back({s.lo, s.hi, s.sorted});
+    }
+    for (std::size_t q = 0; q < st->buckets.size(); ++q) {
+      const auto& bk = st->buckets[q];
+      if (bk.done) continue;
+      EmVector<T> view = EmVector<T>::adopt(
+          ctx, bk.extent, static_cast<std::size_t>(bk.size), /*owning=*/false);
+      std::vector<MultiPartitionSpan> bspans;
+      detail::partition_node<T, Less>(
+          ctx, &view, 0, static_cast<std::size_t>(bk.size), EmVector<T>{},
+          bk.ranks, out_view, static_cast<std::size_t>(bk.out_lo), less,
+          bspans);
+      std::vector<CkptSpan> done_spans;
+      done_spans.reserve(bspans.size());
+      for (const auto& s : bspans) done_spans.push_back({s.lo, s.hi, s.sorted});
+      ckpt->publish_part_bucket_done(fp, q, done_spans);
+      result.spans.insert(result.spans.end(), bspans.begin(), bspans.end());
+    }
+    result.data =
+        EmVector<T>::adopt(ctx, ckpt->take_part_out(fp), n, /*owning=*/true);
+  } else {
+    result.data = EmVector<T>(ctx, n);
+    detail::partition_node<T, Less>(ctx, &input, first, last, EmVector<T>{},
+                                    split_ranks, result.data, 0, less,
+                                    result.spans);
+    result.data.set_size(n);
+  }
   std::sort(result.spans.begin(), result.spans.end(),
             [](const MultiPartitionSpan& a, const MultiPartitionSpan& b) {
               return a.lo < b.lo;

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "em/checkpoint.hpp"
 #include "em/context.hpp"
 #include "em/phase_profile.hpp"
 #include "em/em_vector.hpp"
@@ -147,16 +148,38 @@ enum class RunStrategy {
   kReplacementSelection,  ///< snow-plow heap (runs ~2M on random input)
 };
 
+namespace detail {
+
+/// Job fingerprint for the sort checkpoint: digests everything that shapes
+/// the pass structure, so journaled state is only resumed by the identical
+/// job (same data size, record type, geometry and run strategy).
+template <EmRecord T>
+std::uint64_t sort_fingerprint(const Context& ctx, std::size_t n,
+                               RunStrategy strategy) {
+  std::uint64_t h = fingerprint_mix(kFingerprintSeed, 0x50525453);  // "SRTS"
+  h = fingerprint_mix(h, n);
+  h = fingerprint_mix(h, sizeof(T));
+  h = fingerprint_mix(h, ctx.block_records<T>());
+  h = fingerprint_mix(h, ctx.stream_blocks());
+  h = fingerprint_mix(h, ctx.mem_records<T>());
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(strategy));
+  return h;
+}
+
+}  // namespace detail
+
 /// Sort `input` into a new vector in Θ((N/B) log_{M/B}(N/B)) I/Os.
 /// The input vector is left untouched.
+///
+/// With a CheckpointJournal attached to the context, every completed pass
+/// (run formation, then each merge pass) is published to the journal, and a
+/// rerun of the identical job resumes from the last published pass with
+/// bit-identical output — a crash repays only the interrupted pass's I/Os.
+/// Without a journal this is exactly the seed code path.
 template <EmRecord T, typename Less = std::less<T>>
 [[nodiscard]] EmVector<T> external_sort(
     Context& ctx, const EmVector<T>& input, Less less = {},
     RunStrategy strategy = RunStrategy::kChunkSort) {
-  auto [runs, offsets] =
-      strategy == RunStrategy::kReplacementSelection
-          ? detail::form_runs_replacement<T>(ctx, input, less)
-          : detail::form_runs<T>(ctx, input, less);
   const std::size_t b = ctx.block_records<T>();
   // Every stream buffers stream_blocks() blocks (batching x queue depth), so
   // the fan-in shrinks accordingly: f readers plus one writer must fit in M.
@@ -165,13 +188,64 @@ template <EmRecord T, typename Less = std::less<T>>
   const std::size_t s = ctx.stream_blocks();
   const std::size_t fan_in =
       std::max<std::size_t>(2, ctx.mem_records<T>() / (b * s) - 1);
+
+  CheckpointJournal* ckpt = ctx.checkpoint();
+  if (ckpt == nullptr) {
+    auto [runs, offsets] =
+        strategy == RunStrategy::kReplacementSelection
+            ? detail::form_runs_replacement<T>(ctx, input, less)
+            : detail::form_runs<T>(ctx, input, less);
+    while (offsets.size() - 1 > 1) {
+      auto [next, next_offsets] =
+          detail::merge_pass<T>(ctx, runs, offsets, fan_in, less);
+      runs = std::move(next);
+      offsets = std::move(next_offsets);
+    }
+    return std::move(runs);
+  }
+
+  // Checkpointed path.  The journal owns each pass's output extent (so a
+  // mid-pass fault unwinds without freeing checkpointed blocks); `runs` is a
+  // non-owning view over it, and the merge loop below performs the exact
+  // pass sequence of the seed path — pass contents are deterministic given
+  // (runs, offsets), which is what makes a resumed run bit-identical.
+  const std::uint64_t fp = detail::sort_fingerprint<T>(ctx, input.size(),
+                                                       strategy);
+  EmVector<T> runs;
+  detail::RunOffsets offsets;
+  std::uint64_t pass = 0;
+  if (auto st = ckpt->resume_sort(fp)) {
+    pass = st->pass;
+    runs = EmVector<T>::adopt(ctx, st->extent, st->size, /*owning=*/false);
+    offsets = std::move(st->offsets);
+  } else {
+    auto [formed, formed_offsets] =
+        strategy == RunStrategy::kReplacementSelection
+            ? detail::form_runs_replacement<T>(ctx, input, less)
+            : detail::form_runs<T>(ctx, input, less);
+    pass = 1;
+    const std::size_t size = formed.size();
+    // The extent leaves its vector here but reaches journal ownership only
+    // inside publish: the scope guard covers the window, so a failed
+    // journal append frees the pass instead of leaking it.
+    ExtentGuard extent(ctx.device(), formed.release_extent());
+    ckpt->publish_sort_pass(fp, pass, extent.range(), size, formed_offsets);
+    runs = EmVector<T>::adopt(ctx, extent.release(), size, /*owning=*/false);
+    offsets = std::move(formed_offsets);
+  }
   while (offsets.size() - 1 > 1) {
     auto [next, next_offsets] =
         detail::merge_pass<T>(ctx, runs, offsets, fan_in, less);
-    runs = std::move(next);
+    ++pass;
+    const std::size_t size = next.size();
+    ExtentGuard extent(ctx.device(), next.release_extent());
+    ckpt->publish_sort_pass(fp, pass, extent.range(), size, next_offsets);
+    runs = EmVector<T>::adopt(ctx, extent.release(), size, /*owning=*/false);
     offsets = std::move(next_offsets);
   }
-  return std::move(runs);
+  const std::size_t size = runs.size();
+  return EmVector<T>::adopt(ctx, ckpt->take_sort_extent(fp), size,
+                            /*owning=*/true);
 }
 
 /// True iff `vec` is sorted under `less` (one scan).

@@ -14,24 +14,37 @@
 //   emsplit info      <file>
 //
 // Global options (before the subcommand):
-//   --block-bytes=N   simulated block size            [default 4096]
-//   --mem-bytes=N     simulated memory budget         [default 1048576]
-//   --threads=N       CPU worker threads              [default 1]
-//   --sort-shards=N   in-memory sort shard geometry   [default 1]
+//   --block-bytes=N        simulated block size                [default 4096]
+//   --mem-bytes=N          simulated memory budget             [default 1048576]
+//   --threads=N            CPU worker threads                  [default 1]
+//   --sort-shards=N        in-memory sort shard geometry       [default 1]
+//   --fault-policy=R[:US]  retry transient device faults up to R times,
+//                          first backoff US microseconds       [default 0]
+//   --checksums=on|off     per-block corruption detection      [default off]
+//   --checkpoint-dir=DIR   crash-recoverable runs: a file-backed device and
+//                          a pass-boundary journal live in DIR; rerunning
+//                          the identical command resumes from the last
+//                          completed pass (sort / partition)
+//   --crash-after-pass=N   test hook: exit abruptly after N checkpoint
+//                          publishes (simulates SIGKILL mid-run)
 //
 // --threads is pure execution width: for any value, the reported I/O cost
 // and the output bytes are identical (the determinism contract in
 // docs/model.md).  --sort-shards changes the in-memory sort geometry, but
-// record order is total, so outputs still match bit-for-bit.
+// record order is total, so outputs still match bit-for-bit.  Transient
+// retries never change the base I/O counts either — `[cost]` reports them
+// separately (docs/model.md, "Failure model, retries, and recovery").
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/histogram.hpp"
 #include "core/api.hpp"
+#include "em/checkpoint.hpp"
 #include "em/file_io.hpp"
 
 namespace {
@@ -43,17 +56,61 @@ struct Options {
   std::size_t mem_bytes = 1 << 20;
   std::size_t threads = 1;
   std::size_t sort_shards = 1;
+  std::uint64_t fault_retries = 0;
+  std::uint64_t fault_backoff_us = 0;
+  bool checksums = false;
+  std::string checkpoint_dir;
+  std::uint64_t crash_after = 0;
 };
 
-void apply_cpu_tuning(Context& ctx, const Options& opt) {
-  ctx.set_cpu_tuning(CpuTuning{opt.threads, opt.sort_shards});
+/// The simulated machine one command runs on.  Destruction order matters:
+/// the journal returns its extents to the device, so it must die first —
+/// members are declared device, journal, context and destroyed in reverse.
+struct Machine {
+  std::unique_ptr<BlockDevice> dev;
+  std::unique_ptr<CheckpointJournal> journal;
+  std::unique_ptr<Context> ctx;
+};
+
+Machine make_machine(const Options& opt) {
+  Machine m;
+  if (!opt.checkpoint_dir.empty()) {
+    // Crash-recoverable: device contents and the journal live in files, and
+    // an interrupted run's blocks are re-adopted on the next start.
+    m.dev = std::make_unique<FileBlockDevice>(
+        opt.checkpoint_dir + "/device.bin", opt.block_bytes,
+        /*keep_file=*/true, /*preserve_contents=*/true);
+  } else {
+    m.dev = std::make_unique<MemoryBlockDevice>(opt.block_bytes);
+  }
+  m.dev->set_checksums(opt.checksums);
+  m.ctx = std::make_unique<Context>(*m.dev, opt.mem_bytes);
+  m.ctx->set_cpu_tuning(CpuTuning{opt.threads, opt.sort_shards});
+  FaultPolicy policy;
+  policy.max_retries = opt.fault_retries;
+  policy.backoff = std::chrono::microseconds(opt.fault_backoff_us);
+  m.ctx->set_fault_policy(policy);
+  if (!opt.checkpoint_dir.empty()) {
+    m.journal = std::make_unique<CheckpointJournal>(
+        *m.dev, opt.checkpoint_dir + "/journal.ckpt");
+    m.journal->restore_device();
+    m.ctx->set_checkpoint(m.journal.get());
+    if (opt.crash_after > 0) {
+      m.journal->set_crash_after_publishes(opt.crash_after);
+    }
+  }
+  return m;
 }
 
 [[noreturn]] void usage(const char* why = nullptr) {
   if (why != nullptr) std::fprintf(stderr, "error: %s\n\n", why);
   std::fprintf(stderr,
                "usage: emsplit [--block-bytes=N] [--mem-bytes=N]"
-               " [--threads=N] [--sort-shards=N] <command>\n"
+               " [--threads=N] [--sort-shards=N]\n"
+               "               [--fault-policy=R[:BACKOFF_US]]"
+               " [--checksums=on|off]\n"
+               "               [--checkpoint-dir=DIR] [--crash-after-pass=N]"
+               " <command>\n"
                "  gen       <file> <n> [workload] [seed]   create a dataset\n"
                "  sort      <in> <out>                     external sort\n"
                "  select    <file> <rank> [rank ...]       multi-selection\n"
@@ -115,9 +172,21 @@ Workload parse_workload(const std::string& name) {
 void print_cost(const Context& ctx, std::size_t n) {
   const auto scan =
       (n + ctx.block_records<Record>() - 1) / ctx.block_records<Record>();
+  const IoStats io = ctx.io();
   std::printf("[cost] %" PRIu64 " block I/Os (reads %" PRIu64 ", writes %"
-              PRIu64 "); one scan = %zu; peak memory %zu / %zu bytes\n",
-              ctx.io().total(), ctx.io().reads, ctx.io().writes, scan,
+              PRIu64 ")",
+              io.total(), io.reads, io.writes);
+  // Retries and resumed passes print only when nonzero: the default output
+  // stays byte-identical across thread counts and fault-free runs.
+  if (io.retries > 0) {
+    std::printf(" + %" PRIu64 " transient retries", io.retries);
+  }
+  const CheckpointJournal* journal = ctx.checkpoint();
+  if (journal != nullptr && journal->resumed_passes() > 0) {
+    std::printf(" (resumed %" PRIu64 " journaled passes)",
+                journal->resumed_passes());
+  }
+  std::printf("; one scan = %zu; peak memory %zu / %zu bytes\n", scan,
               ctx.budget().peak(), ctx.budget().capacity());
 }
 
@@ -151,13 +220,12 @@ int cmd_info(const Options& opt, int argc, char** argv) {
 
 int cmd_sort(const Options& opt, int argc, char** argv) {
   if (argc < 2) usage("sort needs <in> <out>");
-  MemoryBlockDevice dev(opt.block_bytes);
-  Context ctx(dev, opt.mem_bytes);
-  apply_cpu_tuning(ctx, opt);
+  Machine m = make_machine(opt);
+  Context& ctx = *m.ctx;
   // Streamed in block-sized pieces: the dataset never has to fit in host
   // memory, matching the library's own discipline.
   auto data = import_file<Record>(ctx, argv[0]);
-  dev.reset_stats();
+  m.dev->reset_stats();
   auto sorted = external_sort<Record>(ctx, data);
   print_cost(ctx, data.size());
   export_file<Record>(sorted, argv[1]);
@@ -170,11 +238,10 @@ int cmd_select(const Options& opt, int argc, char** argv) {
   auto host = read_file(argv[0]);
   std::vector<std::uint64_t> ranks;
   for (int i = 1; i < argc; ++i) ranks.push_back(parse_u64(argv[i], "rank"));
-  MemoryBlockDevice dev(opt.block_bytes);
-  Context ctx(dev, opt.mem_bytes);
-  apply_cpu_tuning(ctx, opt);
+  Machine m = make_machine(opt);
+  Context& ctx = *m.ctx;
   auto data = materialize<Record>(ctx, host);
-  dev.reset_stats();
+  m.dev->reset_stats();
   auto got = multi_select<Record>(ctx, data, ranks);
   print_cost(ctx, host.size());
   for (std::size_t i = 0; i < ranks.size(); ++i) {
@@ -190,11 +257,10 @@ int cmd_splitters(const Options& opt, int argc, char** argv) {
   const ApproxSpec spec{.k = parse_u64(argv[1], "K"),
                         .a = parse_u64(argv[2], "a"),
                         .b = parse_u64(argv[3], "b")};
-  MemoryBlockDevice dev(opt.block_bytes);
-  Context ctx(dev, opt.mem_bytes);
-  apply_cpu_tuning(ctx, opt);
+  Machine m = make_machine(opt);
+  Context& ctx = *m.ctx;
   auto data = materialize<Record>(ctx, host);
-  dev.reset_stats();
+  m.dev->reset_stats();
   auto splitters = approx_splitters<Record>(ctx, data, spec);
   print_cost(ctx, host.size());
   auto check = verify_splitters<Record>(data, splitters, spec);
@@ -219,11 +285,10 @@ int cmd_partition(const Options& opt, int argc, char** argv) {
   const ApproxSpec spec{.k = parse_u64(argv[2], "K"),
                         .a = parse_u64(argv[3], "a"),
                         .b = parse_u64(argv[4], "b")};
-  MemoryBlockDevice dev(opt.block_bytes);
-  Context ctx(dev, opt.mem_bytes);
-  apply_cpu_tuning(ctx, opt);
+  Machine m = make_machine(opt);
+  Context& ctx = *m.ctx;
   auto data = materialize<Record>(ctx, host);
-  dev.reset_stats();
+  m.dev->reset_stats();
   auto result = approx_partitioning<Record>(ctx, data, spec);
   print_cost(ctx, host.size());
   auto check =
@@ -245,11 +310,10 @@ int cmd_histogram(const Options& opt, int argc, char** argv) {
   auto host = read_file(argv[0]);
   const std::uint64_t buckets = parse_u64(argv[1], "buckets");
   const double slack = argc > 2 ? std::strtod(argv[2], nullptr) : 0.0;
-  MemoryBlockDevice dev(opt.block_bytes);
-  Context ctx(dev, opt.mem_bytes);
-  apply_cpu_tuning(ctx, opt);
+  Machine m = make_machine(opt);
+  Context& ctx = *m.ctx;
   auto data = materialize<Record>(ctx, host);
-  dev.reset_stats();
+  m.dev->reset_stats();
   auto h = build_equi_depth_histogram<Record>(ctx, data, buckets, slack);
   print_cost(ctx, host.size());
   std::printf("%-6s %-20s %s\n", "bucket", "upper_key", "count");
@@ -283,6 +347,29 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--sort-shards=", 0) == 0) {
       opt.sort_shards = static_cast<std::size_t>(
           parse_u64(arg.c_str() + 14, "sort-shards"));
+    } else if (arg.rfind("--fault-policy=", 0) == 0) {
+      const std::string spec = arg.substr(15);
+      const std::size_t colon = spec.find(':');
+      opt.fault_retries =
+          parse_u64(spec.substr(0, colon).c_str(), "fault-policy retries");
+      if (colon != std::string::npos) {
+        opt.fault_backoff_us =
+            parse_u64(spec.substr(colon + 1).c_str(), "fault-policy backoff");
+      }
+    } else if (arg.rfind("--checksums=", 0) == 0) {
+      const std::string v = arg.substr(12);
+      if (v == "on") {
+        opt.checksums = true;
+      } else if (v == "off") {
+        opt.checksums = false;
+      } else {
+        usage("--checksums takes on|off");
+      }
+    } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+      opt.checkpoint_dir = arg.substr(17);
+      if (opt.checkpoint_dir.empty()) usage("--checkpoint-dir needs a path");
+    } else if (arg.rfind("--crash-after-pass=", 0) == 0) {
+      opt.crash_after = parse_u64(arg.c_str() + 19, "crash-after-pass");
     } else {
       usage(("unknown option " + arg).c_str());
     }
