@@ -60,14 +60,60 @@ class JsonEmitter {
 
   /// Write the document to `path`; returns false on I/O failure.
   [[nodiscard]] bool write(const std::string& path) const {
-    const std::string doc = out_ + "]}\n";
+    return write_doc(path, out_ + "]}\n");
+  }
+
+  /// Append the document as one `label`-tagged entry of a top-level JSON
+  /// array at `path`, preserving every earlier entry — the trajectory file
+  /// accumulates one entry per PR / bench invocation instead of being
+  /// overwritten.  A legacy single-object file (the pre-append format)
+  /// becomes the array's first entry; a missing file a fresh one-entry
+  /// array.  Returns false on I/O failure.
+  [[nodiscard]] bool append_entry(const std::string& path,
+                                  const std::string& label) const {
+    std::string entry = "{\"label\": \"";
+    entry += label;
+    entry += "\", ";
+    entry += out_.c_str() + 1;  // drop the leading '{' of the document
+    entry += "]}";
+    std::string doc;
+    std::string prev = slurp(path);
+    while (!prev.empty() &&
+           (prev.back() == '\n' || prev.back() == ' ')) {
+      prev.pop_back();
+    }
+    if (!prev.empty() && prev.front() == '[' && prev.back() == ']') {
+      doc = prev.substr(0, prev.size() - 1);
+      if (doc.find('{') != std::string::npos) doc += ", ";
+      doc += entry;
+      doc += "]\n";
+    } else if (!prev.empty() && prev.front() == '{' && prev.back() == '}') {
+      doc = "[" + prev + ", " + entry + "]\n";
+    } else {
+      doc = "[" + entry + "]\n";
+    }
+    return write_doc(path, doc);
+  }
+
+ private:
+  static bool write_doc(const std::string& path, const std::string& doc) {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
     const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
     return std::fclose(f) == 0 && ok;
   }
 
- private:
+  static std::string slurp(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return {};
+    std::string s;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) s.append(buf, got);
+    std::fclose(f);
+    return s;
+  }
+
   // Appends, not operator+ chains: sequential += sidesteps a GCC 12
   // -Werror=restrict false positive in inlined basic_string concatenation.
   void raw_field(const char* key) {

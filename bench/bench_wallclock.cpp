@@ -205,11 +205,15 @@ void run_mode_comparison() {
       json.end_row();
     }
   }
+  // Append a tagged entry so the trajectory file keeps every run; tag with
+  // BENCH_LABEL (e.g. "pr4") when set, "dev" otherwise.
+  const char* label = std::getenv("BENCH_LABEL");
+  if (label == nullptr || *label == '\0') label = "dev";
   const char* out = "BENCH_wallclock.json";
-  if (!json.write(out)) {
+  if (!json.append_entry(out, label)) {
     std::fprintf(stderr, "warning: could not write %s\n", out);
   } else {
-    std::printf("# wrote %s\n", out);
+    std::printf("# appended entry '%s' to %s\n", label, out);
   }
 }
 

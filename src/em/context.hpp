@@ -23,6 +23,7 @@
 namespace emsplit {
 
 class CheckpointJournal;
+class PassTraceLog;
 
 /// Knobs for the batched / asynchronous I/O subsystem (docs/model.md,
 /// "I/O batching and asynchrony").  The default — one block per call, no
@@ -226,11 +227,21 @@ class Context {
     return checkpoint_;
   }
 
+  /// Optional structured pass-trace sink (see pass_engine.hpp).  Null by
+  /// default — the engine then records nothing.  When attached, every
+  /// engine-run pass appends one PassTrace row (name, I/Os, bytes, wall
+  /// time, retries, threads).  Non-owning; main-thread only.
+  void set_pass_trace(PassTraceLog* log) noexcept { pass_trace_ = log; }
+  [[nodiscard]] PassTraceLog* pass_trace() const noexcept {
+    return pass_trace_;
+  }
+
  private:
   BlockDevice* device_;
   MemoryBudget budget_;
   PhaseProfile* profile_ = nullptr;
   CheckpointJournal* checkpoint_ = nullptr;
+  PassTraceLog* pass_trace_ = nullptr;
   FaultPolicy fault_policy_;
   IoTuning tuning_;
   CpuTuning cpu_tuning_;

@@ -1,0 +1,51 @@
+// pass_engine.cpp — trace sink and the pass envelope's record step.
+#include "em/pass_engine.hpp"
+
+namespace emsplit {
+
+void PassTraceLog::record(PassTrace trace) {
+  rows_.push_back(std::move(trace));
+}
+
+void PassTraceLog::reset() { rows_.clear(); }
+
+IoStats PassTraceLog::total_io() const noexcept {
+  IoStats total;
+  for (const PassTrace& t : rows_) {
+    if (!t.resumed) total += t.io.base();
+  }
+  return total;
+}
+
+PassRunner::Scope::~Scope() {
+  PassTraceLog* log = runner_.ctx_->pass_trace();
+  if (log == nullptr) return;
+  PassTrace t;
+  t.job = runner_.plan_.job;
+  t.pass = label_;
+  t.index = index_;
+  t.io = runner_.ctx_->io() - start_io_;
+  t.bytes = t.io.total() * runner_.ctx_->block_bytes();
+  t.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  t.threads = runner_.ctx_->cpu_lanes();
+  t.resumed = false;
+  log->record(std::move(t));
+}
+
+void PassRunner::note_resumed(const char* label, std::uint64_t passes) {
+  if (passes == 0) return;
+  seq_ += passes;
+  PassTraceLog* log = ctx_->pass_trace();
+  if (log == nullptr) return;
+  PassTrace t;
+  t.job = plan_.job;
+  t.pass = label;
+  t.index = seq_;
+  t.threads = ctx_->cpu_lanes();
+  t.resumed = true;
+  log->record(std::move(t));
+}
+
+}  // namespace emsplit

@@ -35,7 +35,7 @@
 
 #include "em/checkpoint.hpp"
 #include "em/context.hpp"
-#include "em/phase_profile.hpp"
+#include "em/pass_engine.hpp"
 #include "em/em_vector.hpp"
 #include "em/stream.hpp"
 #include "em/thread_pool.hpp"
@@ -125,16 +125,9 @@ struct BucketSink {
   }
 };
 
-/// One scratch bucket a distribution pass produced for further recursion:
-/// `scratch` holds the bucket's records, destined for output records
-/// [out_lo, out_lo + scratch.size()), with the enclosed split ranks made
-/// relative to the bucket.
-template <EmRecord T>
-struct PendingBucket {
-  EmVector<T> scratch;
-  std::vector<std::uint64_t> ranks;
-  std::uint64_t out_lo = 0;
-};
+// PendingBucket<T> — the scratch-bucket record a distribution pass hands to
+// the recursion — lives in em/pass_engine.hpp: it is the worklist item type
+// the DistributionCheckpoint lifecycle publishes.
 
 template <EmRecord T, typename Less>
 std::vector<PendingBucket<T>> distribute_piece(
@@ -364,14 +357,10 @@ std::vector<PendingBucket<T>> distribute_piece(
       return static_cast<std::size_t>(it - cut_elems.begin());
     };
     ThreadPool* pool = ctx.cpu_pool();
-    std::optional<MemoryReservation> idx_res;
-    std::vector<std::uint32_t> idx;
-    if (pool != nullptr) {
-      const std::size_t group =
-          ctx.io_tuning().batch_blocks * ctx.block_records<T>();
-      idx_res = ctx.budget().try_reserve(group * sizeof(std::uint32_t));
-      if (idx_res.has_value()) idx.resize(group);
-    }
+    LaneScratch<std::uint32_t> idx(
+        ctx, pool != nullptr
+                 ? ctx.io_tuning().batch_blocks * ctx.block_records<T>()
+                 : 0);
     StreamReader<T> reader(src, first, last);
     while (!reader.done()) {
       const std::span<const T> sp = reader.peek_span();
@@ -478,81 +467,57 @@ template <EmRecord T, typename Less = std::less<T>>
   const bool root_distributes =
       ckpt != nullptr && !split_ranks.empty() && n > ctx.mem_records<T>() / 3;
   if (root_distributes) {
-    const std::uint64_t fp =
-        detail::part_fingerprint<T>(ctx, first, n, split_ranks);
-    auto st = ckpt->resume_part(fp);
-    if (!st.has_value()) {
-      // Fresh run: perform the root distribution, then hand the output
-      // extent and every scratch bucket to the journal in one entry — from
-      // here on a crash resumes below instead of redistributing.
+    // The worklist lifecycle lives in the pass engine: the root distribution
+    // is one published pass, every scratch bucket's subtree one published
+    // item — a crash resumes from the journaled worklist instead of
+    // redistributing, repaying only the interrupted item.
+    PassRunner runner(
+        ctx,
+        {"mpart", detail::part_fingerprint<T>(ctx, first, n, split_ranks)});
+    DistributionCheckpoint<T> dc(runner, "mpart/resume");
+    if (!dc.resumed()) {
       EmVector<T> out(ctx, n);
       std::vector<MultiPartitionSpan> root_spans;
-      auto pending = detail::distribute_piece<T, Less>(
-          ctx, input, first, last, split_ranks, out, 0, less, root_spans);
-      // Extents leave their vectors here but reach journal ownership only
-      // inside publish_part_root: scope guards cover the window, so a
-      // failed journal append (or an allocation failure while assembling
-      // the entry) frees every bucket instead of leaking it.
-      std::vector<ExtentGuard> guards;
-      guards.reserve(pending.size() + 1);
-      std::vector<CheckpointJournal::PartBucket> buckets;
-      buckets.reserve(pending.size());
-      for (auto& pb : pending) {
-        CheckpointJournal::PartBucket b;
-        b.size = pb.scratch.size();
-        guards.emplace_back(ctx.device(), pb.scratch.release_extent());
-        b.extent = guards.back().range();
-        b.out_lo = pb.out_lo;
-        b.ranks = std::move(pb.ranks);
-        buckets.push_back(std::move(b));
-      }
-      std::vector<CkptSpan> cspans;
-      cspans.reserve(root_spans.size());
-      for (const auto& s : root_spans) {
-        cspans.push_back({s.lo, s.hi, s.sorted});
-      }
-      CheckpointJournal::PartState fresh;
-      guards.emplace_back(ctx.device(), out.release_extent());
-      fresh.out = guards.back().range();
-      fresh.n = n;
-      fresh.spans = cspans;
-      fresh.buckets = buckets;
-      ckpt->publish_part_root(fp, fresh.out, n, std::move(buckets), cspans);
-      for (auto& g : guards) (void)g.release();  // the journal owns them now
-      st = std::move(fresh);
+      auto pending = runner.run("mpart/root-distribute", [&] {
+        return detail::distribute_piece<T, Less>(
+            ctx, input, first, last, split_ranks, out, 0, less, root_spans);
+      });
+      dc.publish_root(std::move(out), n, std::move(pending),
+                      to_ckpt_spans(root_spans));
     }
 
     // Replay what the journal already holds, then run the remaining
     // buckets' subtrees, publishing each completion.
-    EmVector<T> out_view =
-        EmVector<T>::adopt(ctx, st->out, n, /*owning=*/false);
-    result.spans.reserve(st->spans.size());
-    for (const auto& s : st->spans) {
+    EmVector<T> out_view = dc.adopt_out();
+    const auto& st = dc.state();
+    result.spans.reserve(st.spans.size());
+    for (const auto& s : st.spans) {
       result.spans.push_back({s.lo, s.hi, s.sorted});
     }
-    for (std::size_t q = 0; q < st->buckets.size(); ++q) {
-      const auto& bk = st->buckets[q];
+    for (std::size_t q = 0; q < st.buckets.size(); ++q) {
+      const auto& bk = st.buckets[q];
       if (bk.done) continue;
-      EmVector<T> view = EmVector<T>::adopt(
-          ctx, bk.extent, static_cast<std::size_t>(bk.size), /*owning=*/false);
+      EmVector<T> view = dc.adopt_item(q);
       std::vector<MultiPartitionSpan> bspans;
-      detail::partition_node<T, Less>(
-          ctx, &view, 0, static_cast<std::size_t>(bk.size), EmVector<T>{},
-          bk.ranks, out_view, static_cast<std::size_t>(bk.out_lo), less,
-          bspans);
-      std::vector<CkptSpan> done_spans;
-      done_spans.reserve(bspans.size());
-      for (const auto& s : bspans) done_spans.push_back({s.lo, s.hi, s.sorted});
-      ckpt->publish_part_bucket_done(fp, q, done_spans);
+      runner.run("mpart/bucket-subtree", [&] {
+        detail::partition_node<T, Less>(
+            ctx, &view, 0, static_cast<std::size_t>(bk.size), EmVector<T>{},
+            bk.ranks, out_view, static_cast<std::size_t>(bk.out_lo), less,
+            bspans);
+      });
+      dc.publish_item_done(q, to_ckpt_spans(bspans));
       result.spans.insert(result.spans.end(), bspans.begin(), bspans.end());
     }
     result.data =
-        EmVector<T>::adopt(ctx, ckpt->take_part_out(fp), n, /*owning=*/true);
+        EmVector<T>::adopt(ctx, dc.take_out(), n, /*owning=*/true);
   } else {
     result.data = EmVector<T>(ctx, n);
-    detail::partition_node<T, Less>(ctx, &input, first, last, EmVector<T>{},
-                                    split_ranks, result.data, 0, less,
-                                    result.spans);
+    PassRunner runner(ctx, {"mpart", 0});
+    runner.run("mpart/recursive-partition", [&] {
+      detail::partition_node<T, Less>(ctx, &input, first, last, EmVector<T>{},
+                                      split_ranks, result.data, 0, less,
+                                      result.spans);
+    });
     result.data.set_size(n);
   }
   std::sort(result.spans.begin(), result.spans.end(),

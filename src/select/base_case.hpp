@@ -31,7 +31,7 @@
 #include <vector>
 
 #include "em/context.hpp"
-#include "em/phase_profile.hpp"
+#include "em/pass_engine.hpp"
 #include "em/em_vector.hpp"
 #include "em/stream.hpp"
 #include "select/intermixed.hpp"
@@ -61,6 +61,9 @@ std::vector<T> multi_select_base(Context& ctx, const EmVector<T>& vec,
 
   // Steps 1-3 hold the splitters and counters in memory; all of it is
   // released before step 4 hands the full budget to intermixed_select.
+  // Each step is one engine pass (step 1's passes trace under the
+  // linear_splitters job; step 4's under intermixed's).
+  PassRunner runner(ctx, {"msel-base", 0});
   EmVector<Grouped<T>> d;
   std::vector<std::uint64_t> local_ranks(k);
   {
@@ -83,11 +86,10 @@ std::vector<T> multi_select_base(Context& ctx, const EmVector<T>& vec,
     std::vector<std::uint64_t> prefix(num_buckets + 1, 0);
     auto cnt_res =
         ctx.budget().reserve((num_buckets + 1) * sizeof(std::uint64_t));
-    {
-      ScopedPhase phase(ctx.profile(), "msel/count-buckets");
+    runner.run("msel/count-buckets", [&] {
       StreamReader<T> reader(vec, first, last);
       while (!reader.done()) ++prefix[bucket_of(reader.next()) + 1];
-    }
+    });
     for (std::size_t j = 1; j <= num_buckets; ++j) prefix[j] += prefix[j - 1];
 
     // Locate each rank's bucket.  Ranks are sorted, buckets scan forward.
@@ -103,22 +105,23 @@ std::vector<T> multi_select_base(Context& ctx, const EmVector<T>& vec,
 
     // Step 3: build the intermixed instance.  Per bucket, the querying
     // groups form a contiguous run of the sorted rank list.
-    ScopedPhase phase(ctx.profile(), "msel/build-instance");
-    d = EmVector<Grouped<T>>(ctx, static_cast<std::size_t>(d_size));
-    StreamReader<T> scan(vec, first, last);
-    StreamWriter<Grouped<T>> writer(d);
-    while (!scan.done()) {
-      const T e = scan.next();
-      const std::size_t jb = bucket_of(e);
-      // Groups querying bucket jb: binary search the contiguous run.
-      auto lo = std::lower_bound(rank_bucket.begin(), rank_bucket.end(), jb);
-      auto hi = std::upper_bound(lo, rank_bucket.end(), jb);
-      for (auto it = lo; it != hi; ++it) {
-        const auto g = static_cast<std::uint64_t>(it - rank_bucket.begin());
-        writer.push(Grouped<T>{e, g});
+    runner.run("msel/build-instance", [&] {
+      d = EmVector<Grouped<T>>(ctx, static_cast<std::size_t>(d_size));
+      StreamReader<T> scan(vec, first, last);
+      StreamWriter<Grouped<T>> writer(d);
+      while (!scan.done()) {
+        const T e = scan.next();
+        const std::size_t jb = bucket_of(e);
+        // Groups querying bucket jb: binary search the contiguous run.
+        auto lo = std::lower_bound(rank_bucket.begin(), rank_bucket.end(), jb);
+        auto hi = std::upper_bound(lo, rank_bucket.end(), jb);
+        for (auto it = lo; it != hi; ++it) {
+          const auto g = static_cast<std::uint64_t>(it - rank_bucket.begin());
+          writer.push(Grouped<T>{e, g});
+        }
       }
-    }
-    writer.finish();
+      writer.finish();
+    });
   }
 
   // Step 4: solve all rank queries at once, with the budget back to empty.

@@ -35,7 +35,7 @@
 #include <vector>
 
 #include "em/context.hpp"
-#include "em/phase_profile.hpp"
+#include "em/pass_engine.hpp"
 #include "em/em_vector.hpp"
 #include "em/stream.hpp"
 #include "em/thread_pool.hpp"
@@ -126,7 +126,11 @@ template <EmRecord T, typename Less = std::less<T>>
                                                std::vector<std::uint64_t> ranks,
                                                Less less = {}) {
   using G = Grouped<T>;
-  ScopedPhase phase(ctx.profile(), "intermixed-select");
+  // Every BFPRT round is three linear scans (quintet medians, rank count,
+  // shrink) plus the rank spill/reload around the Σ-recursion; each is one
+  // engine pass.  The recursive call builds its own PassRunner, so nested
+  // rounds trace under their own job frame.
+  PassRunner runner(ctx, {"intermixed", 0});
   const std::size_t l = ranks.size();
   if (l == 0) return {};
   if (l > intermixed_max_groups<T>(ctx)) {
@@ -137,7 +141,9 @@ template <EmRecord T, typename Less = std::less<T>>
 
   for (;;) {
     if (d.size() <= ctx.mem_records<G>() / 2) {
-      return detail::intermixed_in_memory<T>(ctx, d, ranks, less);
+      return runner.run("intermixed/in-memory", [&] {
+        return detail::intermixed_in_memory<T>(ctx, d, ranks, less);
+      });
     }
 
     // --- Pass 1: quintet medians into Σ, counting |Σ_i| per group. -------
@@ -151,21 +157,18 @@ template <EmRecord T, typename Less = std::less<T>>
     // for any thread count.
     EmVector<G> sigma(ctx, d.size() / 5 + l);
     std::vector<std::uint64_t> sigma_count(l, 0);
-    {
+    runner.run("intermixed/quintet-medians", [&] {
       auto res_buf = ctx.budget().reserve(l * (5 * sizeof(T) + 1 + 8));
       std::vector<std::array<T, 5>> quintet(l);
       std::vector<std::uint8_t> fill(l, 0);
       ThreadPool* pool = ctx.cpu_pool();
       const std::size_t lanes = ctx.cpu_lanes();
       constexpr std::uint64_t kNoMedian = ~std::uint64_t{0};
-      std::optional<MemoryReservation> slot_res;
-      std::vector<G> medians;  // per-position median slots (optional scratch)
-      if (pool != nullptr) {
-        const std::size_t group =
-            ctx.io_tuning().batch_blocks * ctx.block_records<G>();
-        slot_res = ctx.budget().try_reserve(group * sizeof(G));
-        if (slot_res.has_value()) medians.resize(group);
-      }
+      // Per-position median slots (optional scratch — see LaneScratch).
+      LaneScratch<G> medians(
+          ctx, pool != nullptr
+                   ? ctx.io_tuning().batch_blocks * ctx.block_records<G>()
+                   : 0);
       StreamReader<G> reader(d);
       StreamWriter<G> writer(sigma);
       while (!reader.done()) {
@@ -218,13 +221,15 @@ template <EmRecord T, typename Less = std::less<T>>
         }
       }
       writer.finish();
-    }
+    });
 
     // --- Recurse for the medians μ of Σ_1..Σ_L. --------------------------
     // Spill the parent's ranks to the device so the recursion starts with an
     // empty in-memory footprint (see header comment).
-    EmVector<std::uint64_t> rank_spill = materialize<std::uint64_t>(
-        ctx, std::span<const std::uint64_t>(ranks));
+    EmVector<std::uint64_t> rank_spill = runner.run("intermixed/rank-spill", [&] {
+      return materialize<std::uint64_t>(
+          ctx, std::span<const std::uint64_t>(ranks));
+    });
     std::vector<std::uint64_t> median_ranks(l);
     for (std::size_t g = 0; g < l; ++g) {
       median_ranks[g] = (sigma_count[g] + 1) / 2;
@@ -234,7 +239,10 @@ template <EmRecord T, typename Less = std::less<T>>
     std::vector<T> mu =
         intermixed_select<T, Less>(ctx, std::move(sigma),
                                    std::move(median_ranks), less);
-    load_range<std::uint64_t>(rank_spill, 0, std::span<std::uint64_t>(ranks));
+    runner.run("intermixed/rank-reload", [&] {
+      load_range<std::uint64_t>(rank_spill, 0,
+                                std::span<std::uint64_t>(ranks));
+    });
     rank_spill.reset();
 
     // --- Pass 2: θ_i = #{e in D_i : e <= μ_i}. ----------------------------
@@ -248,23 +256,19 @@ template <EmRecord T, typename Less = std::less<T>>
     {
       auto res_arrays =
           ctx.budget().reserve(l * (sizeof(T) + 2 * sizeof(std::uint64_t)));
-      {
+      runner.run("intermixed/rank-count", [&] {
         ThreadPool* pool = ctx.cpu_pool();
         const std::size_t lanes = ctx.cpu_lanes();
-        std::optional<MemoryReservation> part_res;
-        std::vector<std::uint64_t> partials;  // (lanes - 1) x l
-        if (pool != nullptr) {
-          part_res = ctx.budget().try_reserve((lanes - 1) * l *
-                                              sizeof(std::uint64_t));
-          if (part_res.has_value()) partials.assign((lanes - 1) * l, 0);
-        }
+        // Per-lane partial counts, (lanes - 1) x l (optional scratch).
+        LaneScratch<std::uint64_t> partials(
+            ctx, pool != nullptr ? (lanes - 1) * l : 0);
         StreamReader<G> reader(d);
         while (!reader.done()) {
           const std::span<const G> sp = reader.peek_span();
-          if (!partials.empty() && sp.size() >= detail::kScanGrain) {
+          if (partials.available() && sp.size() >= detail::kScanGrain) {
             pool->run(lanes, [&](std::size_t t) {
-              std::uint64_t* acc =
-                  t == 0 ? theta.data() : partials.data() + (t - 1) * l;
+              std::uint64_t* acc = t == 0 ? theta.data()
+                                          : partials.vec().data() + (t - 1) * l;
               const std::size_t beg = sp.size() * t / lanes;
               const std::size_t end = sp.size() * (t + 1) / lanes;
               for (std::size_t i = beg; i < end; ++i) {
@@ -279,16 +283,16 @@ template <EmRecord T, typename Less = std::less<T>>
           reader.consume(sp.size());
         }
         for (std::size_t t = 1; t < lanes; ++t) {
-          if (partials.empty()) break;
+          if (!partials.available()) break;
           for (std::size_t g = 0; g < l; ++g) {
             theta[g] += partials[(t - 1) * l + g];
           }
         }
-      }
+      });
 
       // --- Pass 3: build the shrunken instance (D', t'). -----------------
       EmVector<G> next(ctx, d.size());
-      {
+      runner.run("intermixed/shrink", [&] {
         StreamReader<G> reader(d);
         StreamWriter<G> writer(next);
         while (!reader.done()) {
@@ -299,7 +303,7 @@ template <EmRecord T, typename Less = std::less<T>>
           if (go_low == is_low) writer.push(e);
         }
         writer.finish();
-      }
+      });
       for (std::size_t g = 0; g < l; ++g) {
         if (ranks[g] > theta[g]) ranks[g] -= theta[g];
       }

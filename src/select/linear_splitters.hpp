@@ -32,7 +32,7 @@
 #include <vector>
 
 #include "em/context.hpp"
-#include "em/phase_profile.hpp"
+#include "em/pass_engine.hpp"
 #include "em/em_vector.hpp"
 #include "em/stream.hpp"
 
@@ -56,7 +56,9 @@ template <EmRecord T, typename Less = std::less<T>>
 [[nodiscard]] LinearSplittersResult<T> linear_splitters(
     Context& ctx, const EmVector<T>& input, std::size_t first,
     std::size_t last, Less less = {}) {
-  ScopedPhase phase(ctx.profile(), "splitters/recursive-sample");
+  // Every sampling level is one linear pass over the previous level; the
+  // engine wraps each (plus the final load) in the trace/profile envelope.
+  PassRunner runner(ctx, {"splitters", 0});
   constexpr std::size_t kStride = 4;  // s in the header comment
   const std::size_t n = last - first;
   const std::size_t mem = ctx.mem_records<T>();
@@ -79,11 +81,11 @@ template <EmRecord T, typename Less = std::less<T>>
     slack += (kStride - 1) * stride_pow * num_chunks;
     stride_pow *= kStride;
 
-    EmVector<T> next(ctx, level_size / kStride + num_chunks);
-    {
+    EmVector<T> next = runner.run("splitters/recursive-sample", [&] {
+      EmVector<T> sampled(ctx, level_size / kStride + num_chunks);
       auto chunk_res = ctx.budget().reserve(chunk_cap * sizeof(T));
       std::vector<T> buf(chunk_cap);
-      StreamWriter<T> writer(next);
+      StreamWriter<T> writer(sampled);
       for (std::size_t off = 0; off < level_size; off += chunk_cap) {
         const std::size_t len = std::min(chunk_cap, level_size - off);
         const auto span = std::span<T>(buf).subspan(0, len);
@@ -98,7 +100,8 @@ template <EmRecord T, typename Less = std::less<T>>
         }
       }
       writer.finish();
-    }
+      return sampled;
+    });
     level_size = next.size();
     level_vec = std::move(next);
     level_is_input = false;
@@ -108,13 +111,15 @@ template <EmRecord T, typename Less = std::less<T>>
   // Load the final level and sort it; these are the splitters.
   result.splitters.resize(level_size);
   if (level_size > 0) {
-    auto res = ctx.budget().reserve(level_size * sizeof(T));
-    if (level_is_input) {
-      load_range<T>(input, first, std::span<T>(result.splitters));
-    } else {
-      load_range<T>(level_vec, 0, std::span<T>(result.splitters));
-    }
-    std::sort(result.splitters.begin(), result.splitters.end(), less);
+    runner.run("splitters/final-sample", [&] {
+      auto res = ctx.budget().reserve(level_size * sizeof(T));
+      if (level_is_input) {
+        load_range<T>(input, first, std::span<T>(result.splitters));
+      } else {
+        load_range<T>(level_vec, 0, std::span<T>(result.splitters));
+      }
+      std::sort(result.splitters.begin(), result.splitters.end(), less);
+    });
   }
 
   // Consecutive final samples differ by one in r_L; the unrolled recurrence

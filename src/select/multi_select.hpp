@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "em/context.hpp"
+#include "em/pass_engine.hpp"
 #include "em/em_vector.hpp"
 #include "partition/multi_partition.hpp"
 #include "select/base_case.hpp"
@@ -81,9 +82,16 @@ template <EmRecord T, typename Less = std::less<T>>
   std::vector<T> unique_answers;
   unique_answers.reserve(u);
 
+  // Pass structure via the engine (em/pass_engine.hpp): one base-case pass
+  // when all ranks fit one intermixed instance, otherwise a partition pass
+  // followed by a base-case pass per piece.  The envelope performs no I/O,
+  // so the scan sequence is exactly the seed's.
+  PassRunner runner(ctx, {"msel", 0});
   if (u <= m) {
-    unique_answers =
-        detail::multi_select_base<T, Less>(ctx, input, first, last, rs, less);
+    unique_answers = runner.run("msel/base-case", [&] {
+      return detail::multi_select_base<T, Less>(ctx, input, first, last, rs,
+                                                less);
+    });
   } else {
     // General case: split at every m-th unique rank.
     const std::size_t g = (u + m - 1) / m;
@@ -93,8 +101,10 @@ template <EmRecord T, typename Less = std::less<T>>
       const std::uint64_t r = rs[i * m - 1];
       if (r < n) pivot_ranks.push_back(r);  // a split at n would be empty
     }
-    auto part =
-        multi_partition<T, Less>(ctx, input, first, last, pivot_ranks, less);
+    auto part = runner.run("msel/partition", [&] {
+      return multi_partition<T, Less>(ctx, input, first, last, pivot_ranks,
+                                      less);
+    });
 
     // Each piece q covers global ranks (pivot_{q-1}, pivot_q]; its targets
     // are a contiguous run of rs.  Dropping a rank-n pivot can at most merge
@@ -109,8 +119,10 @@ template <EmRecord T, typename Less = std::less<T>>
         ++i;
       }
       if (local.empty()) continue;
-      detail::multi_select_batched<T, Less>(ctx, part.data, lo, hi, local,
-                                            unique_answers, less);
+      runner.run("msel/base-case", [&] {
+        detail::multi_select_batched<T, Less>(ctx, part.data, lo, hi, local,
+                                              unique_answers, less);
+      });
     }
   }
 

@@ -20,7 +20,7 @@
 
 #include "em/checkpoint.hpp"
 #include "em/context.hpp"
-#include "em/phase_profile.hpp"
+#include "em/pass_engine.hpp"
 #include "em/em_vector.hpp"
 #include "em/stream.hpp"
 #include "sort/chunk_sort.hpp"
@@ -63,7 +63,6 @@ template <EmRecord T, typename Less>
 std::pair<EmVector<T>, RunOffsets> form_runs(Context& ctx,
                                              const EmVector<T>& input,
                                              Less less) {
-  ScopedPhase phase(ctx.profile(), "sort/run-formation");
   const std::size_t b = ctx.block_records<T>();
   const std::size_t mem = ctx.mem_records<T>();
   const std::size_t sb = ctx.stream_blocks() * b;  // one stream's records
@@ -120,7 +119,6 @@ std::pair<EmVector<T>, RunOffsets> merge_pass(Context& ctx,
                                               const EmVector<T>& runs,
                                               const RunOffsets& offsets,
                                               std::size_t fan_in, Less less) {
-  ScopedPhase phase(ctx.profile(), "sort/merge-pass");
   EmVector<T> out(ctx, runs.size());
   RunOffsets out_offsets{0};
   StreamWriter<T> writer(out);
@@ -171,11 +169,16 @@ std::uint64_t sort_fingerprint(const Context& ctx, std::size_t n,
 /// Sort `input` into a new vector in Θ((N/B) log_{M/B}(N/B)) I/Os.
 /// The input vector is left untouched.
 ///
-/// With a CheckpointJournal attached to the context, every completed pass
-/// (run formation, then each merge pass) is published to the journal, and a
-/// rerun of the identical job resumes from the last published pass with
-/// bit-identical output — a crash repays only the interrupted pass's I/Os.
-/// Without a journal this is exactly the seed code path.
+/// The pass lifecycle lives in the pass engine (em/pass_engine.hpp): the
+/// PassChain owns the journal resume / ExtentGuard publish / final take of
+/// every pass, and the PassRunner wraps each pass body in the uniform
+/// trace + profile envelope.  With a CheckpointJournal attached to the
+/// context, every completed pass (run formation, then each merge pass) is
+/// published, and a rerun of the identical job resumes from the last
+/// published pass with bit-identical output — a crash repays only the
+/// interrupted pass's I/Os.  Without a journal the chain degrades to plain
+/// moves: exactly the seed code path.  Pass contents are deterministic given
+/// (runs, offsets), which is what makes a resumed run bit-identical.
 template <EmRecord T, typename Less = std::less<T>>
 [[nodiscard]] EmVector<T> external_sort(
     Context& ctx, const EmVector<T>& input, Less less = {},
@@ -189,63 +192,25 @@ template <EmRecord T, typename Less = std::less<T>>
   const std::size_t fan_in =
       std::max<std::size_t>(2, ctx.mem_records<T>() / (b * s) - 1);
 
-  CheckpointJournal* ckpt = ctx.checkpoint();
-  if (ckpt == nullptr) {
-    auto [runs, offsets] =
-        strategy == RunStrategy::kReplacementSelection
-            ? detail::form_runs_replacement<T>(ctx, input, less)
-            : detail::form_runs<T>(ctx, input, less);
-    while (offsets.size() - 1 > 1) {
-      auto [next, next_offsets] =
-          detail::merge_pass<T>(ctx, runs, offsets, fan_in, less);
-      runs = std::move(next);
-      offsets = std::move(next_offsets);
-    }
-    return std::move(runs);
+  PassRunner runner(
+      ctx, {"sort", detail::sort_fingerprint<T>(ctx, input.size(), strategy)});
+  PassChain<T> chain(runner, "sort/resume");
+  if (!chain.resumed()) {
+    auto [formed, offsets] = runner.run("sort/run-formation", [&] {
+      return strategy == RunStrategy::kReplacementSelection
+                 ? detail::form_runs_replacement<T>(ctx, input, less)
+                 : detail::form_runs<T>(ctx, input, less);
+    });
+    chain.install(std::move(formed), std::move(offsets));
   }
-
-  // Checkpointed path.  The journal owns each pass's output extent (so a
-  // mid-pass fault unwinds without freeing checkpointed blocks); `runs` is a
-  // non-owning view over it, and the merge loop below performs the exact
-  // pass sequence of the seed path — pass contents are deterministic given
-  // (runs, offsets), which is what makes a resumed run bit-identical.
-  const std::uint64_t fp = detail::sort_fingerprint<T>(ctx, input.size(),
-                                                       strategy);
-  EmVector<T> runs;
-  detail::RunOffsets offsets;
-  std::uint64_t pass = 0;
-  if (auto st = ckpt->resume_sort(fp)) {
-    pass = st->pass;
-    runs = EmVector<T>::adopt(ctx, st->extent, st->size, /*owning=*/false);
-    offsets = std::move(st->offsets);
-  } else {
-    auto [formed, formed_offsets] =
-        strategy == RunStrategy::kReplacementSelection
-            ? detail::form_runs_replacement<T>(ctx, input, less)
-            : detail::form_runs<T>(ctx, input, less);
-    pass = 1;
-    const std::size_t size = formed.size();
-    // The extent leaves its vector here but reaches journal ownership only
-    // inside publish: the scope guard covers the window, so a failed
-    // journal append frees the pass instead of leaking it.
-    ExtentGuard extent(ctx.device(), formed.release_extent());
-    ckpt->publish_sort_pass(fp, pass, extent.range(), size, formed_offsets);
-    runs = EmVector<T>::adopt(ctx, extent.release(), size, /*owning=*/false);
-    offsets = std::move(formed_offsets);
+  while (chain.offsets().size() - 1 > 1) {
+    auto [next, next_offsets] = runner.run("sort/merge-pass", [&] {
+      return detail::merge_pass<T>(ctx, chain.data(), chain.offsets(), fan_in,
+                                   less);
+    });
+    chain.install(std::move(next), std::move(next_offsets));
   }
-  while (offsets.size() - 1 > 1) {
-    auto [next, next_offsets] =
-        detail::merge_pass<T>(ctx, runs, offsets, fan_in, less);
-    ++pass;
-    const std::size_t size = next.size();
-    ExtentGuard extent(ctx.device(), next.release_extent());
-    ckpt->publish_sort_pass(fp, pass, extent.range(), size, next_offsets);
-    runs = EmVector<T>::adopt(ctx, extent.release(), size, /*owning=*/false);
-    offsets = std::move(next_offsets);
-  }
-  const std::size_t size = runs.size();
-  return EmVector<T>::adopt(ctx, ckpt->take_sort_extent(fp), size,
-                            /*owning=*/true);
+  return chain.take();
 }
 
 /// True iff `vec` is sorted under `less` (one scan).
