@@ -56,6 +56,13 @@ class JsonEmitter {
     raw_field(key);
     out_ += v ? "true" : "false";
   }
+  /// Splice pre-serialized JSON (an array or object) in as the field value.
+  /// The caller owns validity; used for nested structures like per-pass
+  /// trace rows, which the flat field() overloads cannot express.
+  void field_json(const char* key, const std::string& raw) {
+    raw_field(key);
+    out_ += raw;
+  }
   void end_row() { out_ += "}"; }
 
   /// Write the document to `path`; returns false on I/O failure.

@@ -14,7 +14,11 @@
 // abstraction is furthest from syscall reality.  Results go to stdout and to
 // BENCH_wallclock.json for trajectory tracking.  The tunings keep the merge
 // fan-in above the run count, so all three modes perform identical I/O
-// totals and the speedup is purely per-call overhead and overlap.
+// totals and the speedup is purely per-call overhead and overlap.  Sharded
+// legs (shard1/2/4) repeat the async tuning through a ShardedBlockDevice
+// striped over D file-backed members: logical I/Os and checksums must not
+// move, and each trajectory row carries the per-pass trace (with per-shard
+// counters and balance) from its final rep.
 //
 // Part 2 keeps the original google-benchmark microbenches on the 4 KiB
 // geometry.
@@ -22,6 +26,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,12 +54,29 @@ std::string bench_path(const char* tag) {
 // below).
 constexpr std::size_t kCmpBlockBytes = 64;
 constexpr std::size_t kCmpMemBlocks = 4096;
-constexpr std::size_t kCmpRecords = std::size_t{1} << 20;
+
+// Default 1M records; BENCH_WALLCLOCK_RECORDS overrides for CI smoke runs
+// where the full size would dominate the job's wall budget.
+std::size_t cmp_records() {
+  static const std::size_t n = [] {
+    const char* env = std::getenv("BENCH_WALLCLOCK_RECORDS");
+    if (env != nullptr && *env != '\0') {
+      const unsigned long long v = std::strtoull(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{1} << 20;
+  }();
+  return n;
+}
 
 struct ModeSpec {
   const char* name;
   IoTuning tuning;
   CpuTuning cpu{1, 1};
+  std::size_t shards = 0;        // 0 = plain FileBlockDevice; >= 1 = the
+                                 // ShardedBlockDevice facade over D members
+                                 // (D = 1 isolates facade dispatch overhead)
+  std::size_t stripe_blocks = 8;
 };
 
 struct ModeResult {
@@ -63,7 +85,55 @@ struct ModeResult {
   std::uint64_t peak = 0;
   std::uint64_t checksum = 0;
   bool sorted = false;
+  bool shard_sums_ok = true;     // shard_stats() partitions stats() exactly
+  std::string passes_json;       // JSON array of the final rep's trace rows
 };
+
+// Build the comparison device: shards = 0 is the plain file device the
+// earlier legs always used; shards >= 1 puts the ShardedBlockDevice facade
+// over D FileBlockDevice members, each its own file (the striping is
+// geometry — every logical I/O, and therefore every checksum below, must
+// be unchanged).
+std::unique_ptr<BlockDevice> make_cmp_device(const char* tag,
+                                             const ModeSpec& mode) {
+  if (mode.shards == 0) {
+    return std::make_unique<FileBlockDevice>(bench_path(tag), kCmpBlockBytes);
+  }
+  std::vector<std::unique_ptr<BlockDevice>> members;
+  members.reserve(mode.shards);
+  for (std::size_t d = 0; d < mode.shards; ++d) {
+    members.push_back(std::make_unique<FileBlockDevice>(
+        bench_path(tag) + "." + std::to_string(d), kCmpBlockBytes));
+  }
+  return std::make_unique<ShardedBlockDevice>(std::move(members),
+                                              mode.stripe_blocks);
+}
+
+// Serialize the final rep's trace rows as a JSON array (one object per
+// pass, same schema as --trace=FILE lines) for the trajectory entry.
+std::string passes_to_json(const PassTraceLog& log) {
+  std::string s = "[";
+  bool first = true;
+  for (const PassTrace& t : log.rows()) {
+    if (!first) s += ",";
+    first = false;
+    s += pass_trace_json(t);
+  }
+  s += "]";
+  return s;
+}
+
+// Per-shard counters must partition the facade totals exactly — the bench
+// asserts the cheap half here; test_sharded_device.cpp holds the strict
+// matrix.
+bool shard_sums_match(const BlockDevice& dev) {
+  const auto shards = dev.shard_stats();
+  if (shards.empty()) return true;
+  IoStats sum;
+  for (const IoStats& s : shards) sum += s;
+  const IoStats total = dev.stats();
+  return sum.reads == total.reads && sum.writes == total.writes;
+}
 
 // Order-sensitive FNV-1a over the output records: equal checksums across
 // modes certify bit-identical output, the cheap half of the determinism
@@ -80,54 +150,66 @@ std::uint64_t checksum_em(EmVector<Record>& v) {
 }
 
 ModeResult run_sort_mode(const ModeSpec& mode) {
-  FileBlockDevice dev(bench_path("cmp_sort"), kCmpBlockBytes);
-  Context ctx(dev, kCmpMemBlocks * kCmpBlockBytes);
+  auto dev = make_cmp_device("cmp_sort", mode);
+  Context ctx(*dev, kCmpMemBlocks * kCmpBlockBytes);
   ctx.set_io_tuning(mode.tuning);
   ctx.set_cpu_tuning(mode.cpu);
-  auto host = make_workload(Workload::kUniform, kCmpRecords, 42);
+  PassTraceLog trace;
+  ctx.set_pass_trace(&trace);
+  auto host = make_workload(Workload::kUniform, cmp_records(), 42);
   auto data = materialize<Record>(ctx, host);
   ModeResult res;
   for (int rep = 0; rep < 3; ++rep) {  // best-of-3, verify untimed
-    dev.reset_stats();
+    dev->reset_stats();
     ctx.budget().reset_peak();
+    trace.reset();
     const auto t0 = std::chrono::steady_clock::now();
     auto sorted = external_sort<Record>(ctx, data);
     const std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
-    res.ios = dev.stats().total();
+    res.ios = dev->stats().total();
     res.peak = ctx.budget().peak();
     res.sorted = is_sorted_em<Record>(sorted);
+    res.shard_sums_ok = shard_sums_match(*dev);
     res.checksum = checksum_em(sorted);
     if (rep == 0 || dt.count() < res.seconds) res.seconds = dt.count();
   }
+  // The trace covers the sort passes only (reset precedes the timed call;
+  // verification I/O lands after the rows are recorded).
+  res.passes_json = passes_to_json(trace);
   return res;
 }
 
 ModeResult run_partition_mode(const ModeSpec& mode) {
-  FileBlockDevice dev(bench_path("cmp_part"), kCmpBlockBytes);
-  Context ctx(dev, kCmpMemBlocks * kCmpBlockBytes);
+  auto dev = make_cmp_device("cmp_part", mode);
+  Context ctx(*dev, kCmpMemBlocks * kCmpBlockBytes);
   ctx.set_io_tuning(mode.tuning);
   ctx.set_cpu_tuning(mode.cpu);
-  auto host = make_workload(Workload::kUniform, kCmpRecords, 43);
+  PassTraceLog trace;
+  ctx.set_pass_trace(&trace);
+  auto host = make_workload(Workload::kUniform, cmp_records(), 43);
   auto data = materialize<Record>(ctx, host);
   std::vector<std::uint64_t> ranks;
   for (std::uint64_t k = 1; k < 64; ++k) {
-    ranks.push_back(k * (kCmpRecords / 64));
+    ranks.push_back(k * (cmp_records() / 64));
   }
   ModeResult res;
   for (int rep = 0; rep < 3; ++rep) {
-    dev.reset_stats();
+    dev->reset_stats();
     ctx.budget().reset_peak();
+    trace.reset();
     const auto t0 = std::chrono::steady_clock::now();
     auto part = multi_partition<Record>(ctx, data, ranks);
     const std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
-    res.ios = dev.stats().total();
+    res.ios = dev->stats().total();
     res.peak = ctx.budget().peak();
     res.sorted = part.bounds.size() == 65;
+    res.shard_sums_ok = shard_sums_match(*dev);
     res.checksum = checksum_em(part.data);
     if (rep == 0 || dt.count() < res.seconds) res.seconds = dt.count();
   }
+  res.passes_json = passes_to_json(trace);
   return res;
 }
 
@@ -150,13 +232,28 @@ void run_mode_comparison() {
        CpuTuning{2, 8}},
       {"async+t4", IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true},
        CpuTuning{4, 8}},
+      // Sharded legs: the async tuning striped over D file-backed members
+      // with parallel member submission.  Striping is geometry, so logical
+      // I/O totals and checksums must equal the async leg's exactly; on a
+      // single-core container the wall-clock gain is honest page-cache
+      // overlap, not spindle parallelism.  shard1 isolates the facade's
+      // dispatch overhead (one member, same code path).
+      // Stripe = batch = 16 blocks: every aligned batch covers exactly one
+      // stripe, so sub-batch splitting adds no extra member calls and the
+      // members alternate batch by batch (balance ~ 1).
+      {"shard1", IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true},
+       CpuTuning{1, 1}, 1, 16},
+      {"shard2", IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true},
+       CpuTuning{1, 1}, 2, 16},
+      {"shard4", IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true},
+       CpuTuning{1, 1}, 4, 16},
   };
 
   bench::JsonEmitter json("wallclock");
   std::printf(
-      "# E10a: sync vs batched vs async vs async+threads, FileBlockDevice, "
-      "B = %zu bytes, M = %zu blocks, N = %zu records\n",
-      kCmpBlockBytes, kCmpMemBlocks, kCmpRecords);
+      "# E10a: sync vs batched vs async vs async+threads vs sharded, "
+      "FileBlockDevice, B = %zu bytes, M = %zu blocks, N = %zu records\n",
+      kCmpBlockBytes, kCmpMemBlocks, cmp_records());
   std::printf("# %-16s %-9s %10s %12s %10s %8s\n", "op", "mode", "secs",
               "ios", "peak/M", "speedup");
 
@@ -173,11 +270,16 @@ void run_mode_comparison() {
         async_ios = r.ios;
         async_checksum = r.checksum;
       }
-      // Threaded legs share the async stream geometry, so both halves of the
-      // determinism contract are checkable right here.
-      const bool deterministic = name.rfind("async+", 0) != 0 ||
-                                 (r.ios == async_ios &&
-                                  r.checksum == async_checksum);
+      // Threaded and sharded legs share the async stream geometry, so both
+      // halves of the determinism contract are checkable right here: same
+      // logical I/O total, same output bytes.  Shard legs additionally
+      // require the per-shard counters to partition the facade totals.
+      const bool follows_async = name.rfind("async+", 0) == 0 ||
+                                 name.rfind("shard", 0) == 0;
+      const bool deterministic =
+          (!follows_async ||
+           (r.ios == async_ios && r.checksum == async_checksum)) &&
+          r.shard_sums_ok;
       const double speedup = r.seconds > 0 ? sync_secs / r.seconds : 0.0;
       const double peak_frac = static_cast<double>(r.peak) /
                                static_cast<double>(kCmpMemBlocks * kCmpBlockBytes);
@@ -194,14 +296,20 @@ void run_mode_comparison() {
       json.field("async", mode.tuning.async);
       json.field("threads", static_cast<std::uint64_t>(mode.cpu.threads));
       json.field("sort_shards", static_cast<std::uint64_t>(mode.cpu.sort_shards));
+      json.field("shards", static_cast<std::uint64_t>(mode.shards));
+      json.field("stripe_blocks",
+                 static_cast<std::uint64_t>(mode.shards > 0
+                                                ? mode.stripe_blocks
+                                                : std::size_t{0}));
       json.field("block_bytes", static_cast<std::uint64_t>(kCmpBlockBytes));
       json.field("mem_blocks", static_cast<std::uint64_t>(kCmpMemBlocks));
-      json.field("records", static_cast<std::uint64_t>(kCmpRecords));
+      json.field("records", static_cast<std::uint64_t>(cmp_records()));
       json.field("seconds", r.seconds);
       json.field("ios", r.ios);
       json.field("peak_bytes", r.peak);
       json.field("checksum", r.checksum);
       json.field("speedup_vs_sync", speedup);
+      json.field_json("passes", r.passes_json);
       json.end_row();
     }
   }

@@ -238,7 +238,9 @@ class BlockDevice {
 
   /// Snapshot of the I/O counters.  Returns by value: the counters are
   /// atomics that the background worker may be bumping concurrently.
-  [[nodiscard]] IoStats stats() const noexcept {
+  /// Virtual so a composite device (ShardedBlockDevice) can report the sum
+  /// of its members' counters as the facade total.
+  [[nodiscard]] virtual IoStats stats() const noexcept {
     return IoStats{reads_.load(std::memory_order_relaxed),
                    writes_.load(std::memory_order_relaxed),
                    retries_.load(std::memory_order_relaxed)};
@@ -247,11 +249,21 @@ class BlockDevice {
   /// Zero the counters.  Main-thread only, and only at quiescent points
   /// (no async I/O in flight — e.g. between algorithm runs); a reset racing
   /// the worker's increments would produce torn totals.
-  void reset_stats() noexcept {
+  virtual void reset_stats() noexcept {
     reads_.store(0, std::memory_order_relaxed);
     writes_.store(0, std::memory_order_relaxed);
     retries_.store(0, std::memory_order_relaxed);
   }
+
+  /// Number of member shards behind this device — 1 for a plain device;
+  /// ShardedBlockDevice reports its member count.
+  [[nodiscard]] virtual std::size_t shard_count() const noexcept { return 1; }
+
+  /// Per-shard counter snapshots.  Empty for an unsharded device (callers
+  /// treat "no breakdown" and "one shard" identically); a sharded device
+  /// returns one entry per member, summing exactly to stats() minus any
+  /// facade-level retries (see ShardedBlockDevice::stats()).
+  [[nodiscard]] virtual std::vector<IoStats> shard_stats() const { return {}; }
 
   /// Total blocks ever grown to (capacity high-water mark).
   [[nodiscard]] std::uint64_t size_blocks() const noexcept {
@@ -282,8 +294,10 @@ class BlockDevice {
   }
 
   /// Retry policy for transient faults.  Main-thread only, at quiescent
-  /// points (no transfers in flight), like arm_fault.
-  void set_fault_policy(const FaultPolicy& policy) noexcept {
+  /// points (no transfers in flight), like arm_fault.  Virtual so a
+  /// composite device can forward the policy to its members (where
+  /// member-armed faults are retried).
+  virtual void set_fault_policy(const FaultPolicy& policy) noexcept {
     fault_policy_ = policy;
   }
   [[nodiscard]] const FaultPolicy& fault_policy() const noexcept {
@@ -307,8 +321,9 @@ class BlockDevice {
 
   /// Test injector for corruption: flip one bit of a block's stored bytes,
   /// bypassing the I/O counters and the checksum map — exactly what a torn
-  /// write or a decayed cell does to a device.
-  void corrupt_bit(BlockId block, std::size_t bit);
+  /// write or a decayed cell does to a device.  Virtual so a composite
+  /// device can route the flip to the owning member's raw bytes.
+  virtual void corrupt_bit(BlockId block, std::size_t bit);
 
   /// Recovery hook: rebuild allocator state on a device whose *contents*
   /// survived a process death (FileBlockDevice reopened over its file).

@@ -118,6 +118,16 @@ class Context {
   /// Snapshot of the underlying device's I/O statistics.
   [[nodiscard]] IoStats io() const noexcept { return device_->stats(); }
 
+  /// Member-device count behind the context's device (1 for a plain device).
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return device_->shard_count();
+  }
+
+  /// Per-shard counter snapshots (empty for an unsharded device).
+  [[nodiscard]] std::vector<IoStats> shard_stats() const {
+    return device_->shard_stats();
+  }
+
   /// Configure I/O batching / asynchrony.  Throws if batch_blocks is 0 or a
   /// reader/writer pair of batched streams could not fit in M (the model
   /// needs at least input + output streaming to make progress).  Switching

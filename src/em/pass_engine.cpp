@@ -1,5 +1,9 @@
-// pass_engine.cpp — trace sink and the pass envelope's record step.
+// pass_engine.cpp — trace sink, the pass envelope's record step, and the
+// JSON-lines export behind `--trace=FILE`.
 #include "em/pass_engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
 
 namespace emsplit {
 
@@ -31,6 +35,25 @@ PassRunner::Scope::~Scope() {
           .count();
   t.threads = runner_.ctx_->cpu_lanes();
   t.resumed = false;
+  // Per-shard breakdown: the delta of each member's counters over the pass.
+  // The member count is fixed for the device's lifetime, so the two
+  // snapshots always align.
+  const std::vector<IoStats> now = runner_.ctx_->shard_stats();
+  if (!now.empty() && now.size() == start_shards_.size()) {
+    t.shard_io.reserve(now.size());
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    for (std::size_t i = 0; i < now.size(); ++i) {
+      t.shard_io.push_back(now[i] - start_shards_[i]);
+      const std::uint64_t tot = t.shard_io.back().total();
+      sum += tot;
+      max = std::max(max, tot);
+    }
+    t.balance = sum == 0 ? 1.0
+                         : static_cast<double>(max) *
+                               static_cast<double>(now.size()) /
+                               static_cast<double>(sum);
+  }
   log->record(std::move(t));
 }
 
@@ -46,6 +69,67 @@ void PassRunner::note_resumed(const char* label, std::uint64_t passes) {
   t.threads = ctx_->cpu_lanes();
   t.resumed = true;
   log->record(std::move(t));
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string pass_trace_json(const PassTrace& t) {
+  std::string s = "{\"job\":\"";
+  append_escaped(s, t.job);
+  s += "\",\"pass\":\"";
+  append_escaped(s, t.pass);
+  s += "\",\"index\":" + std::to_string(t.index);
+  s += ",\"reads\":" + std::to_string(t.io.reads);
+  s += ",\"writes\":" + std::to_string(t.io.writes);
+  s += ",\"retries\":" + std::to_string(t.io.retries);
+  s += ",\"bytes\":" + std::to_string(t.bytes);
+  s += ",\"seconds\":";
+  append_double(s, t.seconds);
+  s += ",\"threads\":" + std::to_string(t.threads);
+  s += ",\"resumed\":";
+  s += t.resumed ? "true" : "false";
+  s += ",\"balance\":";
+  append_double(s, t.balance);
+  s += ",\"shards\":[";
+  for (std::size_t i = 0; i < t.shard_io.size(); ++i) {
+    if (i > 0) s += ',';
+    const IoStats& m = t.shard_io[i];
+    s += "{\"reads\":" + std::to_string(m.reads) +
+         ",\"writes\":" + std::to_string(m.writes) +
+         ",\"retries\":" + std::to_string(m.retries) + "}";
+  }
+  s += "]}";
+  return s;
+}
+
+bool write_pass_trace_jsonl(const PassTraceLog& log, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = true;
+  for (const PassTrace& t : log.rows()) {
+    const std::string line = pass_trace_json(t) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) {
+      ok = false;
+      break;
+    }
+  }
+  if (std::fclose(f) != 0) ok = false;
+  return ok;
 }
 
 }  // namespace emsplit

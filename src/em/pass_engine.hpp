@@ -70,6 +70,15 @@ struct PassTrace {
   double seconds = 0.0;   ///< wall time of the pass
   std::size_t threads = 1;  ///< execution lanes configured during the pass
   bool resumed = false;   ///< true: replayed from the journal, not re-run
+  /// Per-shard I/O deltas of the pass, index-aligned with the sharded
+  /// device's members and partitioning `io`'s member sum exactly.  Empty on
+  /// an unsharded device.
+  std::vector<IoStats> shard_io;
+  /// Shard skew of the pass: max over members of that member's I/O count,
+  /// divided by the mean over members (so 1.0 = perfectly balanced, D =
+  /// everything on one member).  0.0 on an unsharded device; 1.0 for a
+  /// sharded pass that performed no I/O.
+  double balance = 0.0;
 };
 
 /// Sink for PassTrace records.  Attach one to a Context (set_pass_trace) and
@@ -126,6 +135,7 @@ class PassRunner {
           phase_(runner.ctx_->profile(), label),
           index_(++runner.seq_),
           start_io_(runner.ctx_->io()),
+          start_shards_(runner.ctx_->shard_stats()),
           start_(std::chrono::steady_clock::now()) {}
 
     ~Scope();
@@ -139,6 +149,7 @@ class PassRunner {
     ScopedPhase phase_;
     std::uint64_t index_;
     IoStats start_io_;
+    std::vector<IoStats> start_shards_;
     std::chrono::steady_clock::time_point start_;
   };
 
@@ -350,6 +361,16 @@ class LaneScratch {
   std::optional<MemoryReservation> res_;
   std::vector<X> buf_;
 };
+
+/// One PassTrace row as a single-line JSON object — the `--trace=FILE`
+/// JSON-lines row and the bench binaries' per-pass tag.  Always emits the
+/// per-shard columns (`shards` is `[]` on an unsharded run).
+[[nodiscard]] std::string pass_trace_json(const PassTrace& trace);
+
+/// Dump a whole log as JSON-lines, one row per line.  Returns false when the
+/// file could not be written (best-effort: losing a trace loses nothing but
+/// observability).
+bool write_pass_trace_jsonl(const PassTraceLog& log, const std::string& path);
 
 /// Convert an algorithm's span list to the journal's representation.
 template <typename Span>

@@ -1,0 +1,308 @@
+#include "em/sharded_device.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace emsplit {
+
+namespace {
+
+/// Validates the member list before the base subobject needs a block size.
+std::size_t facade_block_bytes(
+    const std::vector<std::unique_ptr<BlockDevice>>& members) {
+  if (members.empty()) {
+    throw std::invalid_argument(
+        "ShardedBlockDevice: needs at least one member device");
+  }
+  if (members.front() == nullptr) {
+    throw std::invalid_argument("ShardedBlockDevice: null member device");
+  }
+  return members.front()->block_bytes();
+}
+
+/// Re-throw a member-level DeviceFault on the *logical* request it broke:
+/// the shard and its local failure stay in the message, the structured range
+/// is the caller's [first, first + count), and completed() is the number of
+/// blocks of that logical request known to have transferred.
+[[noreturn]] void rethrow_logical(const DeviceFault& df, std::size_t shard,
+                                  const char* op, BlockId first,
+                                  std::uint64_t count,
+                                  std::uint64_t completed) {
+  throw DeviceFault("shard " + std::to_string(shard) + ": " + df.what() +
+                        " (logical blocks [" + std::to_string(first) + ", " +
+                        std::to_string(first + count) + "))",
+                    df.transient(), op, first, count, completed);
+}
+
+}  // namespace
+
+ShardedBlockDevice::ShardedBlockDevice(
+    std::vector<std::unique_ptr<BlockDevice>> members,
+    std::size_t stripe_blocks)
+    : BlockDevice(facade_block_bytes(members)),
+      members_(std::move(members)),
+      stripe_blocks_(stripe_blocks) {
+  if (stripe_blocks_ == 0) {
+    throw std::invalid_argument(
+        "ShardedBlockDevice: stripe_blocks must be positive");
+  }
+  for (const auto& m : members_) {
+    if (m == nullptr) {
+      throw std::invalid_argument("ShardedBlockDevice: null member device");
+    }
+    if (m->block_bytes() != block_bytes()) {
+      throw std::invalid_argument(
+          "ShardedBlockDevice: members disagree on block size");
+    }
+    if (m->size_blocks() != 0 || m->allocated_blocks() != 0) {
+      // Members must be fresh: the facade owns their whole address space
+      // (growth happens only through do_grow, so each member stays a dense
+      // array of its stripes).
+      throw std::invalid_argument(
+          "ShardedBlockDevice: member device already has blocks");
+    }
+  }
+  // Parallel member submission is on by default only where it can win: with
+  // several members AND more than one hardware thread.  On a single-core
+  // host the per-sub-batch worker handoff is pure overhead (the dispatch is
+  // geometry either way — logical I/O and bytes are identical), so the
+  // default there is the serial walk.  Callers can force either path with
+  // set_parallel_io().
+  set_parallel_io(members_.size() > 1 &&
+                  std::thread::hardware_concurrency() > 1);
+}
+
+ShardedBlockDevice::~ShardedBlockDevice() = default;
+
+IoStats ShardedBlockDevice::stats() const noexcept {
+  IoStats total{};
+  for (const auto& m : members_) total += m->stats();
+  total.retries += BlockDevice::stats().retries;
+  return total;
+}
+
+void ShardedBlockDevice::reset_stats() noexcept {
+  BlockDevice::reset_stats();
+  for (const auto& m : members_) m->reset_stats();
+}
+
+std::vector<IoStats> ShardedBlockDevice::shard_stats() const {
+  std::vector<IoStats> out;
+  out.reserve(members_.size());
+  for (const auto& m : members_) out.push_back(m->stats());
+  return out;
+}
+
+void ShardedBlockDevice::set_fault_policy(const FaultPolicy& policy) noexcept {
+  BlockDevice::set_fault_policy(policy);
+  for (const auto& m : members_) m->set_fault_policy(policy);
+}
+
+void ShardedBlockDevice::corrupt_bit(BlockId block, std::size_t bit) {
+  if (block >= size_blocks() || bit >= block_bytes() * 8) {
+    throw std::out_of_range(
+        "ShardedBlockDevice::corrupt_bit: beyond device/block");
+  }
+  const Location loc = locate(block);
+  members_[loc.shard]->corrupt_bit(loc.block, bit);
+}
+
+void ShardedBlockDevice::set_parallel_io(bool enabled) {
+  if (enabled && members_.size() > 1) {
+    if (!pipelines_.empty()) return;
+    pipelines_.reserve(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      pipelines_.push_back(std::make_unique<IoPipeline>());
+    }
+  } else {
+    pipelines_.clear();  // each destructor drains and joins its worker
+  }
+}
+
+ShardedBlockDevice::Location ShardedBlockDevice::locate(
+    BlockId block) const noexcept {
+  const std::uint64_t sb = stripe_blocks_;
+  const std::uint64_t d = members_.size();
+  const std::uint64_t stripe = block / sb;
+  return {static_cast<std::size_t>(stripe % d),
+          (stripe / d) * sb + block % sb};
+}
+
+void ShardedBlockDevice::do_read(BlockId block, std::span<std::byte> out) {
+  const Location loc = locate(block);
+  try {
+    members_[loc.shard]->read(loc.block, out);
+  } catch (const DeviceFault& df) {
+    rethrow_logical(df, loc.shard, "read", block, 1, df.completed());
+  }
+}
+
+void ShardedBlockDevice::do_write(BlockId block,
+                                  std::span<const std::byte> in) {
+  const Location loc = locate(block);
+  try {
+    members_[loc.shard]->write(loc.block, in);
+  } catch (const DeviceFault& df) {
+    rethrow_logical(df, loc.shard, "write", block, 1, df.completed());
+  }
+}
+
+void ShardedBlockDevice::do_read_blocks(BlockId first, std::uint64_t count,
+                                        std::span<std::byte> out) {
+  const auto segs = split(first, count, out.size());
+  run_segments(/*is_read=*/true, first, count, segs, out.data(), nullptr);
+}
+
+void ShardedBlockDevice::do_write_blocks(BlockId first, std::uint64_t count,
+                                         std::span<const std::byte> in) {
+  const auto segs = split(first, count, in.size());
+  run_segments(/*is_read=*/false, first, count, segs, nullptr, in.data());
+}
+
+void ShardedBlockDevice::do_grow(std::uint64_t new_size_blocks) {
+  const std::uint64_t sb = stripe_blocks_;
+  const std::uint64_t d = members_.size();
+  const std::uint64_t stripes = (new_size_blocks + sb - 1) / sb;
+  for (std::uint64_t i = 0; i < d; ++i) {
+    // Stripes s < stripes with s % d == i.
+    const std::uint64_t my_stripes = (stripes + d - 1 - i) / d;
+    const std::uint64_t need = my_stripes * sb;
+    const std::uint64_t have = members_[i]->size_blocks();
+    if (need <= have) continue;
+    const BlockRange r = members_[i]->allocate(need - have);
+    if (r.first != have) {
+      // Unreachable while the facade owns the member (it never deallocates
+      // member blocks, so member free lists stay empty).
+      throw std::logic_error(
+          "ShardedBlockDevice: member grew non-contiguously");
+    }
+  }
+}
+
+std::vector<ShardedBlockDevice::Segment> ShardedBlockDevice::split(
+    BlockId first, std::uint64_t count, std::size_t span_bytes) const {
+  const std::size_t block = block_bytes();
+  const std::uint64_t sb = stripe_blocks_;
+  const std::uint64_t d = members_.size();
+  std::vector<Segment> segs;
+  BlockId l = first;
+  std::uint64_t left = count;
+  std::size_t off = 0;
+  while (left > 0) {
+    const std::uint64_t stripe = l / sb;
+    const std::size_t mi = static_cast<std::size_t>(stripe % d);
+    const BlockId mfirst = (stripe / d) * sb + l % sb;
+    const std::uint64_t run = std::min(sb - l % sb, left);
+    // The last logical block may be a prefix transfer; every earlier block
+    // is full, so only the final segment can be short.
+    const std::size_t len = (left == run)
+                                ? span_bytes - off
+                                : static_cast<std::size_t>(run) * block;
+    if (!segs.empty() && segs.back().shard == mi &&
+        segs.back().mfirst + segs.back().count == mfirst) {
+      // Member-contiguous with the previous segment (always the case for
+      // d == 1): extend instead of issuing a second member call.
+      segs.back().count += run;
+      segs.back().len += len;
+    } else {
+      segs.push_back(Segment{mi, mfirst, l, run, off, len});
+    }
+    l += run;
+    left -= run;
+    off += len;
+  }
+  return segs;
+}
+
+void ShardedBlockDevice::run_segments(bool is_read, BlockId first,
+                                      std::uint64_t count,
+                                      const std::vector<Segment>& segs,
+                                      std::byte* read_base,
+                                      const std::byte* write_base) {
+  const char* op = is_read ? "read_blocks" : "write_blocks";
+  const auto xfer = [&](const Segment& s) {
+    if (is_read) {
+      members_[s.shard]->read_blocks(
+          s.mfirst, s.count, std::span<std::byte>(read_base + s.off, s.len));
+    } else {
+      members_[s.shard]->write_blocks(
+          s.mfirst, s.count,
+          std::span<const std::byte>(write_base + s.off, s.len));
+    }
+  };
+
+  std::vector<std::vector<const Segment*>> by_member(members_.size());
+  for (const auto& s : segs) by_member[s.shard].push_back(&s);
+  std::size_t involved = 0;
+  for (const auto& v : by_member) involved += v.empty() ? 0u : 1u;
+
+  if (pipelines_.empty() || involved <= 1) {
+    // Serial path: logical order, on the calling thread.  `done` is exact —
+    // everything before the faulting segment transferred in full.
+    std::uint64_t done = 0;
+    for (const auto& s : segs) {
+      try {
+        xfer(s);
+      } catch (const DeviceFault& df) {
+        rethrow_logical(df, s.shard, op, first, count, done + df.completed());
+      }
+      done += s.count;
+    }
+    return;
+  }
+
+  // Parallel path: one job per involved member, each walking that member's
+  // segments in logical order.  Segments touch disjoint member blocks and
+  // disjoint sub-spans of the caller's buffer, so the jobs share nothing but
+  // the device pointers; `done` has one slot per member, written only by its
+  // own job and read only after every wait() below has synchronized.
+  std::vector<std::uint64_t> done(members_.size(), 0);
+  std::vector<std::pair<std::size_t, IoPipeline::Ticket>> tickets;
+  tickets.reserve(involved);
+  for (std::size_t mi = 0; mi < members_.size(); ++mi) {
+    if (by_member[mi].empty()) continue;
+    tickets.emplace_back(
+        mi, pipelines_[mi]->submit([&xfer, &by_member, &done, mi] {
+          for (const Segment* s : by_member[mi]) {
+            try {
+              xfer(*s);
+            } catch (const DeviceFault& df) {
+              done[mi] += df.completed();
+              throw;
+            }
+            done[mi] += s->count;
+          }
+        }));
+  }
+  // Wait for every member — even after a failure — so the buffer and the
+  // segment list stay valid for all in-flight jobs.  The surfaced fault is
+  // the lowest-indexed faulting member, which keeps the error deterministic
+  // regardless of worker interleaving.
+  std::exception_ptr first_error;
+  std::size_t fault_shard = 0;
+  for (const auto& [mi, ticket] : tickets) {
+    try {
+      pipelines_[mi]->wait(ticket);
+    } catch (...) {
+      if (first_error == nullptr) {
+        first_error = std::current_exception();
+        fault_shard = mi;
+      }
+    }
+  }
+  if (first_error == nullptr) return;
+  std::uint64_t total_done = 0;
+  for (const std::uint64_t d : done) total_done += d;
+  try {
+    std::rethrow_exception(first_error);
+  } catch (const DeviceFault& df) {
+    rethrow_logical(df, fault_shard, op, first, count, total_done);
+  }
+  // Non-DeviceFault errors propagate from the rethrow above unchanged.
+}
+
+}  // namespace emsplit

@@ -1,0 +1,149 @@
+// sharded_device.hpp — D-disk striping: one logical device over D members.
+//
+// The EM model's standard multi-disk extension (Aggarwal–Vitter; Vitter &
+// Shriver's D-disk model) lets one I/O move a block *per disk*.
+// ShardedBlockDevice realizes it RAID-0 style: the logical block space is cut
+// into fixed-size stripe units of `stripe_blocks` blocks, dealt round-robin
+// over D member devices.  Everything above the BlockDevice interface —
+// EmVector, the stream classes, every algorithm — is unchanged: striping is
+// *geometry, never output* (docs/model.md, "Sharded devices and the D-disk
+// model").  For any (D, stripe_blocks) the facade performs the same logical
+// transfers, byte for byte and count for count, as a single device.
+//
+// Parallelism: a batched read_blocks / write_blocks extent is split into
+// per-member sub-batches (each a contiguous member-local run, each writing a
+// disjoint sub-span of the caller's buffer — zero copies, zero extra memory)
+// and issued concurrently, one IoPipeline worker per member.  The facade adds
+// no queueing of its own: a stream's in-flight sub-batches per member are
+// bounded by its `queue_depth`, because each stream batch splits into at most
+// one sub-batch per member.  This reuses the PR-1 worker; there is no second
+// async mechanism.
+//
+// Accounting: the members' own counters are the per-shard IoStats, and the
+// facade's totals are their sum (plus facade-level retries, which have no
+// shard — see stats()).  Per-shard counters therefore partition the facade's
+// totals exactly.
+//
+// Faults: the PR-3 substrate passes through at both levels.  Faults armed on
+// the *facade* fire on logical ranges, are retried by the facade's policy and
+// charge the facade's retry counter.  Faults armed on a *member* are retried
+// inside that member (set_fault_policy forwards to every member), so retries
+// are charged to the faulting shard; whatever escapes the member's budget is
+// re-thrown carrying the *logical* block range of the request, with the
+// member and its local range in the message.  Checksums live at the facade —
+// enable them there and corruption on any member surfaces as CorruptBlock
+// with the logical block id.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "em/block_device.hpp"
+#include "em/io_pipeline.hpp"
+
+namespace emsplit {
+
+class ShardedBlockDevice final : public BlockDevice {
+ public:
+  /// Takes ownership of `members` (all fresh — no allocations yet — and all
+  /// with the same block size, which becomes the facade's).  `stripe_blocks`
+  /// is the striping unit: logical stripe s = blocks [s*stripe_blocks,
+  /// (s+1)*stripe_blocks) lives on member s % D at member-local stripe s / D.
+  ShardedBlockDevice(std::vector<std::unique_ptr<BlockDevice>> members,
+                     std::size_t stripe_blocks);
+  ~ShardedBlockDevice() override;
+
+  /// Facade totals: per-shard reads/writes/retries summed, plus the facade's
+  /// own retry counter (retries of *logical* injected faults, which belong to
+  /// no shard).  On a fault-free or member-faulting run the per-shard stats
+  /// partition these totals exactly.
+  [[nodiscard]] IoStats stats() const noexcept override;
+  void reset_stats() noexcept override;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept override {
+    return members_.size();
+  }
+  /// Per-member counter snapshots, index-aligned with the members.
+  [[nodiscard]] std::vector<IoStats> shard_stats() const override;
+
+  /// Forwards to every member (where member-fault retries run) and keeps the
+  /// facade's own copy (for logical faults armed on the facade).
+  void set_fault_policy(const FaultPolicy& policy) noexcept override;
+
+  /// Corruption injection on the logical address space: translated to the
+  /// owning member's raw bytes, bypassing all counters and checksum maps.
+  void corrupt_bit(BlockId block, std::size_t bit) override;
+
+  /// Direct access to member `i` — tests arm per-shard faults through this.
+  [[nodiscard]] BlockDevice& member(std::size_t i) noexcept {
+    return *members_[i];
+  }
+  [[nodiscard]] std::size_t stripe_blocks() const noexcept {
+    return stripe_blocks_;
+  }
+
+  /// Concurrent member sub-batch issue (default on for D > 1 on multi-core
+  /// hosts; single-core hosts default to the serial walk, where worker
+  /// handoffs can only lose).  Off routes every sub-batch serially on the
+  /// calling thread — same transfers, same counts, no worker threads; the
+  /// toggle is pure execution, never geometry.  Main-thread only, at
+  /// quiescent points (workers are torn down / spun up).
+  void set_parallel_io(bool enabled);
+  [[nodiscard]] bool parallel_io() const noexcept {
+    return !pipelines_.empty();
+  }
+
+ protected:
+  void do_read(BlockId block, std::span<std::byte> out) override;
+  void do_write(BlockId block, std::span<const std::byte> in) override;
+  void do_read_blocks(BlockId first, std::uint64_t count,
+                      std::span<std::byte> out) override;
+  void do_write_blocks(BlockId first, std::uint64_t count,
+                       std::span<const std::byte> in) override;
+  /// Grows each member to hold every stripe of the new logical size.  The
+  /// facade never deallocates member blocks, so member growth is always
+  /// contiguous at the end — each member stays a dense linear array.
+  void do_grow(std::uint64_t new_size_blocks) override;
+
+ private:
+  /// One member-contiguous piece of a logical extent: `count` blocks starting
+  /// at member-local block `mfirst` of member `shard`, backed by the caller
+  /// span's bytes [off, off + len).
+  struct Segment {
+    std::size_t shard = 0;
+    BlockId mfirst = 0;
+    BlockId lfirst = 0;
+    std::uint64_t count = 0;
+    std::size_t off = 0;
+    std::size_t len = 0;
+  };
+
+  /// Home of one logical block: which member, and at which member-local id.
+  struct Location {
+    std::size_t shard = 0;
+    BlockId block = 0;
+  };
+  [[nodiscard]] Location locate(BlockId block) const noexcept;
+
+  [[nodiscard]] std::vector<Segment> split(BlockId first, std::uint64_t count,
+                                           std::size_t span_bytes) const;
+  /// Issue the segments of one logical request — concurrently (one pipeline
+  /// job per involved member) when workers exist and more than one member is
+  /// involved, serially otherwise.  `is_read` selects the member transfer.
+  /// Member DeviceFaults are re-thrown on the *logical* range [first,
+  /// first + count) with the blocks known transferred as completed().
+  void run_segments(bool is_read, BlockId first, std::uint64_t count,
+                    const std::vector<Segment>& segs, std::byte* read_base,
+                    const std::byte* write_base);
+
+  // Members before pipelines: destruction drains and joins every worker
+  // before any member device dies under it.
+  std::vector<std::unique_ptr<BlockDevice>> members_;
+  std::size_t stripe_blocks_;
+  std::vector<std::unique_ptr<IoPipeline>> pipelines_;
+};
+
+}  // namespace emsplit

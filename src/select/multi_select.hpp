@@ -50,6 +50,24 @@ void multi_select_batched(Context& ctx, const EmVector<T>& vec,
   }
 }
 
+/// Job fingerprint for the multi-select checkpoint (see sort_fingerprint):
+/// digests everything that shapes the partition + base-case pass structure —
+/// the query ranks included, since they pick the pivots.
+template <EmRecord T>
+std::uint64_t msel_fingerprint(const Context& ctx, std::size_t first,
+                               std::size_t n,
+                               const std::vector<std::uint64_t>& rs) {
+  std::uint64_t h = fingerprint_mix(kFingerprintSeed, 0x4D53454C);  // "MSEL"
+  h = fingerprint_mix(h, first);
+  h = fingerprint_mix(h, n);
+  h = fingerprint_mix(h, sizeof(T));
+  h = fingerprint_mix(h, ctx.block_records<T>());
+  h = fingerprint_mix(h, ctx.stream_blocks());
+  h = fingerprint_mix(h, ctx.mem_records<T>());
+  for (const std::uint64_t r : rs) h = fingerprint_mix(h, r);
+  return h;
+}
+
 }  // namespace detail
 
 /// Multi-selection over records [first, last) of `input`.
@@ -86,33 +104,43 @@ template <EmRecord T, typename Less = std::less<T>>
   // when all ranks fit one intermixed instance, otherwise a partition pass
   // followed by a base-case pass per piece.  The envelope performs no I/O,
   // so the scan sequence is exactly the seed's.
-  PassRunner runner(ctx, {"msel", 0});
+  PassRunner runner(ctx, {"msel", detail::msel_fingerprint<T>(ctx, first, n, rs)});
   if (u <= m) {
     unique_answers = runner.run("msel/base-case", [&] {
       return detail::multi_select_base<T, Less>(ctx, input, first, last, rs,
                                                 less);
     });
   } else {
-    // General case: split at every m-th unique rank.
-    const std::size_t g = (u + m - 1) / m;
-    std::vector<std::uint64_t> pivot_ranks;
-    pivot_ranks.reserve(g - 1);
-    for (std::size_t i = 1; i < g; ++i) {
-      const std::uint64_t r = rs[i * m - 1];
-      if (r < n) pivot_ranks.push_back(r);  // a split at n would be empty
+    // General case: split at every m-th unique rank.  The partition result
+    // is installed as pass 1 of a sort-shaped chain: with a journal attached
+    // a crash during the base cases resumes with the partition already paid
+    // for (a crash *inside* the partition resumes multi_partition's own
+    // journaled root as before); without a journal install/take degrade to
+    // plain moves — the seed code path.
+    PassChain<T> chain(runner, "msel/partition");
+    if (!chain.resumed()) {
+      const std::size_t g = (u + m - 1) / m;
+      std::vector<std::uint64_t> pivot_ranks;
+      pivot_ranks.reserve(g - 1);
+      for (std::size_t i = 1; i < g; ++i) {
+        const std::uint64_t r = rs[i * m - 1];
+        if (r < n) pivot_ranks.push_back(r);  // a split at n would be empty
+      }
+      auto part = runner.run("msel/partition", [&] {
+        return multi_partition<T, Less>(ctx, input, first, last, pivot_ranks,
+                                        less);
+      });
+      chain.install(std::move(part.data), std::move(part.bounds));
     }
-    auto part = runner.run("msel/partition", [&] {
-      return multi_partition<T, Less>(ctx, input, first, last, pivot_ranks,
-                                      less);
-    });
+    const auto& bounds = chain.offsets();
 
     // Each piece q covers global ranks (pivot_{q-1}, pivot_q]; its targets
     // are a contiguous run of rs.  Dropping a rank-n pivot can at most merge
     // two runs, so the batched base case below runs O(1) times per piece.
     std::size_t i = 0;
-    for (std::size_t q = 0; q + 1 < part.bounds.size(); ++q) {
-      const std::uint64_t lo = part.bounds[q];
-      const std::uint64_t hi = part.bounds[q + 1];
+    for (std::size_t q = 0; q + 1 < bounds.size(); ++q) {
+      const std::uint64_t lo = bounds[q];
+      const std::uint64_t hi = bounds[q + 1];
       std::vector<std::uint64_t> local;
       while (i < u && rs[i] <= hi) {
         local.push_back(rs[i] - lo);
@@ -120,10 +148,11 @@ template <EmRecord T, typename Less = std::less<T>>
       }
       if (local.empty()) continue;
       runner.run("msel/base-case", [&] {
-        detail::multi_select_batched<T, Less>(ctx, part.data, lo, hi, local,
-                                              unique_answers, less);
+        detail::multi_select_batched<T, Less>(ctx, chain.data(), lo, hi,
+                                              local, unique_answers, less);
       });
     }
+    (void)chain.take();  // retire the journal entry and free the scratch
   }
 
   // Fan unique answers back out to the original query order.

@@ -7,6 +7,7 @@
 //
 //   emsplit gen       <file> <n> [workload] [seed]
 //   emsplit sort      <in> <out>
+//   emsplit dsort     <in> <out>
 //   emsplit select    <file> <rank> [rank ...]
 //   emsplit splitters <file> <K> <a> <b>
 //   emsplit partition <in> <out> <K> <a> <b>
@@ -18,20 +19,33 @@
 //   --mem-bytes=N          simulated memory budget             [default 1048576]
 //   --threads=N            CPU worker threads                  [default 1]
 //   --sort-shards=N        in-memory sort shard geometry       [default 1]
+//   --shards=D             stripe the device over D member devices
+//                          (RAID-0, the EM model's D-disk extension)
+//                                                              [default 1]
+//   --stripe-blocks=N      blocks per stripe unit on a sharded device
+//                                                              [default 8]
+//   --batch-blocks=N       blocks per stream device call       [default 1]
+//   --queue-depth=N        extra in-flight batches per stream  [default 0]
+//   --async=on|off         background I/O worker               [default off]
+//   --trace=FILE           per-pass trace rows as JSON-lines (I/Os, bytes,
+//                          wall time, per-shard breakdown, balance)
 //   --fault-policy=R[:US]  retry transient device faults up to R times,
 //                          first backoff US microseconds       [default 0]
 //   --checksums=on|off     per-block corruption detection      [default off]
 //   --checkpoint-dir=DIR   crash-recoverable runs: a file-backed device and
 //                          a pass-boundary journal live in DIR; rerunning
 //                          the identical command resumes from the last
-//                          completed pass (sort / partition)
+//                          completed pass (sort / dsort / partition / select)
 //   --crash-after-pass=N   test hook: exit abruptly after N checkpoint
 //                          publishes (simulates SIGKILL mid-run)
 //
 // --threads is pure execution width: for any value, the reported I/O cost
 // and the output bytes are identical (the determinism contract in
 // docs/model.md).  --sort-shards changes the in-memory sort geometry, but
-// record order is total, so outputs still match bit-for-bit.  Transient
+// record order is total, so outputs still match bit-for-bit.  --shards /
+// --stripe-blocks / --batch-blocks / --queue-depth / --async are likewise
+// output-transparent: striping and batching are geometry, never output
+// (docs/model.md, "Sharded devices and the D-disk model").  Transient
 // retries never change the base I/O counts either — `[cost]` reports them
 // separately (docs/model.md, "Failure model, retries, and recovery").
 #include <cinttypes>
@@ -56,6 +70,12 @@ struct Options {
   std::size_t mem_bytes = 1 << 20;
   std::size_t threads = 1;
   std::size_t sort_shards = 1;
+  std::size_t shards = 1;
+  std::size_t stripe_blocks = 8;
+  std::size_t batch_blocks = 1;
+  std::size_t queue_depth = 0;
+  bool async = false;
+  std::string trace_path;
   std::uint64_t fault_retries = 0;
   std::uint64_t fault_backoff_us = 0;
   bool checksums = false;
@@ -66,25 +86,62 @@ struct Options {
 /// The simulated machine one command runs on.  Destruction order matters:
 /// the journal returns its extents to the device, so it must die first —
 /// members are declared device, journal, context and destroyed in reverse.
+/// The destructor flushes the `--trace` log (every pass has completed by
+/// then, and the context is still alive during the destructor body).
 struct Machine {
   std::unique_ptr<BlockDevice> dev;
   std::unique_ptr<CheckpointJournal> journal;
   std::unique_ptr<Context> ctx;
+  std::unique_ptr<PassTraceLog> trace;
+  std::string trace_path;
+
+  Machine() = default;
+  Machine(Machine&&) = default;
+  Machine& operator=(Machine&&) = default;
+  ~Machine() {
+    if (trace != nullptr && !trace_path.empty() &&
+        !write_pass_trace_jsonl(*trace, trace_path)) {
+      std::fprintf(stderr, "warning: could not write trace file %s\n",
+                   trace_path.c_str());
+    }
+  }
 };
 
-Machine make_machine(const Options& opt) {
-  Machine m;
+std::unique_ptr<BlockDevice> make_member(const Options& opt,
+                                         const std::string& name) {
   if (!opt.checkpoint_dir.empty()) {
     // Crash-recoverable: device contents and the journal live in files, and
     // an interrupted run's blocks are re-adopted on the next start.
-    m.dev = std::make_unique<FileBlockDevice>(
-        opt.checkpoint_dir + "/device.bin", opt.block_bytes,
-        /*keep_file=*/true, /*preserve_contents=*/true);
+    return std::make_unique<FileBlockDevice>(opt.checkpoint_dir + "/" + name,
+                                             opt.block_bytes,
+                                             /*keep_file=*/true,
+                                             /*preserve_contents=*/true);
+  }
+  return std::make_unique<MemoryBlockDevice>(opt.block_bytes);
+}
+
+Machine make_machine(const Options& opt) {
+  Machine m;
+  if (opt.shards > 1) {
+    // D-disk machine: one member device per shard behind a striping facade.
+    // With --checkpoint-dir each member persists as its own file; the
+    // journal and the checksum map live at the facade level (per-member
+    // checksum sidecars are not persisted — a restart simply starts
+    // unverified, the same safe degradation as a killed process).
+    std::vector<std::unique_ptr<BlockDevice>> members;
+    members.reserve(opt.shards);
+    for (std::size_t d = 0; d < opt.shards; ++d) {
+      members.push_back(
+          make_member(opt, "device.shard" + std::to_string(d) + ".bin"));
+    }
+    m.dev = std::make_unique<ShardedBlockDevice>(std::move(members),
+                                                 opt.stripe_blocks);
   } else {
-    m.dev = std::make_unique<MemoryBlockDevice>(opt.block_bytes);
+    m.dev = make_member(opt, "device.bin");
   }
   m.dev->set_checksums(opt.checksums);
   m.ctx = std::make_unique<Context>(*m.dev, opt.mem_bytes);
+  m.ctx->set_io_tuning(IoTuning{opt.batch_blocks, opt.queue_depth, opt.async});
   m.ctx->set_cpu_tuning(CpuTuning{opt.threads, opt.sort_shards});
   FaultPolicy policy;
   policy.max_retries = opt.fault_retries;
@@ -99,6 +156,11 @@ Machine make_machine(const Options& opt) {
       m.journal->set_crash_after_publishes(opt.crash_after);
     }
   }
+  if (!opt.trace_path.empty()) {
+    m.trace = std::make_unique<PassTraceLog>();
+    m.trace_path = opt.trace_path;
+    m.ctx->set_pass_trace(m.trace.get());
+  }
   return m;
 }
 
@@ -107,12 +169,15 @@ Machine make_machine(const Options& opt) {
   std::fprintf(stderr,
                "usage: emsplit [--block-bytes=N] [--mem-bytes=N]"
                " [--threads=N] [--sort-shards=N]\n"
-               "               [--fault-policy=R[:BACKOFF_US]]"
+               "               [--shards=D] [--stripe-blocks=N]"
+               " [--batch-blocks=N] [--queue-depth=N] [--async=on|off]\n"
+               "               [--trace=FILE] [--fault-policy=R[:BACKOFF_US]]"
                " [--checksums=on|off]\n"
                "               [--checkpoint-dir=DIR] [--crash-after-pass=N]"
                " <command>\n"
                "  gen       <file> <n> [workload] [seed]   create a dataset\n"
                "  sort      <in> <out>                     external sort\n"
+               "  dsort     <in> <out>                     distribution sort\n"
                "  select    <file> <rank> [rank ...]       multi-selection\n"
                "  splitters <file> <K> <a> <b>             approximate K-splitters\n"
                "  partition <in> <out> <K> <a> <b>         approximate K-partitioning\n"
@@ -233,6 +298,19 @@ int cmd_sort(const Options& opt, int argc, char** argv) {
   return 0;
 }
 
+int cmd_dsort(const Options& opt, int argc, char** argv) {
+  if (argc < 2) usage("dsort needs <in> <out>");
+  Machine m = make_machine(opt);
+  Context& ctx = *m.ctx;
+  auto data = import_file<Record>(ctx, argv[0]);
+  m.dev->reset_stats();
+  auto sorted = distribution_sort<Record>(ctx, data);
+  print_cost(ctx, data.size());
+  export_file<Record>(sorted, argv[1]);
+  std::printf("sorted %zu records -> %s\n", data.size(), argv[1]);
+  return 0;
+}
+
 int cmd_select(const Options& opt, int argc, char** argv) {
   if (argc < 2) usage("select needs <file> and at least one rank");
   auto host = read_file(argv[0]);
@@ -347,6 +425,32 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--sort-shards=", 0) == 0) {
       opt.sort_shards = static_cast<std::size_t>(
           parse_u64(arg.c_str() + 14, "sort-shards"));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      opt.shards =
+          static_cast<std::size_t>(parse_u64(arg.c_str() + 9, "shards"));
+      if (opt.shards == 0) usage("--shards must be positive");
+    } else if (arg.rfind("--stripe-blocks=", 0) == 0) {
+      opt.stripe_blocks = static_cast<std::size_t>(
+          parse_u64(arg.c_str() + 16, "stripe-blocks"));
+      if (opt.stripe_blocks == 0) usage("--stripe-blocks must be positive");
+    } else if (arg.rfind("--batch-blocks=", 0) == 0) {
+      opt.batch_blocks = static_cast<std::size_t>(
+          parse_u64(arg.c_str() + 15, "batch-blocks"));
+    } else if (arg.rfind("--queue-depth=", 0) == 0) {
+      opt.queue_depth = static_cast<std::size_t>(
+          parse_u64(arg.c_str() + 14, "queue-depth"));
+    } else if (arg.rfind("--async=", 0) == 0) {
+      const std::string v = arg.substr(8);
+      if (v == "on") {
+        opt.async = true;
+      } else if (v == "off") {
+        opt.async = false;
+      } else {
+        usage("--async takes on|off");
+      }
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opt.trace_path = arg.substr(8);
+      if (opt.trace_path.empty()) usage("--trace needs a path");
     } else if (arg.rfind("--fault-policy=", 0) == 0) {
       const std::string spec = arg.substr(15);
       const std::size_t colon = spec.find(':');
@@ -381,6 +485,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(opt, argc - i, argv + i);
     if (cmd == "info") return cmd_info(opt, argc - i, argv + i);
     if (cmd == "sort") return cmd_sort(opt, argc - i, argv + i);
+    if (cmd == "dsort") return cmd_dsort(opt, argc - i, argv + i);
     if (cmd == "select") return cmd_select(opt, argc - i, argv + i);
     if (cmd == "splitters") return cmd_splitters(opt, argc - i, argv + i);
     if (cmd == "partition") return cmd_partition(opt, argc - i, argv + i);
