@@ -18,7 +18,11 @@
 // legs (shard1/2/4) repeat the async tuning through a ShardedBlockDevice
 // striped over D file-backed members: logical I/Os and checksums must not
 // move, and each trajectory row carries the per-pass trace (with per-shard
-// counters and balance) from its final rep.
+// counters and balance) from its final rep.  The uring legs swap the backend
+// for UringBlockDevice (write-behind ring, grouped submission) at the same
+// tuning — another pure-geometry change — and the dsort / multi_select ops
+// add cache-tagged legs where a budget-charged BlockCache serves re-read
+// extents from memory (hits are logged but never change logical I/O counts).
 //
 // Part 2 keeps the original google-benchmark microbenches on the 4 KiB
 // geometry.
@@ -27,12 +31,15 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/api.hpp"
+#include "em/block_cache.hpp"
 #include "em/file_io.hpp"
+#include "em/uring_device.hpp"
 
 namespace emsplit {
 namespace {
@@ -77,6 +84,9 @@ struct ModeSpec {
                                  // ShardedBlockDevice facade over D members
                                  // (D = 1 isolates facade dispatch overhead)
   std::size_t stripe_blocks = 8;
+  const char* backend = "file";  // "file" | "uring" (backend is geometry:
+                                 // logical I/Os and checksums cannot move)
+  std::size_t cache_blocks = 0;  // > 0 attaches a BlockCache of that capacity
 };
 
 struct ModeResult {
@@ -86,6 +96,9 @@ struct ModeResult {
   std::uint64_t checksum = 0;
   bool sorted = false;
   bool shard_sums_ok = true;     // shard_stats() partitions stats() exactly
+  bool uring_native = false;     // ring engaged (vs positional fallback)
+  std::uint64_t cache_hits = 0;  // final rep's cache counters
+  std::uint64_t cache_misses = 0;
   std::string passes_json;       // JSON array of the final rep's trace rows
 };
 
@@ -93,20 +106,79 @@ struct ModeResult {
 // earlier legs always used; shards >= 1 puts the ShardedBlockDevice facade
 // over D FileBlockDevice members, each its own file (the striping is
 // geometry — every logical I/O, and therefore every checksum below, must
-// be unchanged).
+// be unchanged).  backend = "uring" swaps the positional-I/O file backend
+// for the io_uring ring (write-behind slots, grouped submission) — also
+// geometry, also output-invariant.
 std::unique_ptr<BlockDevice> make_cmp_device(const char* tag,
                                              const ModeSpec& mode) {
-  if (mode.shards == 0) {
-    return std::make_unique<FileBlockDevice>(bench_path(tag), kCmpBlockBytes);
-  }
+  const bool uring = std::string(mode.backend) == "uring";
+  const auto make_member = [&](const std::string& path)
+      -> std::unique_ptr<BlockDevice> {
+    if (uring) {
+      // Bench ring geometry: submit_batch == write_behind so a write almost
+      // never pays its own io_uring_enter — queued write SQEs ride along on
+      // the next read's submit-and-wait enter (reads and writes alternate in
+      // every pass here), and a pure write burst still amortizes one enter
+      // over 16 transfers.
+      UringBlockDevice::Tuning ring;
+      ring.ring_entries = 64;
+      ring.write_behind = 16;
+      ring.submit_batch = 16;
+      return std::make_unique<UringBlockDevice>(path, kCmpBlockBytes, ring);
+    }
+    return std::make_unique<FileBlockDevice>(path, kCmpBlockBytes);
+  };
+  if (mode.shards == 0) return make_member(bench_path(tag));
   std::vector<std::unique_ptr<BlockDevice>> members;
   members.reserve(mode.shards);
   for (std::size_t d = 0; d < mode.shards; ++d) {
-    members.push_back(std::make_unique<FileBlockDevice>(
-        bench_path(tag) + "." + std::to_string(d), kCmpBlockBytes));
+    members.push_back(make_member(bench_path(tag) + "." + std::to_string(d)));
   }
   return std::make_unique<ShardedBlockDevice>(std::move(members),
                                               mode.stripe_blocks);
+}
+
+// Device + context + optional cache for one leg.  The cache charges the
+// context's own budget (the scavenger contract): algorithm reservations
+// push it out via the reclaimer, so peak() <= M still holds.
+struct Rig {
+  std::unique_ptr<BlockDevice> dev;
+  std::unique_ptr<Context> ctx;
+  std::unique_ptr<BlockCache> cache;
+  std::unique_ptr<PassTraceLog> trace;  // heap: ctx holds its address
+
+  Rig() = default;
+  Rig(Rig&&) = default;
+  Rig& operator=(Rig&&) = default;
+  ~Rig() {
+    if (ctx != nullptr && cache != nullptr) ctx->set_block_cache(nullptr);
+  }
+};
+
+Rig make_rig(const char* tag, const ModeSpec& mode) {
+  Rig rig;
+  rig.dev = make_cmp_device(tag, mode);
+  rig.ctx =
+      std::make_unique<Context>(*rig.dev, kCmpMemBlocks * kCmpBlockBytes);
+  rig.ctx->set_io_tuning(mode.tuning);
+  rig.ctx->set_cpu_tuning(mode.cpu);
+  rig.trace = std::make_unique<PassTraceLog>();
+  rig.ctx->set_pass_trace(rig.trace.get());
+  if (mode.cache_blocks > 0) {
+    rig.cache = std::make_unique<BlockCache>(
+        rig.ctx->budget(), kCmpBlockBytes, mode.cache_blocks);
+    rig.ctx->set_block_cache(rig.cache.get());
+  }
+  return rig;
+}
+
+bool rig_uring_native(Rig& rig, const ModeSpec& mode) {
+  if (std::string(mode.backend) != "uring") return false;
+  if (mode.shards == 0) {
+    return static_cast<const UringBlockDevice&>(*rig.dev).native();
+  }
+  auto& facade = static_cast<ShardedBlockDevice&>(*rig.dev);
+  return static_cast<const UringBlockDevice&>(facade.member(0)).native();
 }
 
 // Serialize the final rep's trace rows as a JSON array (one object per
@@ -149,89 +221,130 @@ std::uint64_t checksum_em(EmVector<Record>& v) {
   return h;
 }
 
-ModeResult run_sort_mode(const ModeSpec& mode) {
-  auto dev = make_cmp_device("cmp_sort", mode);
-  Context ctx(*dev, kCmpMemBlocks * kCmpBlockBytes);
-  ctx.set_io_tuning(mode.tuning);
-  ctx.set_cpu_tuning(mode.cpu);
-  PassTraceLog trace;
-  ctx.set_pass_trace(&trace);
-  auto host = make_workload(Workload::kUniform, cmp_records(), 42);
-  auto data = materialize<Record>(ctx, host);
+// Shared best-of-3 measurement loop.  `body` runs the algorithm, calls
+// `capture()` the moment the algorithm returns (stopping the clock and
+// snapshotting the I/O counters — verification and checksum scans stay
+// outside both), then fills the result's checksum / sorted fields.
+template <typename Body>
+ModeResult run_mode(const char* tag, const ModeSpec& mode,
+                    std::uint64_t workload_seed, Body body) {
+  Rig rig = make_rig(tag, mode);
+  auto host = make_workload(Workload::kUniform, cmp_records(), workload_seed);
+  auto data = materialize<Record>(*rig.ctx, host);
   ModeResult res;
+  res.uring_native = rig_uring_native(rig, mode);
   for (int rep = 0; rep < 3; ++rep) {  // best-of-3, verify untimed
-    dev->reset_stats();
-    ctx.budget().reset_peak();
-    trace.reset();
+    rig.dev->reset_stats();
+    rig.ctx->budget().reset_peak();
+    rig.trace->reset();
     const auto t0 = std::chrono::steady_clock::now();
-    auto sorted = external_sort<Record>(ctx, data);
-    const std::chrono::duration<double> dt =
-        std::chrono::steady_clock::now() - t0;
-    res.ios = dev->stats().total();
-    res.peak = ctx.budget().peak();
-    res.sorted = is_sorted_em<Record>(sorted);
-    res.shard_sums_ok = shard_sums_match(*dev);
-    res.checksum = checksum_em(sorted);
-    if (rep == 0 || dt.count() < res.seconds) res.seconds = dt.count();
+    double secs = 0;
+    const auto capture = [&] {
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      secs = dt.count();
+      const IoStats stats = rig.dev->stats();
+      res.ios = stats.base().total();
+      res.cache_hits = stats.cache_hits;
+      res.cache_misses = stats.cache_misses;
+    };
+    body(*rig.ctx, data, res, capture);
+    res.peak = rig.ctx->budget().peak();
+    res.shard_sums_ok = shard_sums_match(*rig.dev);
+    if (rep == 0 || secs < res.seconds) res.seconds = secs;
   }
-  // The trace covers the sort passes only (reset precedes the timed call;
-  // verification I/O lands after the rows are recorded).
-  res.passes_json = passes_to_json(trace);
+  // The trace covers the algorithm's passes only (reset precedes the timed
+  // call; verification I/O lands after the rows are recorded).
+  res.passes_json = passes_to_json(*rig.trace);
   return res;
 }
 
-ModeResult run_partition_mode(const ModeSpec& mode) {
-  auto dev = make_cmp_device("cmp_part", mode);
-  Context ctx(*dev, kCmpMemBlocks * kCmpBlockBytes);
-  ctx.set_io_tuning(mode.tuning);
-  ctx.set_cpu_tuning(mode.cpu);
-  PassTraceLog trace;
-  ctx.set_pass_trace(&trace);
-  auto host = make_workload(Workload::kUniform, cmp_records(), 43);
-  auto data = materialize<Record>(ctx, host);
+std::vector<std::uint64_t> cmp_ranks() {
   std::vector<std::uint64_t> ranks;
   for (std::uint64_t k = 1; k < 64; ++k) {
     ranks.push_back(k * (cmp_records() / 64));
   }
-  ModeResult res;
-  for (int rep = 0; rep < 3; ++rep) {
-    dev->reset_stats();
-    ctx.budget().reset_peak();
-    trace.reset();
-    const auto t0 = std::chrono::steady_clock::now();
-    auto part = multi_partition<Record>(ctx, data, ranks);
-    const std::chrono::duration<double> dt =
-        std::chrono::steady_clock::now() - t0;
-    res.ios = dev->stats().total();
-    res.peak = ctx.budget().peak();
-    res.sorted = part.bounds.size() == 65;
-    res.shard_sums_ok = shard_sums_match(*dev);
-    res.checksum = checksum_em(part.data);
-    if (rep == 0 || dt.count() < res.seconds) res.seconds = dt.count();
-  }
-  res.passes_json = passes_to_json(trace);
-  return res;
+  return ranks;
+}
+
+ModeResult run_sort_mode(const ModeSpec& mode) {
+  return run_mode("cmp_sort", mode, 42,
+                  [](Context& ctx, EmVector<Record>& data, ModeResult& res,
+                     const auto& capture) {
+                    auto sorted = external_sort<Record>(ctx, data);
+                    capture();
+                    res.sorted = is_sorted_em<Record>(sorted);
+                    res.checksum = checksum_em(sorted);
+                  });
+}
+
+ModeResult run_partition_mode(const ModeSpec& mode) {
+  return run_mode("cmp_part", mode, 43,
+                  [](Context& ctx, EmVector<Record>& data, ModeResult& res,
+                     const auto& capture) {
+                    auto part = multi_partition<Record>(ctx, data, cmp_ranks());
+                    capture();
+                    res.sorted = part.bounds.size() == 65;
+                    res.checksum = checksum_em(part.data);
+                  });
+}
+
+// Distribution sort: the multi-pass sort whose recursion levels and in-place
+// final pass re-read recently written extents — the cache's natural prey.
+ModeResult run_dsort_mode(const ModeSpec& mode) {
+  return run_mode("cmp_dsort", mode, 44,
+                  [](Context& ctx, EmVector<Record>& data, ModeResult& res,
+                     const auto& capture) {
+                    auto sorted = distribution_sort<Record>(ctx, data);
+                    capture();
+                    res.sorted = is_sorted_em<Record>(sorted);
+                    res.checksum = checksum_em(sorted);
+                  });
+}
+
+// Multi-select re-scans a geometrically shrinking candidate set over the
+// same immutable input: once the survivors fit in the cache, whole passes
+// are served from memory.
+ModeResult run_select_mode(const ModeSpec& mode) {
+  return run_mode("cmp_select", mode, 45,
+                  [](Context& ctx, EmVector<Record>& data, ModeResult& res,
+                     const auto& capture) {
+                    const auto answers =
+                        multi_select<Record>(ctx, data, cmp_ranks());
+                    capture();
+                    res.sorted = answers.size() == 63;
+                    std::uint64_t h = 1469598103934665603ull;
+                    for (const Record& r : answers) {
+                      h = (h ^ r.key) * 1099511628211ull;
+                      h = (h ^ r.payload) * 1099511628211ull;
+                    }
+                    res.checksum = h;
+                  });
 }
 
 void run_mode_comparison() {
-  const ModeSpec modes[] = {
-      {"sync", IoTuning{.batch_blocks = 1, .queue_depth = 0, .async = false}},
-      // batched and async share stream_blocks() = 32, so they run the same
-      // geometry (fan-in 127 over ~65 runs: one merge pass, like sync's
-      // fan-in 4095) and identical I/O totals; only the issue path differs.
-      {"batched",
-       IoTuning{.batch_blocks = 32, .queue_depth = 0, .async = false}},
-      {"async",
-       IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true}},
+  // Tuning shorthands.  batched and async share stream_blocks() = 32, so
+  // they run the same geometry (fan-in 127 over ~65 runs: one merge pass,
+  // like sync's fan-in 4095) and identical I/O totals; only the issue path
+  // differs.  The uring legs reuse the batched tuning verbatim — backend and
+  // cache are the only deltas, so their logical I/Os and checksums must
+  // equal the batched/async legs' exactly.
+  const IoTuning kSync{.batch_blocks = 1, .queue_depth = 0, .async = false};
+  const IoTuning kBatched{.batch_blocks = 32, .queue_depth = 0, .async = false};
+  const IoTuning kAsync{.batch_blocks = 16, .queue_depth = 1, .async = true};
+  constexpr std::size_t kCacheBlocks = 2048;  // half of M, scavenged
+
+  const std::vector<ModeSpec> full_modes = {
+      {"sync", kSync},
+      {"batched", kBatched},
+      {"async", kAsync},
       // CPU-parallel legs on top of the async pipeline: same stream geometry
       // as "async", so I/O totals and output checksums must match it exactly
       // for every thread count (the determinism contract).  sort_shards = 8
       // is geometry too, but record order is total, so even it cannot move
       // a byte.  On a single-core host these report honestly flat times.
-      {"async+t2", IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true},
-       CpuTuning{2, 8}},
-      {"async+t4", IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true},
-       CpuTuning{4, 8}},
+      {"async+t2", kAsync, CpuTuning{2, 8}},
+      {"async+t4", kAsync, CpuTuning{4, 8}},
       // Sharded legs: the async tuning striped over D file-backed members
       // with parallel member submission.  Striping is geometry, so logical
       // I/O totals and checksums must equal the async leg's exactly; on a
@@ -241,56 +354,91 @@ void run_mode_comparison() {
       // Stripe = batch = 16 blocks: every aligned batch covers exactly one
       // stripe, so sub-batch splitting adds no extra member calls and the
       // members alternate batch by batch (balance ~ 1).
-      {"shard1", IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true},
-       CpuTuning{1, 1}, 1, 16},
-      {"shard2", IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true},
-       CpuTuning{1, 1}, 2, 16},
-      {"shard4", IoTuning{.batch_blocks = 16, .queue_depth = 1, .async = true},
-       CpuTuning{1, 1}, 4, 16},
+      {"shard1", kAsync, CpuTuning{1, 1}, 1, 16},
+      {"shard2", kAsync, CpuTuning{1, 1}, 2, 16},
+      {"shard4", kAsync, CpuTuning{1, 1}, 4, 16},
+      // The io_uring backend at the batched tuning: write-behind slots and
+      // grouped submission replace one blocking pwrite per extent (batched
+      // and async share stream geometry, so the determinism check against
+      // the async reference still binds bit-for-bit).
+      {"uring", kBatched, CpuTuning{1, 1}, 0, 8, "uring"},
+  };
+  // The cache showcase ops (distribution sort's level-to-level re-reads,
+  // multi-select's shrinking candidate re-scans) run a compact leg set:
+  // the file baseline at batched geometry, the ring, and ring + cache.
+  const std::vector<ModeSpec> cache_modes = {
+      {"batched", kBatched},
+      {"uring", kBatched, CpuTuning{1, 1}, 0, 8, "uring"},
+      {"uring+cache", kBatched, CpuTuning{1, 1}, 0, 8, "uring", kCacheBlocks},
+  };
+
+  struct OpSpec {
+    const char* op;
+    ModeResult (*run)(const ModeSpec&);
+    const std::vector<ModeSpec>* modes;
+    const char* ref_leg;  // geometry reference for the determinism check
+  };
+  const OpSpec ops[] = {
+      {"external_sort", run_sort_mode, &full_modes, "async"},
+      {"multi_partition", run_partition_mode, &full_modes, "async"},
+      {"dsort", run_dsort_mode, &cache_modes, "batched"},
+      {"multi_select", run_select_mode, &cache_modes, "batched"},
   };
 
   bench::JsonEmitter json("wallclock");
   std::printf(
-      "# E10a: sync vs batched vs async vs async+threads vs sharded, "
-      "FileBlockDevice, B = %zu bytes, M = %zu blocks, N = %zu records\n",
+      "# E10a: sync vs batched vs async vs threads vs sharded vs uring(+cache), "
+      "B = %zu bytes, M = %zu blocks, N = %zu records\n",
       kCmpBlockBytes, kCmpMemBlocks, cmp_records());
-  std::printf("# %-16s %-9s %10s %12s %10s %8s\n", "op", "mode", "secs",
-              "ios", "peak/M", "speedup");
+  std::printf("# %-16s %-11s %10s %12s %10s %9s %8s\n", "op", "mode", "secs",
+              "ios", "peak/M", "hits", "speedup");
 
-  for (const bool is_sort : {true, false}) {
-    double sync_secs = 0;
-    std::uint64_t async_ios = 0;
-    std::uint64_t async_checksum = 0;
-    for (const auto& mode : modes) {
+  for (const OpSpec& op : ops) {
+    double base_secs = 0;
+    std::uint64_t ref_ios = 0;
+    std::uint64_t ref_checksum = 0;
+    bool first_leg = true;
+    for (const auto& mode : *op.modes) {
       const std::string name = mode.name;
-      const ModeResult r =
-          is_sort ? run_sort_mode(mode) : run_partition_mode(mode);
-      if (name == "sync") sync_secs = r.seconds;
-      if (name == "async") {
-        async_ios = r.ios;
-        async_checksum = r.checksum;
+      const ModeResult r = op.run(mode);
+      if (first_leg) {
+        base_secs = r.seconds;  // speedup baseline: the op's first leg
+        first_leg = false;
       }
-      // Threaded and sharded legs share the async stream geometry, so both
+      if (name == op.ref_leg) {
+        ref_ios = r.ios;
+        ref_checksum = r.checksum;
+      }
+      // Every leg past the reference shares its stream geometry, so both
       // halves of the determinism contract are checkable right here: same
-      // logical I/O total, same output bytes.  Shard legs additionally
-      // require the per-shard counters to partition the facade totals.
-      const bool follows_async = name.rfind("async+", 0) == 0 ||
-                                 name.rfind("shard", 0) == 0;
+      // logical I/O total, same output bytes.  (uring legs run the batched
+      // tuning; batched/async already match — see the tuning comment.)
+      // Shard legs additionally require the per-shard counters to partition
+      // the facade totals.
+      const bool follows_ref = name.rfind("async+", 0) == 0 ||
+                               name.rfind("shard", 0) == 0 ||
+                               name.rfind("uring", 0) == 0;
       const bool deterministic =
-          (!follows_async ||
-           (r.ios == async_ios && r.checksum == async_checksum)) &&
+          (!follows_ref ||
+           (r.ios == ref_ios && r.checksum == ref_checksum)) &&
           r.shard_sums_ok;
-      const double speedup = r.seconds > 0 ? sync_secs / r.seconds : 0.0;
+      const double speedup = r.seconds > 0 ? base_secs / r.seconds : 0.0;
       const double peak_frac = static_cast<double>(r.peak) /
                                static_cast<double>(kCmpMemBlocks * kCmpBlockBytes);
-      std::printf("  %-16s %-9s %10.3f %12llu %10.3f %7.2fx%s%s\n",
-                  is_sort ? "external_sort" : "multi_partition", mode.name,
-                  r.seconds, static_cast<unsigned long long>(r.ios), peak_frac,
-                  speedup, r.sorted ? "" : "  [CHECK FAILED]",
+      std::printf("  %-16s %-11s %10.3f %12llu %10.3f %9llu %7.2fx%s%s\n",
+                  op.op, mode.name, r.seconds,
+                  static_cast<unsigned long long>(r.ios), peak_frac,
+                  static_cast<unsigned long long>(r.cache_hits), speedup,
+                  r.sorted ? "" : "  [CHECK FAILED]",
                   deterministic ? "" : "  [DETERMINISM FAILED]");
       json.begin_row();
-      json.field("op", std::string(is_sort ? "external_sort" : "multi_partition"));
+      json.field("op", std::string(op.op));
       json.field("mode", std::string(mode.name));
+      json.field("backend", std::string(mode.backend));
+      json.field("uring_native", r.uring_native);
+      json.field("cache_blocks", static_cast<std::uint64_t>(mode.cache_blocks));
+      json.field("cache_hits", r.cache_hits);
+      json.field("cache_misses", r.cache_misses);
       json.field("batch_blocks", static_cast<std::uint64_t>(mode.tuning.batch_blocks));
       json.field("queue_depth", static_cast<std::uint64_t>(mode.tuning.queue_depth));
       json.field("async", mode.tuning.async);

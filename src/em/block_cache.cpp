@@ -1,0 +1,249 @@
+#include "em/block_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace emsplit {
+
+BlockCache::BlockCache(MemoryBudget& budget, std::size_t block_bytes,
+                       Tuning tuning)
+    : budget_(budget), block_bytes_(block_bytes), tuning_(tuning) {
+  if (tuning_.capacity_blocks == 0 || block_bytes_ == 0) return;
+  tuning_.max_entry_blocks =
+      std::min(std::max<std::size_t>(1, tuning_.max_entry_blocks),
+               tuning_.capacity_blocks);
+  chunk_blocks_ = std::min(std::max<std::size_t>(1, tuning_.chunk_blocks),
+                           tuning_.capacity_blocks);
+  // Admission probe: if the budget cannot spare even one chunk now, the
+  // cache was configured into a machine whose algorithms own all of M up
+  // front — stay disabled rather than fight for scraps.
+  auto probe = budget_.try_reserve(chunk_blocks_ * block_bytes_);
+  if (!probe) return;
+  chunks_.push_back(std::move(*probe));
+  enabled_ = true;
+  budget_.set_reclaimer([this](std::size_t need) { return shed(need); });
+}
+
+BlockCache::~BlockCache() {
+  if (enabled_) budget_.set_reclaimer(nullptr);
+}
+
+std::size_t BlockCache::resident_blocks() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return used_blocks_;
+}
+
+std::map<BlockId, BlockCache::Lru::iterator>::iterator
+BlockCache::find_covering(BlockId first) {
+  auto it = map_.upper_bound(first);
+  if (it == map_.begin()) return map_.end();
+  --it;
+  const Entry& e = *it->second;
+  if (first < e.first + e.count) return it;
+  return map_.end();
+}
+
+bool BlockCache::overlaps_pinned_range(BlockId first,
+                                       std::uint64_t count) const {
+  auto it = pinned_ranges_.upper_bound(first + count - 1);
+  if (it == pinned_ranges_.begin()) return false;
+  --it;
+  return it->first + it->second > first;
+}
+
+void BlockCache::erase_entry(std::map<BlockId, Lru::iterator>::iterator it) {
+  used_blocks_ -= it->second->count;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+BlockCache::Lru::iterator BlockCache::erase_overlaps_keep_exact(
+    BlockId first, std::uint64_t count) {
+  Lru::iterator exact = lru_.end();
+  auto it = map_.upper_bound(first);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second->first + prev->second->count > first) it = prev;
+  }
+  while (it != map_.end() && it->second->first < first + count) {
+    if (it->second->first == first && it->second->count == count) {
+      exact = it->second;
+      ++it;
+    } else {
+      it = std::next(it);
+      erase_entry(std::prev(it));
+    }
+  }
+  return exact;
+}
+
+bool BlockCache::read(BlockId first, std::uint64_t count,
+                      std::span<std::byte> out) {
+  if (!enabled_) return false;
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = find_covering(first);
+  if (it != map_.end()) {
+    Entry& e = *it->second;
+    const std::size_t off =
+        static_cast<std::size_t>(first - e.first) * block_bytes_;
+    if (first + count <= e.first + e.count && off + out.size() <= e.bytes.size()) {
+      std::memcpy(out.data(), e.bytes.data() + off, out.size());
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      hits_.fetch_add(count, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(count, std::memory_order_relaxed);
+  return false;
+}
+
+void BlockCache::note_read(BlockId first, std::uint64_t count,
+                           std::span<const std::byte> bytes) {
+  // Read-insert policy: only single-block misses — index/splitter-style
+  // point accesses.  Streaming scans never flood the LRU.
+  if (!enabled_ || count != 1) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (find_covering(first) != map_.end()) return;  // short-bytes near-hit
+  if (!make_room(count)) return;
+  insert(first, count, bytes);
+}
+
+void BlockCache::note_write(BlockId first, std::uint64_t count,
+                            std::span<const std::byte> bytes) {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (count > tuning_.max_entry_blocks) {
+    // Too large to keep, but resident overlaps are now stale.
+    auto it = map_.upper_bound(first);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second->first + prev->second->count > first) it = prev;
+    }
+    while (it != map_.end() && it->second->first < first + count) {
+      it = std::next(it);
+      erase_entry(std::prev(it));
+    }
+    return;
+  }
+  const Lru::iterator exact = erase_overlaps_keep_exact(first, count);
+  if (exact != lru_.end()) {
+    exact->bytes.assign(bytes.begin(), bytes.end());
+    lru_.splice(lru_.begin(), lru_, exact);
+    return;
+  }
+  if (!make_room(count)) return;
+  insert(first, count, bytes);
+}
+
+void BlockCache::invalidate(BlockId first, std::uint64_t count) {
+  if (!enabled_ || count == 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.upper_bound(first);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second->first + prev->second->count > first) it = prev;
+  }
+  while (it != map_.end() && it->second->first < first + count) {
+    it = std::next(it);
+    erase_entry(std::prev(it));
+  }
+}
+
+void BlockCache::clear() {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+  used_blocks_ = 0;
+}
+
+void BlockCache::pin(BlockId first, std::uint64_t count) {
+  if (!enabled_ || count == 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  pinned_ranges_[first] = std::max(pinned_ranges_[first], count);
+  auto it = map_.upper_bound(first);
+  if (it != map_.begin()) --it;
+  for (; it != map_.end() && it->second->first < first + count; ++it) {
+    Entry& e = *it->second;
+    if (e.first + e.count > first) e.pinned = true;
+  }
+}
+
+void BlockCache::unpin(BlockId first, std::uint64_t count) {
+  if (!enabled_ || count == 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  pinned_ranges_.erase(first);
+  auto it = map_.upper_bound(first);
+  if (it != map_.begin()) --it;
+  for (; it != map_.end() && it->second->first < first + count; ++it) {
+    Entry& e = *it->second;
+    if (e.first + e.count > first) {
+      e.pinned = overlaps_pinned_range(e.first, e.count);
+    }
+  }
+}
+
+bool BlockCache::evict_one_unpinned() {
+  if (lru_.empty()) return false;
+  for (auto it = std::prev(lru_.end());; --it) {
+    if (!it->pinned) {
+      evictions_.fetch_add(it->count, std::memory_order_relaxed);
+      used_blocks_ -= it->count;
+      map_.erase(it->first);
+      lru_.erase(it);
+      return true;
+    }
+    if (it == lru_.begin()) return false;
+  }
+}
+
+bool BlockCache::make_room(std::uint64_t count) {
+  if (count > tuning_.capacity_blocks) return false;
+  while (used_blocks_ + count > granted_blocks()) {
+    if (granted_blocks() < tuning_.capacity_blocks) {
+      // Never reclaim here: a scavenger growing by stealing from itself (or
+      // from the algorithms it is scavenging around) would deadlock or lie.
+      auto r = budget_.try_reserve(chunk_blocks_ * block_bytes_,
+                                   /*allow_reclaim=*/false);
+      if (r) {
+        chunks_.push_back(std::move(*r));
+        continue;
+      }
+    }
+    if (lru_.empty() || !evict_one_unpinned()) return false;
+  }
+  return true;
+}
+
+void BlockCache::insert(BlockId first, std::uint64_t count,
+                        std::span<const std::byte> bytes) {
+  lru_.push_front(Entry{first, count, overlaps_pinned_range(first, count),
+                        {bytes.begin(), bytes.end()}});
+  map_[first] = lru_.begin();
+  used_blocks_ += count;
+}
+
+std::size_t BlockCache::shed(std::size_t bytes_needed) {
+  std::vector<MemoryReservation> freed;
+  std::size_t released = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) return 0;
+    while (released < bytes_needed) {
+      if (!chunks_.empty() &&
+          granted_blocks() - used_blocks_ >= chunk_blocks_) {
+        freed.push_back(std::move(chunks_.back()));
+        chunks_.pop_back();
+        released += chunk_blocks_ * block_bytes_;
+        continue;
+      }
+      if (lru_.empty() || !evict_one_unpinned()) break;
+    }
+  }
+  // Reservations release outside the cache lock (budget lock nests inside).
+  freed.clear();
+  return released;
+}
+
+}  // namespace emsplit

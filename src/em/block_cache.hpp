@@ -1,0 +1,180 @@
+// block_cache.hpp — a budget-charged, pin-aware LRU block cache.
+//
+// The cache sits between BlockDevice's counting layer and the physical
+// backend: reads whose blocks are resident skip the backend transfer, writes
+// keep resident copies coherent.  Crucially, the cache is *invisible to the
+// cost model*: a hit is still a logical read — the model charges block
+// movement into working memory, and the bytes moved — so the IoStats base
+// counts of a cached run are bit-identical to the uncached run.  Hits only
+// explain where the wall-clock went (IoStats::cache_hits et al.).
+//
+// Memory comes out of the same MemoryBudget the algorithms use, charged in
+// chunks, which preserves the checked peak() <= M invariant.  The cache is a
+// *scavenger*: it grows into whatever the live algorithm state leaves idle,
+// and registers itself as the budget's reclaimer so that any later algorithm
+// reservation that finds the budget short pushes the cache back out (LRU
+// entries are shed and whole chunks returned) before the reservation is
+// refused.  An algorithm that reserves exactly all of M therefore behaves
+// exactly as it does without a cache.  If even the first chunk is declined
+// at construction, the cache disables itself permanently.
+//
+// Granularity is the device *call*: streams move aligned groups of
+// batch_blocks blocks per call, and one cache entry covers one such extent.
+// Lookup is one ordered-map probe per call instead of one per block, so the
+// cache costs O(1) per transfer, not per block.  A read is served only when
+// it lies entirely inside a single resident entry; partial overlap is a miss
+// (the backend transfer proceeds and resident copies stay authoritative via
+// the write path's coherence invalidation).
+//
+// Insert policy (scan resistance): every write inserts or updates — written
+// extents are the re-read candidates (runs, partitions, spilled pieces) and
+// the writer already paid for the bytes.  Read misses insert only
+// single-block transfers: those are the splitter / sample / index style
+// accesses worth keeping, while multi-block streaming scans would only flood
+// the LRU.  Pinning marks ranges whose resident entries survive both
+// eviction and reclaim — for blocks (splitter tables, sample buffers) the
+// algorithm knows it will touch again.
+//
+// All methods are thread-safe (one internal mutex); the device transfer
+// paths call in from both the main thread and I/O worker threads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "em/memory_budget.hpp"
+
+namespace emsplit {
+
+using BlockId = std::uint64_t;
+
+class BlockCache {
+ public:
+  struct Tuning {
+    std::size_t capacity_blocks = 0;    ///< hard cap on resident blocks
+    std::size_t max_entry_blocks = 64;  ///< larger transfers bypass the cache
+    std::size_t chunk_blocks = 64;      ///< budget charge granularity
+  };
+
+  /// A cache of up to `capacity_blocks` blocks of `block_bytes` each, charged
+  /// against `budget`.  Registers itself as the budget's reclaimer (one cache
+  /// per budget); deregisters on destruction.
+  BlockCache(MemoryBudget& budget, std::size_t block_bytes,
+             std::size_t capacity_blocks)
+      : BlockCache(budget, block_bytes, Tuning{capacity_blocks}) {}
+  BlockCache(MemoryBudget& budget, std::size_t block_bytes, Tuning tuning);
+  ~BlockCache();
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// False when capacity is zero or the construction-time chunk probe was
+  /// declined by the budget — every other call is then a cheap no-op.
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] std::size_t capacity_blocks() const noexcept {
+    return tuning_.capacity_blocks;
+  }
+  [[nodiscard]] std::size_t resident_blocks() const;
+
+  /// Serve a read of `count` blocks at `first` from the cache if the range is
+  /// entirely inside one resident entry.  Counts `count` cache hits on
+  /// success, `count` misses otherwise.  `out` follows the device span rule
+  /// (all blocks but possibly a suffix of the last).
+  [[nodiscard]] bool read(BlockId first, std::uint64_t count,
+                          std::span<std::byte> out);
+
+  /// A read miss completed against the backend: apply the read-insert policy
+  /// (single-block transfers are cached, streaming scans are not).
+  void note_read(BlockId first, std::uint64_t count,
+                 std::span<const std::byte> bytes);
+
+  /// A write completed against the backend: keep the cache coherent and
+  /// insert/update the written extent (subject to capacity and pinning).
+  void note_write(BlockId first, std::uint64_t count,
+                  std::span<const std::byte> bytes);
+
+  /// Drop any entries overlapping [first, first + count) — deallocated
+  /// extents, corruption injection, restore.
+  void invalidate(BlockId first, std::uint64_t count);
+  /// Drop everything (budget chunks stay granted).
+  void clear();
+
+  /// Pin / unpin [first, first + count): resident entries overlapping a
+  /// pinned range are exempt from eviction *and* from budget reclaim, and
+  /// future inserts overlapping it are born pinned.  Pin sparingly — pinned
+  /// bytes are as hard a memory commitment as any reservation.
+  void pin(BlockId first, std::uint64_t count);
+  void unpin(BlockId first, std::uint64_t count);
+
+  /// Counters, in blocks (matching IoStats' per-block charging).
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() noexcept {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+  }
+
+  /// MemoryBudget reclaimer entry: release at least `bytes_needed` back to
+  /// the budget if possible (shedding unpinned LRU entries and returning
+  /// whole chunks); returns the bytes actually released.
+  std::size_t shed(std::size_t bytes_needed);
+
+ private:
+  struct Entry {
+    BlockId first = 0;
+    std::uint64_t count = 0;
+    bool pinned = false;
+    std::vector<std::byte> bytes;  ///< valid prefix of the extent as written
+  };
+  using Lru = std::list<Entry>;  // front = most recent
+
+  [[nodiscard]] std::size_t granted_blocks() const {
+    return chunks_.size() * chunk_blocks_;
+  }
+  /// The resident entry containing block `first` (map probe), or map_.end().
+  [[nodiscard]] std::map<BlockId, Lru::iterator>::iterator find_covering(
+      BlockId first);
+  [[nodiscard]] bool overlaps_pinned_range(BlockId first,
+                                           std::uint64_t count) const;
+  void erase_entry(std::map<BlockId, Lru::iterator>::iterator it);
+  /// Drop overlapping entries except an exact [first, count) match, which is
+  /// returned for in-place update.
+  Lru::iterator erase_overlaps_keep_exact(BlockId first, std::uint64_t count);
+  bool evict_one_unpinned();
+  /// Make room for `count` more blocks (grow by chunks, then evict LRU).
+  bool make_room(std::uint64_t count);
+  void insert(BlockId first, std::uint64_t count,
+              std::span<const std::byte> bytes);
+
+  MemoryBudget& budget_;
+  const std::size_t block_bytes_;
+  Tuning tuning_;
+  std::size_t chunk_blocks_ = 0;
+  bool enabled_ = false;
+
+  mutable std::mutex mu_;
+  Lru lru_;
+  std::map<BlockId, Lru::iterator> map_;  // keyed by entry.first
+  std::map<BlockId, std::uint64_t> pinned_ranges_;
+  std::vector<MemoryReservation> chunks_;
+  std::size_t used_blocks_ = 0;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace emsplit

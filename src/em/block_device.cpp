@@ -10,6 +10,9 @@
 #include <thread>
 #include <utility>
 
+#include "em/block_cache.hpp"
+#include "em/posix_io.hpp"
+
 namespace emsplit {
 
 namespace {
@@ -51,6 +54,30 @@ BlockDevice::BlockDevice(std::size_t block_bytes) : block_bytes_(block_bytes) {
 
 BlockDevice::~BlockDevice() = default;
 
+IoStats BlockDevice::stats() const noexcept {
+  IoStats s{reads_.load(std::memory_order_relaxed),
+            writes_.load(std::memory_order_relaxed),
+            retries_.load(std::memory_order_relaxed)};
+  if (cache_ != nullptr) {
+    s.cache_hits = cache_->hits();
+    s.cache_misses = cache_->misses();
+    s.cache_evictions = cache_->evictions();
+  }
+  return s;
+}
+
+void BlockDevice::reset_stats() noexcept {
+  reads_.store(0, std::memory_order_relaxed);
+  writes_.store(0, std::memory_order_relaxed);
+  retries_.store(0, std::memory_order_relaxed);
+  if (cache_ != nullptr) cache_->reset_counters();
+}
+
+void BlockDevice::invalidate_cache_range(BlockId first,
+                                         std::uint64_t count) noexcept {
+  if (cache_ != nullptr) cache_->invalidate(first, count);
+}
+
 BlockRange BlockDevice::allocate(std::uint64_t count) {
   if (count == 0) return BlockRange{};
   // First fit over the free list.
@@ -76,6 +103,11 @@ BlockRange BlockDevice::allocate(std::uint64_t count) {
 
 void BlockDevice::deallocate(const BlockRange& range) noexcept {
   if (!range.valid() || range.count == 0) return;
+  // A write-behind backend must drain in-flight writes into the extent
+  // before it becomes reusable, and the cache must forget its copies — a
+  // recycled block's first read must see the new owner's bytes.
+  do_discard(range);
+  invalidate_cache_range(range.first, range.count);
   allocated_blocks_ -= range.count;
   {
     // Drop checksum entries with the extent: a recycled block's first read
@@ -239,9 +271,21 @@ void BlockDevice::read_core(const char* op, BlockId first, std::uint64_t count,
       const std::size_t bytes =
           d.allowed == want ? span.size()
                             : static_cast<std::size_t>(d.allowed) * block_bytes_;
-      do_read_blocks(first + done, d.allowed, span.first(bytes));
+      const auto sub = span.first(bytes);
+      // A cache hit serves the bytes without a backend transfer, but the
+      // read is still counted: the model charges block movement into working
+      // memory, wherever the bytes came from.  Cached bytes are the write
+      // path's own copy, so checksum verification would be a tautology and
+      // is skipped (corruption injection invalidates the cached block, so
+      // detection is preserved).
+      const bool hit =
+          cache_ != nullptr && cache_->read(first + done, d.allowed, sub);
+      if (!hit) {
+        do_read_blocks(first + done, d.allowed, sub);
+        if (cache_ != nullptr) cache_->note_read(first + done, d.allowed, sub);
+      }
       reads_.fetch_add(d.allowed, std::memory_order_relaxed);
-      if (verify) verify_sums(first + done, d.allowed, span.first(bytes));
+      if (verify && !hit) verify_sums(first + done, d.allowed, sub);
       done += d.allowed;
     }
     if (!d.fires) return;
@@ -251,6 +295,7 @@ void BlockDevice::read_core(const char* op, BlockId first, std::uint64_t count,
     if (d.transient && attempt < fault_policy_.max_retries) {
       ++attempt;
       retries_.fetch_add(1, std::memory_order_relaxed);
+      note_retry(first + done);
       backoff_sleep(attempt);
       continue;
     }
@@ -273,15 +318,18 @@ void BlockDevice::write_core(const char* op, BlockId first,
       const std::size_t bytes =
           d.allowed == want ? span.size()
                             : static_cast<std::size_t>(d.allowed) * block_bytes_;
-      do_write_blocks(first + done, d.allowed, span.first(bytes));
+      const auto sub = span.first(bytes);
+      do_write_blocks(first + done, d.allowed, sub);
       writes_.fetch_add(d.allowed, std::memory_order_relaxed);
-      if (track) record_sums(first + done, d.allowed, span.first(bytes));
+      if (track) record_sums(first + done, d.allowed, sub);
+      if (cache_ != nullptr) cache_->note_write(first + done, d.allowed, sub);
       done += d.allowed;
     }
     if (!d.fires) return;
     if (d.transient && attempt < fault_policy_.max_retries) {
       ++attempt;
       retries_.fetch_add(1, std::memory_order_relaxed);
+      note_retry(first + done);
       backoff_sleep(attempt);
       continue;
     }
@@ -332,6 +380,9 @@ void BlockDevice::corrupt_bit(BlockId block, std::size_t bit) {
   }
   // Uncounted raw access, checksum map deliberately untouched: the stored
   // bytes now disagree with the recorded hash, exactly like real bit rot.
+  // Any cached copy is dropped — it holds the pristine bytes, and serving it
+  // would mask the corruption from the verifying read.
+  invalidate_cache_range(block, 1);
   std::vector<std::byte> buf(block_bytes_);
   do_read_blocks(block, 1, buf);
   buf[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
@@ -344,6 +395,7 @@ void BlockDevice::restore(std::uint64_t size_blocks,
     throw std::logic_error(
         "BlockDevice::restore: device already has live allocations");
   }
+  if (cache_ != nullptr) cache_->clear();
   std::vector<BlockRange> sorted(live.begin(), live.end());
   std::sort(sorted.begin(), sorted.end(),
             [](const BlockRange& a, const BlockRange& b) {
@@ -552,36 +604,12 @@ void FileBlockDevice::do_grow(std::uint64_t new_size_blocks) {
 
 void FileBlockDevice::pread_span(std::uint64_t offset,
                                  std::span<std::byte> out) {
-  std::size_t done = 0;
-  while (done < out.size()) {
-    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
-                              static_cast<off_t>(offset + done));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error("FileBlockDevice: pread failed: " +
-                               std::string(std::strerror(errno)));
-    }
-    if (n == 0) {  // hole beyond EOF of a sparse region: zero-fill
-      std::memset(out.data() + done, 0, out.size() - done);
-      return;
-    }
-    done += static_cast<std::size_t>(n);
-  }
+  detail::posix_pread_span(fd_, offset, out, "FileBlockDevice");
 }
 
 void FileBlockDevice::pwrite_span(std::uint64_t offset,
                                   std::span<const std::byte> in) {
-  std::size_t done = 0;
-  while (done < in.size()) {
-    const ssize_t n = ::pwrite(fd_, in.data() + done, in.size() - done,
-                               static_cast<off_t>(offset + done));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error("FileBlockDevice: pwrite failed: " +
-                               std::string(std::strerror(errno)));
-    }
-    done += static_cast<std::size_t>(n);
-  }
+  detail::posix_pwrite_span(fd_, offset, in, "FileBlockDevice");
 }
 
 void FileBlockDevice::do_read(BlockId block, std::span<std::byte> out) {

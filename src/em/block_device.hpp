@@ -44,6 +44,8 @@
 
 namespace emsplit {
 
+class BlockCache;
+
 using BlockId = std::uint64_t;
 
 inline constexpr BlockId kInvalidBlock = std::numeric_limits<BlockId>::max();
@@ -239,21 +241,24 @@ class BlockDevice {
   /// Snapshot of the I/O counters.  Returns by value: the counters are
   /// atomics that the background worker may be bumping concurrently.
   /// Virtual so a composite device (ShardedBlockDevice) can report the sum
-  /// of its members' counters as the facade total.
-  [[nodiscard]] virtual IoStats stats() const noexcept {
-    return IoStats{reads_.load(std::memory_order_relaxed),
-                   writes_.load(std::memory_order_relaxed),
-                   retries_.load(std::memory_order_relaxed)};
-  }
+  /// of its members' counters as the facade total.  With a block cache
+  /// attached, the snapshot carries the cache's hit/miss/eviction counters;
+  /// base() strips them, so determinism assertions are unaffected.
+  [[nodiscard]] virtual IoStats stats() const noexcept;
 
-  /// Zero the counters.  Main-thread only, and only at quiescent points
-  /// (no async I/O in flight — e.g. between algorithm runs); a reset racing
-  /// the worker's increments would produce torn totals.
-  virtual void reset_stats() noexcept {
-    reads_.store(0, std::memory_order_relaxed);
-    writes_.store(0, std::memory_order_relaxed);
-    retries_.store(0, std::memory_order_relaxed);
-  }
+  /// Zero the counters (including the attached cache's, if any).  Main-thread
+  /// only, and only at quiescent points (no async I/O in flight — e.g.
+  /// between algorithm runs); a reset racing the worker's increments would
+  /// produce torn totals.
+  virtual void reset_stats() noexcept;
+
+  /// Attach (or detach, with nullptr) a block cache.  The device consults it
+  /// on every transfer: resident reads skip the backend but are still counted
+  /// — the cache is invisible to the logical I/O accounting (docs/model.md).
+  /// Main-thread only, at quiescent points.  One device per cache: the cache
+  /// is keyed by this device's block ids.
+  void set_cache(BlockCache* cache) noexcept { cache_ = cache; }
+  [[nodiscard]] BlockCache* cache() const noexcept { return cache_; }
 
   /// Number of member shards behind this device — 1 for a plain device;
   /// ShardedBlockDevice reports its member count.
@@ -345,6 +350,20 @@ class BlockDevice {
                                std::span<const std::byte> in);
   /// Called when the device grows to `new_size_blocks` blocks.
   virtual void do_grow(std::uint64_t new_size_blocks) = 0;
+  /// Called by deallocate before an extent returns to the free list.  A
+  /// backend with in-flight write-behind (UringBlockDevice) drains writes
+  /// overlapping the range here so a recycled extent can never be clobbered
+  /// by a stale completion.
+  virtual void do_discard(const BlockRange& range) noexcept { (void)range; }
+  /// Called once per transient-fault retry with the first untransferred
+  /// block of the retried request.  A composite device overrides this to
+  /// attribute facade-level retries to the member shard that owns the block.
+  virtual void note_retry(BlockId first_failed) noexcept {
+    (void)first_failed;
+  }
+  /// Invalidate any cached copies of [first, first + count) — for subclasses
+  /// that mutate storage behind the counting layer (corruption routing).
+  void invalidate_cache_range(BlockId first, std::uint64_t count) noexcept;
 
  private:
   /// Outcome of consulting the fault injector for a `count`-I/O request.
@@ -411,6 +430,7 @@ class BlockDevice {
   std::atomic<bool> checksums_{false};
   mutable std::mutex sum_mu_;
   std::map<BlockId, BlockSum> sums_;
+  BlockCache* cache_ = nullptr;
 };
 
 /// RAII ownership of a raw extent outside an EmVector — the recovery and

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 
@@ -246,6 +247,33 @@ class Context {
     return pass_trace_;
   }
 
+  /// Optional shared block cache (see block_cache.hpp).  Attaches to (or, on
+  /// nullptr, detaches from) the context's device, which consults it in
+  /// read_core and feeds it in write_core.  The cache charges its memory to
+  /// this context's budget and registers itself as the budget's reclaimer —
+  /// algorithms reserving all of M shrink it automatically.  Non-owning;
+  /// main-thread only, at quiescent points.
+  void set_block_cache(BlockCache* cache) noexcept {
+    device_->set_cache(cache);
+  }
+  [[nodiscard]] BlockCache* block_cache() const noexcept {
+    return device_->cache();
+  }
+
+  /// In-pass memory high-water-mark channel.  A pass that tracks its own
+  /// peak working set (e.g. the distribution sort's in-place final pass,
+  /// whose segment groups are data-dependent) publishes the max here; the
+  /// pass engine's scope collects it into the pass's trace row on exit.
+  /// Monotonic max within a pass; take_pass_hwm() resets for the next one.
+  void note_pass_hwm(std::uint64_t bytes) noexcept {
+    if (bytes > pass_hwm_) pass_hwm_ = bytes;
+  }
+  [[nodiscard]] std::uint64_t take_pass_hwm() noexcept {
+    const std::uint64_t v = pass_hwm_;
+    pass_hwm_ = 0;
+    return v;
+  }
+
  private:
   BlockDevice* device_;
   MemoryBudget budget_;
@@ -255,6 +283,7 @@ class Context {
   FaultPolicy fault_policy_;
   IoTuning tuning_;
   CpuTuning cpu_tuning_;
+  std::uint64_t pass_hwm_ = 0;
   std::unique_ptr<IoPipeline> pipeline_;
   std::unique_ptr<ThreadPool> cpu_pool_;
 };

@@ -30,23 +30,39 @@ struct IoStats {
   /// retried run are identical to the fault-free run and the paper's bounds
   /// stay stated in reads + writes alone.
   std::uint64_t retries = 0;
+  /// Block-cache traffic on this device (em/block_cache.hpp).  A cache hit is
+  /// a *logical* read whose blocks were served from the budget-charged cache
+  /// instead of the backend — the read is still counted in `reads` (the model
+  /// charges block movement into working memory, wherever the bytes came
+  /// from), so the base counts of a cached run are identical to the uncached
+  /// run; hits/misses/evictions only explain where the wall-clock went.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
 
   /// Combined I/O count — the quantity the paper's bounds are stated in.
   [[nodiscard]] std::uint64_t total() const noexcept { return reads + writes; }
 
-  /// The snapshot with retries zeroed — what determinism assertions compare.
+  /// The snapshot with retries and cache counters zeroed — what determinism
+  /// assertions compare.
   [[nodiscard]] IoStats base() const noexcept { return IoStats{reads, writes}; }
 
   IoStats& operator+=(const IoStats& o) noexcept {
     reads += o.reads;
     writes += o.writes;
     retries += o.retries;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_evictions += o.cache_evictions;
     return *this;
   }
   friend IoStats operator-(IoStats a, const IoStats& b) noexcept {
     a.reads -= b.reads;
     a.writes -= b.writes;
     a.retries -= b.retries;
+    a.cache_hits -= b.cache_hits;
+    a.cache_misses -= b.cache_misses;
+    a.cache_evictions -= b.cache_evictions;
     return a;
   }
   friend bool operator==(const IoStats&, const IoStats&) = default;

@@ -1,6 +1,7 @@
 #include "em/memory_budget.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace emsplit {
 
@@ -8,34 +9,71 @@ MemoryReservation MemoryBudget::reserve(std::size_t bytes) {
   return MemoryReservation(*this, bytes);
 }
 
-std::optional<MemoryReservation> MemoryBudget::try_reserve(std::size_t bytes) {
-  if (bytes > available()) return std::nullopt;
-  return MemoryReservation(*this, bytes);
+std::optional<MemoryReservation> MemoryBudget::try_reserve(std::size_t bytes,
+                                                           bool allow_reclaim) {
+  // Up to two rounds: a plain attempt, then one more after the reclaimer has
+  // been asked to shed the shortfall.
+  for (int round = 0; round < 2; ++round) {
+    Reclaimer reclaimer;
+    std::size_t shortfall = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (commit_locked(bytes)) {
+        return MemoryReservation(*this, bytes, MemoryReservation::Adopt{});
+      }
+      if (!allow_reclaim || !reclaimer_ || round > 0) return std::nullopt;
+      reclaimer = reclaimer_;
+      shortfall = bytes - (capacity_ - used_);
+    }
+    if (reclaimer(shortfall) == 0) return std::nullopt;
+  }
+  return std::nullopt;
 }
 
 void MemoryBudget::acquire(std::size_t bytes) {
-  if (bytes > capacity_ - used_) {
-    std::string msg = "MemoryBudget: reserving ";
-    msg += std::to_string(bytes);
-    msg += " bytes over capacity ";
-    msg += std::to_string(capacity_);
-    msg += " with ";
-    msg += std::to_string(used_);
-    msg += " already used; live reservations:";
-    for (const auto& [size, count] : live_) {
-      msg += ' ';
-      msg += std::to_string(count);
-      msg += 'x';
-      msg += std::to_string(size);
+  for (int round = 0; round < 2; ++round) {
+    Reclaimer reclaimer;
+    std::size_t shortfall = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (commit_locked(bytes)) return;
+      if (!reclaimer_ || round > 0) throw BudgetExceeded(over_budget_message(bytes));
+      reclaimer = reclaimer_;
+      shortfall = bytes - (capacity_ - used_);
     }
-    throw BudgetExceeded(msg);
+    (void)reclaimer(shortfall);
   }
+  const std::lock_guard<std::mutex> lock(mu_);
+  throw BudgetExceeded(over_budget_message(bytes));
+}
+
+bool MemoryBudget::commit_locked(std::size_t bytes) noexcept {
+  if (bytes > capacity_ - used_) return false;
   used_ += bytes;
   peak_ = std::max(peak_, used_);
   ++live_[bytes];
+  return true;
+}
+
+std::string MemoryBudget::over_budget_message(std::size_t bytes) const {
+  std::string msg = "MemoryBudget: reserving ";
+  msg += std::to_string(bytes);
+  msg += " bytes over capacity ";
+  msg += std::to_string(capacity_);
+  msg += " with ";
+  msg += std::to_string(used_);
+  msg += " already used; live reservations:";
+  for (const auto& [size, count] : live_) {
+    msg += ' ';
+    msg += std::to_string(count);
+    msg += 'x';
+    msg += std::to_string(size);
+  }
+  return msg;
 }
 
 void MemoryBudget::release(std::size_t bytes) noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
   used_ -= bytes;
   const auto it = live_.find(bytes);
   if (it != live_.end() && --it->second == 0) live_.erase(it);

@@ -11,10 +11,19 @@
 // Host-side bookkeeping that the model traditionally does not charge
 // (allocation tables, the recursion stack, I/O counters) is not reserved;
 // DESIGN.md §4 discusses this convention.
+//
+// Reservations are internally synchronized: the block cache
+// (em/block_cache.hpp) charges its entries from I/O worker threads while the
+// main thread reserves algorithm state.  A *reclaimer* callback lets a
+// scavenging consumer (the cache) hold otherwise-idle budget: when a
+// reservation finds the budget short, the reclaimer is asked — outside the
+// budget lock — to give bytes back before the reservation is refused.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -32,12 +41,20 @@ class BudgetExceeded : public std::logic_error {
 class MemoryReservation;
 
 /// Tracks reserved bytes against a fixed capacity, with a peak high-water
-/// mark.  All reservations are made on the main thread: CPU pool tasks
+/// mark.  Algorithm reservations are made on the main thread; CPU pool tasks
 /// (em/thread_pool.hpp) receive their scratch from the caller, which sizes
 /// it with try_reserve() before dispatch and falls back to the serial code
-/// path when the budget has no room for per-thread state.
+/// path when the budget has no room for per-thread state.  The counters are
+/// mutex-guarded so the block cache may additionally charge and release
+/// entries from I/O worker threads.
 class MemoryBudget {
  public:
+  /// Asked to release at least the given number of bytes back to the budget;
+  /// returns how many bytes it actually released.  Called without the budget
+  /// lock held — the reclaimer may release() reservations freely, but must
+  /// not create new ones.
+  using Reclaimer = std::function<std::size_t(std::size_t)>;
+
   explicit MemoryBudget(std::size_t capacity_bytes)
       : capacity_(capacity_bytes) {}
 
@@ -45,28 +62,54 @@ class MemoryBudget {
   MemoryBudget& operator=(const MemoryBudget&) = delete;
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::size_t used() const noexcept { return used_; }
-  [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
+  [[nodiscard]] std::size_t used() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+  }
+  [[nodiscard]] std::size_t peak() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
   [[nodiscard]] std::size_t available() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
     return capacity_ - used_;
   }
 
-  /// Reserve `bytes`; throws BudgetExceeded if the budget cannot hold them.
+  /// Register (or clear, with nullptr) the scavenger that is asked to release
+  /// budget when a reservation falls short.  One reclaimer at a time; set at
+  /// quiescent points (cache attach/detach).
+  void set_reclaimer(Reclaimer reclaimer) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    reclaimer_ = std::move(reclaimer);
+  }
+
+  /// Reserve `bytes`; throws BudgetExceeded if the budget cannot hold them
+  /// even after asking the reclaimer to give back what it holds.
   [[nodiscard]] MemoryReservation reserve(std::size_t bytes);
 
   /// Reserve `bytes` if they fit, nullopt otherwise.  For *optional* state —
   /// parallel kernels use it for per-thread scratch and degrade to their
-  /// serial loop when M is too tight, rather than failing the run.
+  /// serial loop when M is too tight, rather than failing the run.  With
+  /// `allow_reclaim` (the default) a shortfall first asks the reclaimer to
+  /// release scavenged bytes, so optional state sees the same budget it
+  /// would without a cache attached; the cache's own growth passes false —
+  /// a scavenger never steals from itself.
   [[nodiscard]] std::optional<MemoryReservation> try_reserve(
-      std::size_t bytes);
+      std::size_t bytes, bool allow_reclaim = true);
 
-  void reset_peak() noexcept { peak_ = used_; }
+  void reset_peak() noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    peak_ = used_;
+  }
 
  private:
   friend class MemoryReservation;
 
   void acquire(std::size_t bytes);
   void release(std::size_t bytes) noexcept;
+  /// Commit `bytes` if they fit right now (caller holds `mu_`).
+  bool commit_locked(std::size_t bytes) noexcept;
+  [[nodiscard]] std::string over_budget_message(std::size_t bytes) const;
 
   std::size_t capacity_;
   std::size_t used_ = 0;
@@ -74,6 +117,8 @@ class MemoryBudget {
   // Live reservation sizes (size -> count), reported by BudgetExceeded to
   // make over-budget bugs self-diagnosing.
   std::map<std::size_t, std::size_t> live_;
+  Reclaimer reclaimer_;
+  mutable std::mutex mu_;
 };
 
 /// Move-only RAII handle for a slice of the budget.
@@ -116,6 +161,11 @@ class MemoryReservation {
   }
 
  private:
+  friend class MemoryBudget;
+  struct Adopt {};  // tag: the bytes were already committed by the budget
+  MemoryReservation(MemoryBudget& budget, std::size_t bytes, Adopt) noexcept
+      : budget_(&budget), bytes_(bytes) {}
+
   MemoryBudget* budget_ = nullptr;
   std::size_t bytes_ = 0;
 };

@@ -35,6 +35,7 @@ PassRunner::Scope::~Scope() {
           .count();
   t.threads = runner_.ctx_->cpu_lanes();
   t.resumed = false;
+  t.hwm_bytes = runner_.ctx_->take_pass_hwm();
   // Per-shard breakdown: the delta of each member's counters over the pass.
   // The member count is fixed for the device's lifetime, so the two
   // snapshots always align.
@@ -97,7 +98,10 @@ std::string pass_trace_json(const PassTrace& t) {
   s += ",\"reads\":" + std::to_string(t.io.reads);
   s += ",\"writes\":" + std::to_string(t.io.writes);
   s += ",\"retries\":" + std::to_string(t.io.retries);
+  s += ",\"cache_hits\":" + std::to_string(t.io.cache_hits);
+  s += ",\"cache_misses\":" + std::to_string(t.io.cache_misses);
   s += ",\"bytes\":" + std::to_string(t.bytes);
+  s += ",\"hwm_bytes\":" + std::to_string(t.hwm_bytes);
   s += ",\"seconds\":";
   append_double(s, t.seconds);
   s += ",\"threads\":" + std::to_string(t.threads);

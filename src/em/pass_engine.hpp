@@ -79,6 +79,10 @@ struct PassTrace {
   /// everything on one member).  0.0 on an unsharded device; 1.0 for a
   /// sharded pass that performed no I/O.
   double balance = 0.0;
+  /// Peak data-dependent working set the pass reported through
+  /// Context::note_pass_hwm (0 for passes whose footprint is static — the
+  /// budget's peak() already covers those).
+  std::uint64_t hwm_bytes = 0;
 };
 
 /// Sink for PassTrace records.  Attach one to a Context (set_pass_trace) and
@@ -136,7 +140,11 @@ class PassRunner {
           index_(++runner.seq_),
           start_io_(runner.ctx_->io()),
           start_shards_(runner.ctx_->shard_stats()),
-          start_(std::chrono::steady_clock::now()) {}
+          start_(std::chrono::steady_clock::now()) {
+      // A stale high-water mark from outside any pass must not leak into
+      // this pass's row.
+      (void)runner.ctx_->take_pass_hwm();
+    }
 
     ~Scope();
 

@@ -1,0 +1,55 @@
+// posix_io.hpp — shared positional-I/O helpers for file-backed devices.
+//
+// FileBlockDevice and UringBlockDevice's fallback path issue the same
+// EINTR-restarting pread/pwrite loops with the same EOF semantics: a read
+// past the end of a sparse region zero-fills, matching MemoryBlockDevice's
+// "never-written blocks read as zeroes" contract.
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace emsplit::detail {
+
+inline void posix_pread_span(int fd, std::uint64_t offset,
+                             std::span<std::byte> out, const char* who) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string(who) + ": pread failed: " +
+                               std::strerror(errno));
+    }
+    if (n == 0) {  // hole beyond EOF of a sparse region: zero-fill
+      std::memset(out.data() + done, 0, out.size() - done);
+      return;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+inline void posix_pwrite_span(int fd, std::uint64_t offset,
+                              std::span<const std::byte> in, const char* who) {
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const ssize_t n = ::pwrite(fd, in.data() + done, in.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string(who) + ": pwrite failed: " +
+                               std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace emsplit::detail

@@ -66,6 +66,11 @@ ShardedBlockDevice::ShardedBlockDevice(
           "ShardedBlockDevice: member device already has blocks");
     }
   }
+  facade_retries_by_shard_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    facade_retries_by_shard_[i].store(0, std::memory_order_relaxed);
+  }
   // Parallel member submission is on by default only where it can win: with
   // several members AND more than one hardware thread.  On a single-core
   // host the per-sub-batch worker handoff is pure overhead (the dispatch is
@@ -81,25 +86,58 @@ ShardedBlockDevice::~ShardedBlockDevice() = default;
 IoStats ShardedBlockDevice::stats() const noexcept {
   IoStats total{};
   for (const auto& m : members_) total += m->stats();
-  total.retries += BlockDevice::stats().retries;
+  // The facade's own counters contribute its logical-fault retries and the
+  // block cache's counters (the cache attaches at the facade: it sees
+  // logical block ids, members see post-translation ones).  A cache hit is a
+  // logical read the members never saw — add it back, so logical totals are
+  // identical with the cache on or off; shard rows partition the *member*
+  // transfers (plus attributed retries), not the hits served above them.
+  const IoStats own = BlockDevice::stats();
+  total.retries += own.retries;
+  total.reads += own.cache_hits;
+  total.cache_hits += own.cache_hits;
+  total.cache_misses += own.cache_misses;
+  total.cache_evictions += own.cache_evictions;
   return total;
 }
 
 void ShardedBlockDevice::reset_stats() noexcept {
   BlockDevice::reset_stats();
-  for (const auto& m : members_) m->reset_stats();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    members_[i]->reset_stats();
+    facade_retries_by_shard_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 std::vector<IoStats> ShardedBlockDevice::shard_stats() const {
   std::vector<IoStats> out;
   out.reserve(members_.size());
-  for (const auto& m : members_) out.push_back(m->stats());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    IoStats s = members_[i]->stats();
+    s.retries +=
+        facade_retries_by_shard_[i].load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
   return out;
 }
 
 void ShardedBlockDevice::set_fault_policy(const FaultPolicy& policy) noexcept {
   BlockDevice::set_fault_policy(policy);
   for (const auto& m : members_) m->set_fault_policy(policy);
+}
+
+void ShardedBlockDevice::set_member_fault_policy(std::size_t i,
+                                                 const FaultPolicy& policy) {
+  if (i >= members_.size()) {
+    throw std::out_of_range(
+        "ShardedBlockDevice::set_member_fault_policy: no such member");
+  }
+  members_[i]->set_fault_policy(policy);
+}
+
+void ShardedBlockDevice::note_retry(BlockId first_failed) noexcept {
+  facade_retries_by_shard_[locate(first_failed).shard].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 void ShardedBlockDevice::corrupt_bit(BlockId block, std::size_t bit) {

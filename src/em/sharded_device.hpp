@@ -35,6 +35,7 @@
 // with the logical block id.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -57,21 +58,29 @@ class ShardedBlockDevice final : public BlockDevice {
   ~ShardedBlockDevice() override;
 
   /// Facade totals: per-shard reads/writes/retries summed, plus the facade's
-  /// own retry counter (retries of *logical* injected faults, which belong to
-  /// no shard).  On a fault-free or member-faulting run the per-shard stats
-  /// partition these totals exactly.
+  /// own retry counter (retries of *logical* injected faults).  Facade-level
+  /// retries are *attributed*: each is also charged, by locate(), to the
+  /// shard owning the first untransferred block of the retried request, so
+  /// the per-shard stats partition these totals exactly — including retries.
   [[nodiscard]] IoStats stats() const noexcept override;
   void reset_stats() noexcept override;
 
   [[nodiscard]] std::size_t shard_count() const noexcept override {
     return members_.size();
   }
-  /// Per-member counter snapshots, index-aligned with the members.
+  /// Per-member counter snapshots, index-aligned with the members.  A
+  /// member's row is its own counters plus the facade retries attributed to
+  /// it, so summing rows reproduces stats().
   [[nodiscard]] std::vector<IoStats> shard_stats() const override;
 
   /// Forwards to every member (where member-fault retries run) and keeps the
   /// facade's own copy (for logical faults armed on the facade).
   void set_fault_policy(const FaultPolicy& policy) noexcept override;
+
+  /// Per-member retry budget: member `i` alone gets `policy`; the facade's
+  /// policy and the other members are untouched.  A flaky disk can get a
+  /// deeper budget (or a tighter one) than its healthy peers.
+  void set_member_fault_policy(std::size_t i, const FaultPolicy& policy);
 
   /// Corruption injection on the logical address space: translated to the
   /// owning member's raw bytes, bypassing all counters and checksum maps.
@@ -107,6 +116,9 @@ class ShardedBlockDevice final : public BlockDevice {
   /// facade never deallocates member blocks, so member growth is always
   /// contiguous at the end — each member stays a dense linear array.
   void do_grow(std::uint64_t new_size_blocks) override;
+  /// Facade retry attribution: charged to the shard owning the first block
+  /// the retried attempt had not yet transferred.
+  void note_retry(BlockId first_failed) noexcept override;
 
  private:
   /// One member-contiguous piece of a logical extent: `count` blocks starting
@@ -144,6 +156,9 @@ class ShardedBlockDevice final : public BlockDevice {
   std::vector<std::unique_ptr<BlockDevice>> members_;
   std::size_t stripe_blocks_;
   std::vector<std::unique_ptr<IoPipeline>> pipelines_;
+  /// Facade-level retries attributed per shard (atomic array: note_retry may
+  /// fire from pipeline workers; atomics are not movable, hence the array).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> facade_retries_by_shard_;
 };
 
 }  // namespace emsplit

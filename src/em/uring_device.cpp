@@ -1,0 +1,659 @@
+#include "em/uring_device.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+#include "em/posix_io.hpp"
+
+#if __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#define EMSPLIT_HAVE_URING 1
+#endif
+
+namespace emsplit {
+
+namespace {
+
+/// user_data of the single synchronous op in flight (a read, or an oversized
+/// write); everything below slots_.size() is a write-behind slot index.
+constexpr std::uint64_t kSyncTag = ~std::uint64_t{0};
+/// Direct-mode staging alignment (covers every O_DIRECT granularity).
+constexpr std::size_t kDirectAlign = 4096;
+/// Write-behind slot capacity; larger transfers go out synchronously
+/// (zero-copy from the caller's buffer in buffered mode, chunked through the
+/// aligned staging buffer in direct mode).  Backend-internal staging — like
+/// the kernel page cache the buffered path leans on — is host bookkeeping,
+/// not part of the model's M.
+constexpr std::size_t kSlotBytes = 128 * 1024;
+
+#ifdef EMSPLIT_HAVE_URING
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+#endif  // EMSPLIT_HAVE_URING
+
+}  // namespace
+
+bool UringBlockDevice::uring_supported() noexcept {
+#ifdef EMSPLIT_HAVE_URING
+  static const bool supported = [] {
+    io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    const int fd = sys_io_uring_setup(4, &p);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+UringBlockDevice::UringBlockDevice(std::string path, std::size_t block_bytes,
+                                   Tuning tuning, bool keep_file,
+                                   bool preserve_contents)
+    : BlockDevice(block_bytes),
+      path_(std::move(path)),
+      keep_file_(keep_file),
+      tuning_(tuning) {
+  tuning_.write_behind = std::max(1u, tuning_.write_behind);
+  tuning_.submit_batch = std::max(1u, tuning_.submit_batch);
+  tuning_.ring_entries =
+      std::max(tuning_.ring_entries, 2 * tuning_.write_behind);
+
+  // O_DIRECT demands 512-aligned transfer lengths; direct mode rounds every
+  // transfer up to whole blocks, so the block size itself must be a 512
+  // multiple.  The flag is probed — many filesystems (tmpfs) reject it.
+  const bool want_direct = tuning_.direct && block_bytes % 512 == 0;
+  const int base_flags =
+      preserve_contents ? (O_RDWR | O_CREAT) : (O_RDWR | O_CREAT | O_TRUNC);
+  if (want_direct) {
+    fd_ = ::open(path_.c_str(), base_flags | O_DIRECT, 0644);
+    direct_ = fd_ >= 0;
+  }
+  if (fd_ < 0) fd_ = ::open(path_.c_str(), base_flags, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("UringBlockDevice: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  if (preserve_contents) load_sums(sidecar_path());
+
+  if (uring_supported()) {
+    try {
+      setup_ring(tuning_.ring_entries);
+    } catch (...) {
+      teardown_ring();  // fall back to the posix path
+    }
+  }
+  if (ring_fd_ < 0 && direct_) {
+    // Direct I/O without the ring would bounce-buffer the synchronous path
+    // for no queue-depth win; reopen buffered instead.
+    ::close(fd_);
+    fd_ = ::open(path_.c_str(), O_RDWR, 0644);
+    if (fd_ < 0) {
+      throw std::runtime_error("UringBlockDevice: cannot reopen " + path_ +
+                               ": " + std::strerror(errno));
+    }
+    direct_ = false;
+  }
+
+  if (ring_fd_ >= 0) {
+    slots_.resize(tuning_.write_behind);
+    slot_bytes_ = std::max(kSlotBytes, block_bytes);  // >= one whole block
+    if (direct_) {
+      const std::size_t total = (slots_.size() + 1) * slot_bytes_;
+      void* mem = nullptr;
+      if (::posix_memalign(&mem, kDirectAlign, total) != 0) {
+        teardown_ring();
+        throw std::bad_alloc();
+      }
+      aligned_storage_ = AlignedBuf(static_cast<std::byte*>(mem),
+                                    +[](std::byte* p) { std::free(p); });
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        slots_[i].buf = aligned_storage_.get() + i * slot_bytes_;
+        slots_[i].buf_bytes = slot_bytes_;
+      }
+      sync_buf_ = aligned_storage_.get() + slots_.size() * slot_bytes_;
+    } else {
+      slot_storage_.resize(slots_.size() * slot_bytes_);
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        slots_[i].buf = slot_storage_.data() + i * slot_bytes_;
+        slots_[i].buf_bytes = slot_bytes_;
+      }
+    }
+    free_slots_.reserve(slots_.size());
+    for (unsigned i = 0; i < slots_.size(); ++i) free_slots_.push_back(i);
+  }
+}
+
+UringBlockDevice::~UringBlockDevice() {
+  if (ring_fd_ >= 0) {
+    try {
+      const std::lock_guard<std::mutex> lock(mu_);
+      drain_writes(nullptr);
+    } catch (...) {
+      // Teardown: the file's fate is sealed either way.
+    }
+    teardown_ring();
+  }
+  if (keep_file_) save_sums(sidecar_path());
+  if (fd_ >= 0) ::close(fd_);
+  if (!keep_file_) {
+    ::unlink(path_.c_str());
+    ::unlink(sidecar_path().c_str());
+  }
+}
+
+void UringBlockDevice::rethrow_pending() {
+  if (pending_error_ != nullptr) {
+    std::exception_ptr e = std::exchange(pending_error_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void UringBlockDevice::drain_writes(const BlockRange* ignore) {
+  if (open_count_ > 0) {
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].open) seal_slot(i);
+    }
+  }
+  while (inflight_ > 0 || queued_ > 0) {
+    enter_and_reap(inflight_ > 0 ? 1 : 0, ignore);
+  }
+}
+
+void UringBlockDevice::wait_overlapping(BlockId first, std::uint64_t count,
+                                        const BlockRange* ignore) {
+  for (;;) {
+    // Seal any open coalescing window over the range first: its bytes must
+    // reach the kernel before anyone may observe or replace them.
+    if (open_count_ > 0) {
+      for (unsigned i = 0; i < slots_.size(); ++i) {
+        const Slot& s = slots_[i];
+        if (s.open && s.first < first + count && first < s.first + s.count) {
+          seal_slot(i);
+        }
+      }
+    }
+    bool overlap = false;
+    for (const Slot& s : slots_) {
+      if (s.in_flight && s.first < first + count && first < s.first + s.count) {
+        overlap = true;
+        break;
+      }
+    }
+    if (!overlap) return;
+    enter_and_reap(1, ignore);
+  }
+}
+
+unsigned UringBlockDevice::acquire_slot() {
+  while (free_slots_.empty()) {
+    if (open_count_ > 0) {
+      // Starved for slots with windows still open: seal one victim (round
+      // robin, so that under fan-out wider than the slot pool every stream
+      // still gets a window's worth of coalescing before eviction).  Sealing
+      // may submit and reap inline, so re-check before blocking on a
+      // completion (waiting with nothing outstanding would hang forever).
+      for (std::size_t probe = 0; probe < slots_.size(); ++probe) {
+        const unsigned i =
+            static_cast<unsigned>((seal_cursor_ + probe) % slots_.size());
+        if (slots_[i].open) {
+          seal_slot(i);
+          seal_cursor_ = (i + 1) % slots_.size();
+          break;
+        }
+      }
+      if (!free_slots_.empty()) break;
+      enter_and_reap(inflight_ > 0 ? 1 : 0, nullptr);
+      continue;
+    }
+    enter_and_reap(1, nullptr);
+  }
+  const unsigned idx = free_slots_.back();
+  free_slots_.pop_back();
+  return idx;
+}
+
+unsigned UringBlockDevice::sq_space() const noexcept {
+#ifdef EMSPLIT_HAVE_URING
+  const unsigned head =
+      std::atomic_ref<unsigned>(*sq_head_).load(std::memory_order_acquire);
+  return sq_entries_ - (*sq_tail_ - head);
+#else
+  return 0;
+#endif
+}
+
+#ifdef EMSPLIT_HAVE_URING
+
+// ---------------------------------------------------------------------------
+// Ring plumbing
+// ---------------------------------------------------------------------------
+
+void UringBlockDevice::setup_ring(unsigned entries) {
+  io_uring_params p;
+  std::memset(&p, 0, sizeof(p));
+  ring_fd_ = sys_io_uring_setup(entries, &p);
+  if (ring_fd_ < 0) throw std::runtime_error("io_uring_setup failed");
+  sq_entries_ = p.sq_entries;
+  sq_ring_bytes_ = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  cq_ring_bytes_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap) {
+    sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_, cq_ring_bytes_);
+  }
+  sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_ == MAP_FAILED) {
+    sq_ring_ = nullptr;
+    throw std::runtime_error("io_uring SQ mmap failed");
+  }
+  if (single_mmap) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) {
+      cq_ring_ = nullptr;
+      throw std::runtime_error("io_uring CQ mmap failed");
+    }
+  }
+  sqes_bytes_ = p.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+  if (sqes_ == MAP_FAILED) {
+    sqes_ = nullptr;
+    throw std::runtime_error("io_uring SQE mmap failed");
+  }
+  auto* sq = static_cast<char*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+  auto* cq = static_cast<char*>(cq_ring_);
+  cq_head_ = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+  cqes_base_ = cq + p.cq_off.cqes;
+}
+
+void UringBlockDevice::teardown_ring() noexcept {
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+    ::munmap(cq_ring_, cq_ring_bytes_);
+  }
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+  sqes_ = sq_ring_ = cq_ring_ = nullptr;
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+  ring_fd_ = -1;
+}
+
+void UringBlockDevice::push_sqe(unsigned opcode, std::byte* addr,
+                                std::uint32_t len, std::uint64_t file_off,
+                                std::uint64_t user_data) {
+  const unsigned tail = *sq_tail_;
+  const unsigned idx = tail & sq_mask_;
+  auto* sqe = static_cast<io_uring_sqe*>(sqes_) + idx;
+  std::memset(sqe, 0, sizeof(*sqe));
+  sqe->opcode = static_cast<std::uint8_t>(opcode);
+  sqe->fd = fd_;
+  sqe->addr = reinterpret_cast<std::uint64_t>(addr);
+  sqe->len = len;
+  sqe->off = file_off;
+  sqe->user_data = user_data;
+  sq_array_[idx] = idx;
+  std::atomic_ref<unsigned>(*sq_tail_).store(tail + 1,
+                                             std::memory_order_release);
+  ++queued_;
+}
+
+unsigned UringBlockDevice::enter_and_reap(unsigned wait_for,
+                                          const BlockRange* ignore) {
+  const unsigned to_submit = std::exchange(queued_, 0u);
+  const unsigned flags = wait_for > 0 ? IORING_ENTER_GETEVENTS : 0;
+  for (;;) {
+    const int r = sys_io_uring_enter(ring_fd_, to_submit, wait_for, flags);
+    if (r >= 0) break;
+    if (errno == EINTR) continue;
+    throw std::runtime_error("io_uring_enter failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  unsigned reaped = 0;
+  for (;;) {
+    const unsigned tail =
+        std::atomic_ref<unsigned>(*cq_tail_).load(std::memory_order_acquire);
+    const unsigned head = *cq_head_;
+    if (head == tail) break;
+    const auto* cqe =
+        static_cast<const io_uring_cqe*>(cqes_base_) + (head & cq_mask_);
+    const std::uint64_t user_data = cqe->user_data;
+    const std::int32_t res = cqe->res;
+    std::atomic_ref<unsigned>(*cq_head_).store(head + 1,
+                                               std::memory_order_release);
+    process_cqe(user_data, res, ignore);
+    ++reaped;
+  }
+  return reaped;
+}
+
+void UringBlockDevice::process_cqe(std::uint64_t user_data, std::int32_t res,
+                                   const BlockRange* ignore) {
+  if (user_data == kSyncTag) {
+    // submit_sync() is waiting on this; one sync op at a time under mu_.
+    sync_result_ = res;
+    sync_result_valid_ = true;
+    return;
+  }
+  Slot& slot = slots_[static_cast<std::size_t>(user_data)];
+  const auto retire = [&] {
+    slot.in_flight = false;
+    free_slots_.push_back(static_cast<unsigned>(user_data));
+    --inflight_;
+  };
+  if (res < 0) {
+    if (res == -EINTR || res == -EAGAIN) {  // transient: resubmit remainder
+      push_sqe(IORING_OP_WRITE, slot.buf + slot.done, slot.len - slot.done,
+               slot.file_off + slot.done, user_data);
+      return;
+    }
+    const bool ignorable =
+        ignore != nullptr && slot.first >= ignore->first &&
+        slot.first + slot.count <= ignore->first + ignore->count;
+    if (!ignorable && pending_error_ == nullptr) {
+      pending_error_ = std::make_exception_ptr(std::runtime_error(
+          "UringBlockDevice: write of blocks [" + std::to_string(slot.first) +
+          ", " + std::to_string(slot.first + slot.count) +
+          ") failed: " + std::strerror(-res)));
+    }
+    retire();
+    return;
+  }
+  slot.done += static_cast<std::uint32_t>(res);
+  if (slot.done < slot.len) {  // short write: resubmit the remainder
+    push_sqe(IORING_OP_WRITE, slot.buf + slot.done, slot.len - slot.done,
+             slot.file_off + slot.done, user_data);
+    return;
+  }
+  retire();
+}
+
+std::int32_t UringBlockDevice::submit_sync(unsigned opcode, std::byte* addr,
+                                           std::uint32_t len,
+                                           std::uint64_t file_off,
+                                           const char* what) {
+  for (;;) {
+    sync_result_valid_ = false;
+    while (sq_space() == 0) enter_and_reap(0, nullptr);
+    push_sqe(opcode, addr, len, file_off, kSyncTag);
+    while (!sync_result_valid_) enter_and_reap(1, nullptr);
+    const std::int32_t res = sync_result_;
+    if (res == -EINTR || res == -EAGAIN) continue;
+    if (res < 0) {
+      throw std::runtime_error(std::string("UringBlockDevice: ") + what +
+                               " failed: " + std::strerror(-res));
+    }
+    return res;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transfers
+// ---------------------------------------------------------------------------
+
+void UringBlockDevice::seal_slot(unsigned idx) {
+  Slot& slot = slots_[idx];
+  slot.open = false;
+  --open_count_;
+  slot.in_flight = true;
+  ++inflight_;
+  while (sq_space() == 0) enter_and_reap(0, nullptr);
+  push_sqe(IORING_OP_WRITE, slot.buf, slot.len, slot.file_off, idx);
+  if (queued_ >= tuning_.submit_batch) enter_and_reap(0, nullptr);
+}
+
+void UringBlockDevice::ring_write(BlockId first, std::uint64_t count,
+                                  std::span<const std::byte> in) {
+  rethrow_pending();
+  const std::uint64_t file_off = first * block_bytes();
+  const std::size_t raw_len = in.size();
+  // Direct mode rounds up to whole blocks (O_DIRECT length alignment); the
+  // tail past the written prefix is unspecified by the device contract.
+  const std::size_t padded_len = direct_ ? count * block_bytes() : raw_len;
+  if (padded_len <= slot_bytes_) {
+    // Coalesce: a write that exactly extends an open slot's block range
+    // appends into its buffer — the sequential extent streams every pass
+    // emits become slot-sized transfers instead of per-extent SQEs.  The
+    // append target must hold whole blocks so far (a short final block
+    // closes the window: bytes after it would land at the wrong offset).
+    // Appending cannot overlap the candidate itself; conflicts with other
+    // slots still drain below.
+    if (open_count_ > 0) {
+      for (unsigned i = 0; i < slots_.size(); ++i) {
+        Slot& s = slots_[i];
+        if (!s.open || s.first + s.count != first) continue;
+        if (s.len != s.count * block_bytes()) break;  // short-tail window
+        if (s.len + padded_len > s.buf_bytes) {
+          seal_slot(i);  // full window: flush it, start a new one below
+          break;
+        }
+        wait_overlapping(first, count);
+        std::memcpy(s.buf + s.len, in.data(), raw_len);
+        if (padded_len > raw_len) {
+          std::memset(s.buf + s.len + raw_len, 0, padded_len - raw_len);
+        }
+        s.count += count;
+        s.len += static_cast<std::uint32_t>(padded_len);
+        return;
+      }
+    }
+    // A newer write must not race an older in-flight one over the same
+    // blocks (the ring may complete them in either order).
+    wait_overlapping(first, count);
+    const unsigned idx = acquire_slot();
+    Slot& slot = slots_[idx];
+    std::memcpy(slot.buf, in.data(), raw_len);
+    if (padded_len > raw_len) {
+      std::memset(slot.buf + raw_len, 0, padded_len - raw_len);
+    }
+    slot.first = first;
+    slot.count = count;
+    slot.file_off = file_off;
+    slot.len = static_cast<std::uint32_t>(padded_len);
+    slot.done = 0;
+    slot.open = true;
+    ++open_count_;
+    return;
+  }
+  // Oversized transfers bypass the slots; in-flight and open overlaps must
+  // still drain first.
+  wait_overlapping(first, count);
+  if (!direct_) {
+    // Oversized buffered write: synchronous, zero-copy from the caller's
+    // buffer (the kernel only reads it for IORING_OP_WRITE).
+    auto* src = const_cast<std::byte*>(in.data());
+    std::size_t done = 0;
+    while (done < raw_len) {
+      done += static_cast<std::size_t>(submit_sync(
+          IORING_OP_WRITE, src + done,
+          static_cast<std::uint32_t>(raw_len - done), file_off + done,
+          "write"));
+    }
+    return;
+  }
+  // Oversized direct write: chunk whole blocks through the aligned staging
+  // buffer, synchronously.
+  const std::uint64_t chunk_blocks = slot_bytes_ / block_bytes();
+  std::uint64_t done_blocks = 0;
+  while (done_blocks < count) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(chunk_blocks, count - done_blocks);
+    const std::size_t off =
+        static_cast<std::size_t>(done_blocks) * block_bytes();
+    const std::size_t chunk_padded =
+        static_cast<std::size_t>(n) * block_bytes();
+    const std::size_t chunk_raw = std::min(chunk_padded, raw_len - off);
+    std::memcpy(sync_buf_, in.data() + off, chunk_raw);
+    if (chunk_padded > chunk_raw) {
+      std::memset(sync_buf_ + chunk_raw, 0, chunk_padded - chunk_raw);
+    }
+    std::size_t done = 0;
+    while (done < chunk_padded) {
+      done += static_cast<std::size_t>(submit_sync(
+          IORING_OP_WRITE, sync_buf_ + done,
+          static_cast<std::uint32_t>(chunk_padded - done),
+          file_off + off + done, "write"));
+    }
+    done_blocks += n;
+  }
+}
+
+void UringBlockDevice::ring_read(BlockId first, std::uint64_t count,
+                                 std::span<std::byte> out) {
+  rethrow_pending();
+  // A read must see the bytes of the newest enqueued write: drain overlaps.
+  wait_overlapping(first, count);
+  const std::uint64_t base_off = first * block_bytes();
+  if (!direct_) {
+    // Buffered reads are synchronous by the device contract, so a
+    // submit-and-wait io_uring_enter buys nothing over positional I/O —
+    // the ring earns its keep on the write side, where completion can be
+    // deferred.  Non-overlapping write SQEs stay queued; the next write
+    // batch (or drain) submits them.
+    detail::posix_pread_span(fd_, base_off, out, "UringBlockDevice");
+    return;
+  }
+  // Direct mode: chunk whole blocks through the aligned staging buffer on
+  // the ring (O_DIRECT demands aligned addresses and lengths).
+  const std::uint64_t chunk_blocks = slot_bytes_ / block_bytes();
+  std::uint64_t done_blocks = 0;
+  while (done_blocks < count) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(chunk_blocks, count - done_blocks);
+    const std::size_t out_off =
+        static_cast<std::size_t>(done_blocks) * block_bytes();
+    const std::size_t want_raw =
+        std::min(static_cast<std::size_t>(n) * block_bytes(),
+                 out.size() - out_off);
+    const std::size_t want = static_cast<std::size_t>(n) * block_bytes();
+    std::size_t got = 0;
+    while (got < want) {
+      const std::int32_t res =
+          submit_sync(IORING_OP_READ, sync_buf_ + got,
+                      static_cast<std::uint32_t>(want - got),
+                      base_off + out_off + got, "read");
+      if (res == 0) {  // hole beyond EOF of a sparse region: zero-fill
+        std::memset(sync_buf_ + got, 0, want - got);
+        break;
+      }
+      got += static_cast<std::size_t>(res);
+    }
+    std::memcpy(out.data() + out_off, sync_buf_, want_raw);
+    done_blocks += n;
+  }
+}
+
+#else  // !EMSPLIT_HAVE_URING — the ring never exists; these are unreachable.
+
+void UringBlockDevice::setup_ring(unsigned) {
+  throw std::runtime_error("io_uring support not compiled in");
+}
+void UringBlockDevice::teardown_ring() noexcept {}
+void UringBlockDevice::push_sqe(unsigned, std::byte*, std::uint32_t,
+                                std::uint64_t, std::uint64_t) {}
+unsigned UringBlockDevice::enter_and_reap(unsigned, const BlockRange*) {
+  return 0;
+}
+void UringBlockDevice::process_cqe(std::uint64_t, std::int32_t,
+                                   const BlockRange*) {}
+void UringBlockDevice::seal_slot(unsigned) {}
+std::int32_t UringBlockDevice::submit_sync(unsigned, std::byte*, std::uint32_t,
+                                           std::uint64_t, const char*) {
+  return 0;
+}
+void UringBlockDevice::ring_write(BlockId, std::uint64_t,
+                                  std::span<const std::byte>) {}
+void UringBlockDevice::ring_read(BlockId, std::uint64_t,
+                                 std::span<std::byte>) {}
+
+#endif  // EMSPLIT_HAVE_URING
+
+// ---------------------------------------------------------------------------
+// BlockDevice hooks
+// ---------------------------------------------------------------------------
+
+void UringBlockDevice::do_read_blocks(BlockId first, std::uint64_t count,
+                                      std::span<std::byte> out) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_fd_ < 0) {
+    detail::posix_pread_span(fd_, first * block_bytes(), out,
+                             "UringBlockDevice");
+    return;
+  }
+  ring_read(first, count, out);
+}
+
+void UringBlockDevice::do_write_blocks(BlockId first, std::uint64_t count,
+                                       std::span<const std::byte> in) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_fd_ < 0) {
+    detail::posix_pwrite_span(fd_, first * block_bytes(), in,
+                              "UringBlockDevice");
+    return;
+  }
+  ring_write(first, count, in);
+}
+
+void UringBlockDevice::do_read(BlockId block, std::span<std::byte> out) {
+  do_read_blocks(block, 1, out);
+}
+
+void UringBlockDevice::do_write(BlockId block, std::span<const std::byte> in) {
+  do_write_blocks(block, 1, in);
+}
+
+void UringBlockDevice::do_grow(std::uint64_t new_size_blocks) {
+  // Growth only extends; in-flight writes target existing offsets.  Keeping
+  // the file a whole number of blocks also keeps direct-mode transfers fully
+  // inside the file.
+  if (::ftruncate(fd_, static_cast<off_t>(new_size_blocks * block_bytes())) !=
+      0) {
+    throw std::runtime_error("UringBlockDevice: ftruncate failed: " +
+                             std::string(std::strerror(errno)));
+  }
+}
+
+void UringBlockDevice::do_discard(const BlockRange& range) noexcept {
+  if (ring_fd_ < 0) return;
+  try {
+    const std::lock_guard<std::mutex> lock(mu_);
+    // Drain writes into the freed extent so a recycled block can never be
+    // clobbered by a stale completion.  Errors wholly inside the extent are
+    // moot (nobody will read it again); others stay parked for the next
+    // transfer to report.
+    wait_overlapping(range.first, range.count, &range);
+  } catch (...) {
+    // io_uring_enter failed outright; nothing more a noexcept path can do.
+  }
+}
+
+}  // namespace emsplit

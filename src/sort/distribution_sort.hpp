@@ -96,6 +96,11 @@ void distribution_final_pass(Context& ctx, EmVector<T>& out,
   std::size_t group_hi = 0;
   const auto flush = [&] {
     if (group_lo == group_hi) return;
+    // The pass's true working set is data-dependent: the largest coalesced
+    // segment group actually loaded, not the full `segment` reservation.
+    // Report it so the trace row shows the in-place pass's high-water mark.
+    ctx.note_pass_hwm(static_cast<std::uint64_t>(group_hi - group_lo) *
+                      sizeof(T));
     const auto span = std::span<T>(buf).first(group_hi - group_lo);
     load_range<T>(out, group_lo, span);
     if (scratch.available()) {

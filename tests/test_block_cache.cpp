@@ -1,0 +1,282 @@
+// BlockCache: budget-charged, pin-aware, and invisible to the cost model.
+//
+// The contract (em/block_cache.hpp): a cache hit is still a logical read —
+// IoStats base counts of a cached run are bit-identical to the uncached run,
+// and hits/misses/evictions only explain the wall clock.  Memory comes from
+// a MemoryBudget the cache scavenges: pinned entries survive eviction and
+// reclaim, a declined admission probe disables the cache permanently, and
+// the registered reclaimer gives chunks back when the budget runs short.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "em/block_cache.hpp"
+#include "em/context.hpp"
+#include "em/memory_budget.hpp"
+#include "em/stream.hpp"
+#include "sort/external_sort.hpp"
+#include "test_helpers.hpp"
+#include "util/record.hpp"
+
+namespace emsplit {
+namespace {
+
+constexpr std::size_t kBlockBytes = 64;
+
+std::vector<std::byte> pattern(std::size_t bytes, int seed) {
+  std::vector<std::byte> v(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    v[i] = static_cast<std::byte>(seed * 31 + static_cast<int>(i));
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Unit level: the cache API against a dedicated budget.
+// ---------------------------------------------------------------------------
+
+TEST(BlockCacheTest, CountersAreExact) {
+  MemoryBudget budget(64 * kBlockBytes);
+  BlockCache cache(budget, kBlockBytes,
+                   BlockCache::Tuning{.capacity_blocks = 32,
+                                      .max_entry_blocks = 8,
+                                      .chunk_blocks = 8});
+  ASSERT_TRUE(cache.enabled());
+
+  // A written extent is inserted; a fully contained read is a hit counted
+  // per block.
+  const auto w = pattern(4 * kBlockBytes, 1);
+  cache.note_write(10, 4, w);
+  std::vector<std::byte> out(4 * kBlockBytes);
+  EXPECT_TRUE(cache.read(10, 4, out));
+  EXPECT_EQ(w, out);
+  EXPECT_EQ(cache.hits(), 4u);
+  EXPECT_EQ(cache.misses(), 0u);
+
+  // A sub-range entirely inside the resident entry is also a hit, served at
+  // the right offset.
+  std::vector<std::byte> sub(2 * kBlockBytes);
+  EXPECT_TRUE(cache.read(11, 2, sub));
+  EXPECT_EQ(0, std::memcmp(sub.data(), w.data() + kBlockBytes, sub.size()));
+  EXPECT_EQ(cache.hits(), 6u);
+
+  // Partial overlap is a miss (counted per block), not a partial serve.
+  std::vector<std::byte> over(3 * kBlockBytes);
+  EXPECT_FALSE(cache.read(12, 3, over));
+  EXPECT_EQ(cache.misses(), 3u);
+
+  cache.reset_counters();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(BlockCacheTest, ReadInsertPolicyIsSingleBlockOnly) {
+  MemoryBudget budget(64 * kBlockBytes);
+  BlockCache cache(budget, kBlockBytes,
+                   BlockCache::Tuning{.capacity_blocks = 32,
+                                      .max_entry_blocks = 8,
+                                      .chunk_blocks = 8});
+  ASSERT_TRUE(cache.enabled());
+
+  // A single-block read miss is worth keeping (splitter/index accesses).
+  const auto one = pattern(kBlockBytes, 2);
+  cache.note_read(5, 1, one);
+  std::vector<std::byte> out(kBlockBytes);
+  EXPECT_TRUE(cache.read(5, 1, out));
+  EXPECT_EQ(one, out);
+
+  // A multi-block streaming miss is not inserted.
+  const auto scan = pattern(4 * kBlockBytes, 3);
+  cache.note_read(20, 4, scan);
+  std::vector<std::byte> big(4 * kBlockBytes);
+  EXPECT_FALSE(cache.read(20, 4, big));
+}
+
+TEST(BlockCacheTest, OversizedWritesBypassButInvalidate) {
+  MemoryBudget budget(64 * kBlockBytes);
+  BlockCache cache(budget, kBlockBytes,
+                   BlockCache::Tuning{.capacity_blocks = 32,
+                                      .max_entry_blocks = 4,
+                                      .chunk_blocks = 8});
+  ASSERT_TRUE(cache.enabled());
+
+  cache.note_write(8, 2, pattern(2 * kBlockBytes, 4));
+  std::vector<std::byte> out(2 * kBlockBytes);
+  ASSERT_TRUE(cache.read(8, 2, out));
+
+  // count > max_entry_blocks: not cached, but the stale resident copy of the
+  // overlapped extent must drop (coherence).
+  cache.note_write(6, 8, pattern(8 * kBlockBytes, 5));
+  EXPECT_FALSE(cache.read(8, 2, out));
+  std::vector<std::byte> big(8 * kBlockBytes);
+  EXPECT_FALSE(cache.read(6, 8, big));
+}
+
+TEST(BlockCacheTest, PinnedEntriesSurviveEvictionPressure) {
+  MemoryBudget budget(64 * kBlockBytes);
+  BlockCache cache(budget, kBlockBytes,
+                   BlockCache::Tuning{.capacity_blocks = 4,
+                                      .max_entry_blocks = 4,
+                                      .chunk_blocks = 4});
+  ASSERT_TRUE(cache.enabled());
+
+  // Pin before insert: the entry is born pinned.
+  cache.pin(0, 1);
+  const auto keep = pattern(kBlockBytes, 6);
+  cache.note_write(0, 1, keep);
+
+  // Flood far past capacity; only unpinned entries may be evicted.
+  for (BlockId b = 1; b <= 16; ++b) {
+    cache.note_write(b, 1, pattern(kBlockBytes, static_cast<int>(b)));
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+  std::vector<std::byte> out(kBlockBytes);
+  EXPECT_TRUE(cache.read(0, 1, out));
+  EXPECT_EQ(keep, out);
+  EXPECT_LE(cache.resident_blocks(), 4u);
+
+  // After unpinning, pressure may push it out like any LRU victim.
+  cache.unpin(0, 1);
+  for (BlockId b = 20; b < 28; ++b) {
+    cache.note_write(b, 1, pattern(kBlockBytes, static_cast<int>(b)));
+  }
+  EXPECT_FALSE(cache.read(0, 1, out));
+}
+
+TEST(BlockCacheTest, DeclinedBudgetProbeDisablesPermanently) {
+  // Capacity below one chunk: the admission probe is declined and every call
+  // becomes a no-op.
+  MemoryBudget budget(kBlockBytes);  // one block's worth — far below a chunk
+  BlockCache cache(budget, kBlockBytes,
+                   BlockCache::Tuning{.capacity_blocks = 64,
+                                      .max_entry_blocks = 64,
+                                      .chunk_blocks = 64});
+  EXPECT_FALSE(cache.enabled());
+  cache.note_write(0, 1, pattern(kBlockBytes, 7));
+  std::vector<std::byte> out(kBlockBytes);
+  EXPECT_FALSE(cache.read(0, 1, out));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);  // disabled: not even misses are charged
+  EXPECT_EQ(cache.resident_blocks(), 0u);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(BlockCacheTest, ReclaimerGivesBudgetBackUnderPressure) {
+  // 128-block budget, cache capacity 64 blocks in 16-block chunks.
+  MemoryBudget budget(128 * kBlockBytes);
+  BlockCache cache(budget, kBlockBytes,
+                   BlockCache::Tuning{.capacity_blocks = 64,
+                                      .max_entry_blocks = 16,
+                                      .chunk_blocks = 16});
+  ASSERT_TRUE(cache.enabled());
+  for (BlockId b = 0; b < 64; ++b) {
+    cache.note_write(b, 1, pattern(kBlockBytes, static_cast<int>(b)));
+  }
+  EXPECT_EQ(cache.resident_blocks(), 64u);
+  EXPECT_GE(budget.used(), 64 * kBlockBytes);
+
+  // An algorithm reservation for the whole budget must succeed: the
+  // registered reclaimer sheds entries and returns whole chunks.
+  {
+    auto all = budget.reserve(budget.capacity());
+    EXPECT_EQ(all.bytes(), budget.capacity());
+    EXPECT_LT(cache.resident_blocks(), 64u);
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+
+  // With the reservation gone the cache may scavenge its way back up.
+  for (BlockId b = 100; b < 108; ++b) {
+    cache.note_write(b, 1, pattern(kBlockBytes, static_cast<int>(b)));
+  }
+  std::vector<std::byte> out(kBlockBytes);
+  EXPECT_TRUE(cache.read(107, 1, out));
+}
+
+// ---------------------------------------------------------------------------
+// Integration: the cache behind a device, through Context.
+// ---------------------------------------------------------------------------
+
+TEST(BlockCacheTest, HitIsStillALogicalRead) {
+  MemoryBlockDevice dev(kBlockBytes);
+  Context ctx(dev, 16 * kBlockBytes);
+  MemoryBudget cache_budget(64 * kBlockBytes);
+  BlockCache cache(cache_budget, kBlockBytes, 32);
+  ctx.set_block_cache(&cache);
+
+  const auto range = dev.allocate(8);
+  std::vector<std::byte> buf(kBlockBytes);
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    std::memset(buf.data(), static_cast<int>(b + 1), buf.size());
+    dev.write(range.first + b, buf);
+  }
+  const IoStats before = dev.stats();
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    dev.read(range.first + b, buf);
+    EXPECT_EQ(std::to_integer<int>(buf[0]), static_cast<int>(b + 1));
+  }
+  const IoStats after = dev.stats();
+  // All eight reads were served from the cache, yet all eight are charged as
+  // logical reads: the base counts cannot tell a cached run from an uncached
+  // one.
+  EXPECT_EQ(after.reads - before.reads, 8u);
+  EXPECT_EQ(after.cache_hits - before.cache_hits, 8u);
+  EXPECT_EQ(after.cache_misses, before.cache_misses);
+  ctx.set_block_cache(nullptr);
+}
+
+TEST(BlockCacheTest, CorruptionIsNotMaskedByResidentCopy) {
+  MemoryBlockDevice dev(kBlockBytes);
+  Context ctx(dev, 16 * kBlockBytes);
+  MemoryBudget cache_budget(64 * kBlockBytes);
+  BlockCache cache(cache_budget, kBlockBytes, 32);
+  ctx.set_block_cache(&cache);
+  dev.set_checksums(true);
+
+  const auto range = dev.allocate(4);
+  std::vector<std::byte> buf(kBlockBytes);
+  std::memset(buf.data(), 0x11, buf.size());
+  dev.write(range.first, buf);
+  // The pristine copy is resident; corrupt_bit must drop it so the verifying
+  // read sees the rotted backend bytes and trips the checksum.
+  dev.corrupt_bit(range.first, 3);
+  EXPECT_THROW(dev.read(range.first, buf), CorruptBlock);
+  ctx.set_block_cache(nullptr);
+}
+
+TEST(BlockCacheTest, CachedSortIsBitIdenticalWithNonzeroHits) {
+  constexpr std::size_t kMemBlocks = 256;
+  constexpr std::size_t kRecords = 4096;  // N/M = 4: a real multi-pass sort
+  const auto host = make_workload(Workload::kUniform, kRecords, 21);
+
+  const auto run = [&](BlockCache* cache) {
+    MemoryBlockDevice dev(kBlockBytes);
+    Context ctx(dev, kMemBlocks * kBlockBytes);
+    if (cache != nullptr) ctx.set_block_cache(cache);
+    auto data = materialize<Record>(ctx, std::span<const Record>(host));
+    dev.reset_stats();
+    auto sorted = external_sort<Record>(ctx, data);
+    const auto out = to_host(sorted);
+    const IoStats stats = dev.stats();
+    ctx.set_block_cache(nullptr);
+    return std::pair<std::vector<Record>, IoStats>(out, stats);
+  };
+
+  // Dedicated cache budget: the sort's own reservations own the context M.
+  MemoryBudget cache_budget(2048 * kBlockBytes);
+  BlockCache cache(cache_budget, kBlockBytes, 2048);
+  ASSERT_TRUE(cache.enabled());
+
+  const auto [plain_out, plain_stats] = run(nullptr);
+  const auto [cached_out, cached_stats] = run(&cache);
+
+  EXPECT_EQ(plain_out, cached_out);
+  EXPECT_EQ(plain_stats.base(), cached_stats.base());
+  EXPECT_GT(cached_stats.cache_hits, 0u);
+  EXPECT_EQ(plain_stats.cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace emsplit

@@ -9,8 +9,18 @@ performing the *same* number of I/Os.  Rows whose I/O counts differ are a
 geometry change, not a perf regression — they are reported and skipped, as
 are rows present in only one entry.
 
+With --backends the tool gates the backend matrix instead: in the latest
+entry, every native-uring row must run the same logical I/O count as the
+same-op batched/async rows (backend choice is geometry, never output) and
+must beat the *previous* entry's batched and async wall-clock for that op —
+the io_uring backend has to pay for itself against the last recorded
+positional-I/O baseline, not just against today's machine weather.  Rows
+with a block cache attached (cache_blocks > 0) must report cache_hits > 0.
+On kernels without io_uring (uring_native false) the wall-clock gate is
+waived and only the geometry and cache-hit checks bind.
+
 Usage:
-    tools/bench_compare.py [FILE] [--threshold=0.10]
+    tools/bench_compare.py [FILE] [--threshold=0.10] [--backends]
 
 Exit status: 0 = no regression (including "fewer than two entries"),
 1 = at least one regression, 2 = bad input.
@@ -34,12 +44,90 @@ def row_key(row):
     return (row.get("op", "?"), row.get("mode", "?"))
 
 
+def backend_gate(entries):
+    """Gate the latest entry's backend matrix (see module docstring)."""
+    new = entries[-1]
+    old = entries[-2] if len(entries) >= 2 else {"rows": []}
+    new_rows = new.get("rows", [])
+    old_rows = {row_key(r): r for r in old.get("rows", [])}
+    print(f"bench_compare: backend gate on '{new.get('label', '?')}' "
+          f"(baseline '{old.get('label', '?')}')")
+
+    failures = 0
+
+    def fail(msg):
+        nonlocal failures
+        failures += 1
+        print(f"  FAIL {msg}", file=sys.stderr)
+
+    by_op = {}
+    for r in new_rows:
+        by_op.setdefault(r.get("op", "?"), []).append(r)
+
+    checked = 0
+    for op, rows in sorted(by_op.items()):
+        uring = [r for r in rows if r.get("backend") == "uring"]
+        if not uring:
+            continue
+        ref = {r.get("mode"): r for r in rows
+               if r.get("mode") in ("batched", "async")}
+        for r in uring:
+            mode = r.get("mode", "?")
+            checked += 1
+            # Geometry: backend choice must not move a single logical I/O.
+            for ref_mode, ref_row in sorted(ref.items()):
+                if r.get("ios") != ref_row.get("ios"):
+                    fail(f"{op}/{mode}: ios {r.get('ios')} != "
+                         f"{ref_mode} ios {ref_row.get('ios')}")
+            # Cache rows must actually hit (the counters are live, so zero
+            # means the cache never served a block).
+            if r.get("cache_blocks", 0) > 0 and r.get("cache_hits", 0) <= 0:
+                fail(f"{op}/{mode}: cache_blocks="
+                     f"{r.get('cache_blocks')} but cache_hits=0")
+            # Wall-clock: native ring must beat the previous entry's
+            # positional baselines for the same op at equal I/Os.
+            if not r.get("uring_native", False):
+                print(f"  note {op}/{mode}: fallback backend "
+                      f"(uring_native false); wall-clock gate waived")
+                continue
+            for ref_mode in ("batched", "async"):
+                base = old_rows.get((op, ref_mode))
+                if base is None:
+                    continue
+                if base.get("ios") != r.get("ios"):
+                    print(f"  note {op}/{mode}: baseline {ref_mode} ran "
+                          f"{base.get('ios')} ios vs {r.get('ios')}; skipped")
+                    continue
+                bs, ns = float(base.get("seconds", 0)), \
+                    float(r.get("seconds", 0))
+                verdict = "ok" if ns < bs else "FAIL"
+                print(f"  {verdict:>4} {op}/{mode}: {ns:.3f}s vs previous "
+                      f"{ref_mode} {bs:.3f}s at {r.get('ios')} ios")
+                if ns >= bs:
+                    fail(f"{op}/{mode}: {ns:.3f}s not below previous "
+                         f"{ref_mode} {bs:.3f}s")
+
+    if checked == 0:
+        print("bench_compare: no uring rows in the latest entry",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"bench_compare: backend gate failed ({failures} check(s))",
+              file=sys.stderr)
+        return 1
+    print(f"bench_compare: backend gate passed ({checked} uring row(s))")
+    return 0
+
+
 def main(argv):
     path = "BENCH_wallclock.json"
     threshold = 0.10
+    backends = False
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
+        elif arg == "--backends":
+            backends = True
         elif arg in ("-h", "--help"):
             print(__doc__)
             return 0
@@ -54,6 +142,12 @@ def main(argv):
     except (OSError, ValueError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         return 2
+
+    if backends:
+        if not entries:
+            print(f"bench_compare: no entries in {path}", file=sys.stderr)
+            return 2
+        return backend_gate(entries)
 
     if len(entries) < 2:
         print(f"bench_compare: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'} "

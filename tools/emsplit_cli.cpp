@@ -17,6 +17,13 @@
 // Global options (before the subcommand):
 //   --block-bytes=N        simulated block size                [default 4096]
 //   --mem-bytes=N          simulated memory budget             [default 1048576]
+//   --backend=mem|file|uring
+//                          physical backend: in-memory pages, positional
+//                          file I/O, or the io_uring write-behind ring
+//                          (gracefully falls back to positional I/O when
+//                          io_uring is unavailable)            [default mem]
+//   --cache-blocks=N       shared block cache capacity in blocks, charged
+//                          against --mem-bytes (0 = no cache)  [default 0]
 //   --threads=N            CPU worker threads                  [default 1]
 //   --sort-shards=N        in-memory sort shard geometry       [default 1]
 //   --shards=D             stripe the device over D member devices
@@ -48,6 +55,8 @@
 // (docs/model.md, "Sharded devices and the D-disk model").  Transient
 // retries never change the base I/O counts either — `[cost]` reports them
 // separately (docs/model.md, "Failure model, retries, and recovery").
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -58,8 +67,10 @@
 
 #include "apps/histogram.hpp"
 #include "core/api.hpp"
+#include "em/block_cache.hpp"
 #include "em/checkpoint.hpp"
 #include "em/file_io.hpp"
+#include "em/uring_device.hpp"
 
 namespace {
 
@@ -68,6 +79,8 @@ using namespace emsplit;
 struct Options {
   std::size_t block_bytes = 4096;
   std::size_t mem_bytes = 1 << 20;
+  std::string backend = "mem";
+  std::size_t cache_blocks = 0;
   std::size_t threads = 1;
   std::size_t sort_shards = 1;
   std::size_t shards = 1;
@@ -92,6 +105,9 @@ struct Machine {
   std::unique_ptr<BlockDevice> dev;
   std::unique_ptr<CheckpointJournal> journal;
   std::unique_ptr<Context> ctx;
+  // After ctx: the cache must die first (it releases chunks back to the
+  // context's budget in its destructor).
+  std::unique_ptr<BlockCache> cache;
   std::unique_ptr<PassTraceLog> trace;
   std::string trace_path;
 
@@ -99,6 +115,7 @@ struct Machine {
   Machine(Machine&&) = default;
   Machine& operator=(Machine&&) = default;
   ~Machine() {
+    if (ctx != nullptr && cache != nullptr) ctx->set_block_cache(nullptr);
     if (trace != nullptr && !trace_path.empty() &&
         !write_pass_trace_jsonl(*trace, trace_path)) {
       std::fprintf(stderr, "warning: could not write trace file %s\n",
@@ -109,19 +126,36 @@ struct Machine {
 
 std::unique_ptr<BlockDevice> make_member(const Options& opt,
                                          const std::string& name) {
-  if (!opt.checkpoint_dir.empty()) {
-    // Crash-recoverable: device contents and the journal live in files, and
-    // an interrupted run's blocks are re-adopted on the next start.
-    return std::make_unique<FileBlockDevice>(opt.checkpoint_dir + "/" + name,
-                                             opt.block_bytes,
-                                             /*keep_file=*/true,
-                                             /*preserve_contents=*/true);
+  // Crash-recoverable runs keep the device file (and re-adopt its blocks on
+  // the next start); otherwise file-backed backends use a private scratch
+  // file removed on exit.
+  const bool persist = !opt.checkpoint_dir.empty();
+  const std::string path =
+      persist ? opt.checkpoint_dir + "/" + name
+              : "/tmp/emsplit." + std::to_string(::getpid()) + "." + name;
+  if (opt.backend == "uring") {
+    return std::make_unique<UringBlockDevice>(
+        path, opt.block_bytes, UringBlockDevice::tuned(opt.queue_depth),
+        /*keep_file=*/persist, /*preserve_contents=*/persist);
+  }
+  if (opt.backend == "file" || persist) {
+    return std::make_unique<FileBlockDevice>(path, opt.block_bytes,
+                                             /*keep_file=*/persist,
+                                             /*preserve_contents=*/persist);
   }
   return std::make_unique<MemoryBlockDevice>(opt.block_bytes);
 }
 
 Machine make_machine(const Options& opt) {
   Machine m;
+  if (opt.backend == "uring") {
+    // Capability note on stderr so stdout stays byte-identical across hosts
+    // (backend choice is geometry, never output).
+    std::fprintf(stderr, "[backend] uring: %s\n",
+                 UringBlockDevice::uring_supported()
+                     ? "native io_uring ring"
+                     : "fallback (io_uring unavailable; positional I/O)");
+  }
   if (opt.shards > 1) {
     // D-disk machine: one member device per shard behind a striping facade.
     // With --checkpoint-dir each member persists as its own file; the
@@ -147,6 +181,16 @@ Machine make_machine(const Options& opt) {
   policy.max_retries = opt.fault_retries;
   policy.backoff = std::chrono::microseconds(opt.fault_backoff_us);
   m.ctx->set_fault_policy(policy);
+  if (opt.cache_blocks > 0) {
+    m.cache = std::make_unique<BlockCache>(m.ctx->budget(), opt.block_bytes,
+                                           opt.cache_blocks);
+    if (!m.cache->enabled()) {
+      std::fprintf(stderr,
+                   "warning: block cache disabled (budget declined the first "
+                   "chunk; shrink --cache-blocks or grow --mem-bytes)\n");
+    }
+    m.ctx->set_block_cache(m.cache.get());
+  }
   if (!opt.checkpoint_dir.empty()) {
     m.journal = std::make_unique<CheckpointJournal>(
         *m.dev, opt.checkpoint_dir + "/journal.ckpt");
@@ -169,6 +213,7 @@ Machine make_machine(const Options& opt) {
   std::fprintf(stderr,
                "usage: emsplit [--block-bytes=N] [--mem-bytes=N]"
                " [--threads=N] [--sort-shards=N]\n"
+               "               [--backend=mem|file|uring] [--cache-blocks=N]\n"
                "               [--shards=D] [--stripe-blocks=N]"
                " [--batch-blocks=N] [--queue-depth=N] [--async=on|off]\n"
                "               [--trace=FILE] [--fault-policy=R[:BACKOFF_US]]"
@@ -245,6 +290,9 @@ void print_cost(const Context& ctx, std::size_t n) {
   // stays byte-identical across thread counts and fault-free runs.
   if (io.retries > 0) {
     std::printf(" + %" PRIu64 " transient retries", io.retries);
+  }
+  if (io.cache_hits > 0) {
+    std::printf(" (%" PRIu64 " served from cache)", io.cache_hits);
   }
   const CheckpointJournal* journal = ctx.checkpoint();
   if (journal != nullptr && journal->resumed_passes() > 0) {
@@ -419,6 +467,15 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--mem-bytes=", 0) == 0) {
       opt.mem_bytes =
           static_cast<std::size_t>(parse_u64(arg.c_str() + 12, "mem-bytes"));
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      opt.backend = arg.substr(10);
+      if (opt.backend != "mem" && opt.backend != "file" &&
+          opt.backend != "uring") {
+        usage("--backend takes mem|file|uring");
+      }
+    } else if (arg.rfind("--cache-blocks=", 0) == 0) {
+      opt.cache_blocks = static_cast<std::size_t>(
+          parse_u64(arg.c_str() + 15, "cache-blocks"));
     } else if (arg.rfind("--threads=", 0) == 0) {
       opt.threads =
           static_cast<std::size_t>(parse_u64(arg.c_str() + 10, "threads"));

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Render a pass-trace file (`--trace=FILE` JSON lines) as a span table.
+
+Every engine-run pass emits one JSON object per line (see pass_trace_json in
+em/pass_engine.cpp).  This tool lays the passes out as a timeline — one row
+per pass with a proportional span bar — plus the columns that explain where
+the cost went: logical I/Os, cache hit rate, the pass's in-memory high-water
+mark, and the shard balance factor (max member share x D; 1.0 = perfectly
+even striping).
+
+Usage:
+    tools/trace_view.py [FILE] [--width=40]
+
+FILE defaults to stdin, so both work:
+    emsplit sort -n 1M --trace=trace.jsonl && tools/trace_view.py trace.jsonl
+    emsplit sort -n 1M --trace=/dev/stdout | tools/trace_view.py
+
+Exit status: 0 = rendered, 2 = bad input.
+"""
+
+import json
+import sys
+
+
+def human_bytes(n):
+    if n <= 0:
+        return "-"
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if n < 1024 or unit == "TiB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024.0
+    return f"{n:.1f}TiB"
+
+
+def load_rows(stream):
+    rows = []
+    for lineno, line in enumerate(stream, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            raise ValueError(f"line {lineno}: {e}") from e
+    return rows
+
+
+def hit_rate(row):
+    hits = int(row.get("cache_hits", 0))
+    misses = int(row.get("cache_misses", 0))
+    if hits + misses == 0:
+        return "-"
+    return f"{100.0 * hits / (hits + misses):.0f}%"
+
+
+def span_bar(start, dur, total, width):
+    """A proportional [start, start+dur) bar on a `width`-char timeline."""
+    if total <= 0:
+        return "." * width
+    lo = round(width * start / total)
+    hi = max(lo + 1, round(width * (start + dur) / total))
+    hi = min(hi, width)
+    return "." * lo + "#" * (hi - lo) + "." * (width - hi)
+
+
+def render(rows, width, out=sys.stdout):
+    timed = [r for r in rows if not r.get("resumed", False)]
+    total = sum(float(r.get("seconds", 0)) for r in timed)
+    total_io = sum(int(r.get("reads", 0)) + int(r.get("writes", 0))
+                   for r in timed)
+
+    header = (f"  {'#':>2} {'job/pass':<28} {'reads':>9} {'writes':>9} "
+              f"{'hit%':>5} {'hwm':>9} {'bal':>5} {'secs':>8}  "
+              f"timeline ({total:.3f}s total)")
+    print(header, file=out)
+    start = 0.0
+    for r in rows:
+        # Pass labels usually embed the job prefix already ("dsort/partition"
+        # under job "dsort"); only prepend when they don't.
+        job, label = r.get("job", "?"), r.get("pass", "?")
+        name = label if label.startswith(job) else f"{job}/{label}"
+        if len(name) > 28:
+            name = name[:27] + "…"
+        if r.get("resumed", False):
+            print(f"  {r.get('index', 0):>2} {name:<28} "
+                  f"{'-':>9} {'-':>9} {'-':>5} {'-':>9} {'-':>5} {'-':>8}  "
+                  f"[resumed from checkpoint]", file=out)
+            continue
+        secs = float(r.get("seconds", 0))
+        balance = r.get("balance", 1.0)
+        bal = f"{balance:.2f}" if r.get("shards") else "-"
+        bar = span_bar(start, secs, total, width)
+        print(f"  {r.get('index', 0):>2} {name:<28} "
+              f"{int(r.get('reads', 0)):>9} {int(r.get('writes', 0)):>9} "
+              f"{hit_rate(r):>5} {human_bytes(int(r.get('hwm_bytes', 0))):>9} "
+              f"{bal:>5} {secs:>8.3f}  {bar}", file=out)
+        start += secs
+
+    shards = max((len(r.get("shards", [])) for r in rows), default=0)
+    tail = f"  {len(rows)} pass(es), {total_io} logical I/Os, {total:.3f}s"
+    if shards:
+        tail += f", {shards} shard(s)"
+    resumed = sum(1 for r in rows if r.get("resumed", False))
+    if resumed:
+        tail += f", {resumed} resumed"
+    print(tail, file=out)
+
+
+def main(argv):
+    path = None
+    width = 40
+    for arg in argv[1:]:
+        if arg.startswith("--width="):
+            width = max(10, int(arg.split("=", 1)[1]))
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        elif arg.startswith("-") and arg != "-":
+            print(f"trace_view: unknown flag {arg!r}", file=sys.stderr)
+            return 2
+        else:
+            path = arg
+
+    try:
+        if path is None or path == "-":
+            rows = load_rows(sys.stdin)
+        else:
+            with open(path, "r", encoding="utf-8") as f:
+                rows = load_rows(f)
+    except (OSError, ValueError) as e:
+        print(f"trace_view: cannot read {path or 'stdin'}: {e}",
+              file=sys.stderr)
+        return 2
+
+    if not rows:
+        print("trace_view: no trace rows")
+        return 0
+    render(rows, width)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
