@@ -87,6 +87,19 @@ struct ModeSpec {
   const char* backend = "file";  // "file" | "uring" (backend is geometry:
                                  // logical I/Os and checksums cannot move)
   std::size_t cache_blocks = 0;  // > 0 attaches a BlockCache of that capacity
+  std::size_t workers = 0;       // > 0 routes dsort/partition through the
+                                 // multi-process distributed path (W is
+                                 // geometry: every W must report identical
+                                 // logical I/Os and output checksums)
+  bool direct = false;           // probe O_DIRECT on the uring backend
+                                 // (needs 512 | block_bytes; probe-gated —
+                                 // falls back to buffered when refused)
+  // Per-leg geometry overrides.  The worker legs need blocks big enough for
+  // the distributed plan's edge/cut tables; the O_DIRECT leg needs a
+  // 512-multiple block size.  Legs that override run their own geometry and
+  // are exempt from the cross-leg determinism reference.
+  std::size_t block_bytes = kCmpBlockBytes;
+  std::size_t mem_blocks = kCmpMemBlocks;
 };
 
 struct ModeResult {
@@ -97,6 +110,7 @@ struct ModeResult {
   bool sorted = false;
   bool shard_sums_ok = true;     // shard_stats() partitions stats() exactly
   bool uring_native = false;     // ring engaged (vs positional fallback)
+  bool direct_io = false;        // O_DIRECT probe accepted (uring backend)
   std::uint64_t cache_hits = 0;  // final rep's cache counters
   std::uint64_t cache_misses = 0;
   std::string passes_json;       // JSON array of the final rep's trace rows
@@ -124,9 +138,10 @@ std::unique_ptr<BlockDevice> make_cmp_device(const char* tag,
       ring.ring_entries = 64;
       ring.write_behind = 16;
       ring.submit_batch = 16;
-      return std::make_unique<UringBlockDevice>(path, kCmpBlockBytes, ring);
+      ring.direct = mode.direct;
+      return std::make_unique<UringBlockDevice>(path, mode.block_bytes, ring);
     }
-    return std::make_unique<FileBlockDevice>(path, kCmpBlockBytes);
+    return std::make_unique<FileBlockDevice>(path, mode.block_bytes);
   };
   if (mode.shards == 0) return make_member(bench_path(tag));
   std::vector<std::unique_ptr<BlockDevice>> members;
@@ -159,26 +174,27 @@ Rig make_rig(const char* tag, const ModeSpec& mode) {
   Rig rig;
   rig.dev = make_cmp_device(tag, mode);
   rig.ctx =
-      std::make_unique<Context>(*rig.dev, kCmpMemBlocks * kCmpBlockBytes);
+      std::make_unique<Context>(*rig.dev, mode.mem_blocks * mode.block_bytes);
   rig.ctx->set_io_tuning(mode.tuning);
   rig.ctx->set_cpu_tuning(mode.cpu);
+  rig.ctx->set_worker_tuning(WorkerTuning{mode.workers});
   rig.trace = std::make_unique<PassTraceLog>();
   rig.ctx->set_pass_trace(rig.trace.get());
   if (mode.cache_blocks > 0) {
     rig.cache = std::make_unique<BlockCache>(
-        rig.ctx->budget(), kCmpBlockBytes, mode.cache_blocks);
+        rig.ctx->budget(), mode.block_bytes, mode.cache_blocks);
     rig.ctx->set_block_cache(rig.cache.get());
   }
   return rig;
 }
 
-bool rig_uring_native(Rig& rig, const ModeSpec& mode) {
-  if (std::string(mode.backend) != "uring") return false;
+const UringBlockDevice* rig_uring(Rig& rig, const ModeSpec& mode) {
+  if (std::string(mode.backend) != "uring") return nullptr;
   if (mode.shards == 0) {
-    return static_cast<const UringBlockDevice&>(*rig.dev).native();
+    return &static_cast<const UringBlockDevice&>(*rig.dev);
   }
   auto& facade = static_cast<ShardedBlockDevice&>(*rig.dev);
-  return static_cast<const UringBlockDevice&>(facade.member(0)).native();
+  return &static_cast<const UringBlockDevice&>(facade.member(0));
 }
 
 // Serialize the final rep's trace rows as a JSON array (one object per
@@ -232,7 +248,10 @@ ModeResult run_mode(const char* tag, const ModeSpec& mode,
   auto host = make_workload(Workload::kUniform, cmp_records(), workload_seed);
   auto data = materialize<Record>(*rig.ctx, host);
   ModeResult res;
-  res.uring_native = rig_uring_native(rig, mode);
+  if (const UringBlockDevice* ring = rig_uring(rig, mode)) {
+    res.uring_native = ring->native();
+    res.direct_io = ring->direct_io();
+  }
   for (int rep = 0; rep < 3; ++rep) {  // best-of-3, verify untimed
     rig.dev->reset_stats();
     rig.ctx->budget().reset_peak();
@@ -362,6 +381,14 @@ void run_mode_comparison() {
       // and async share stream geometry, so the determinism check against
       // the async reference still binds bit-for-bit).
       {"uring", kBatched, CpuTuning{1, 1}, 0, 8, "uring"},
+      // O_DIRECT probe leg: the ring with page-cache bypass requested, on a
+      // 512-byte block size (the alignment O_DIRECT demands) with the same
+      // M in bytes.  Its own geometry => exempt from the cross-leg
+      // determinism reference and from bench_compare's wall gates; when the
+      // filesystem refuses the probe the leg degrades to the buffered ring
+      // and reports direct_io = false.
+      {"uring-direct", kBatched, CpuTuning{1, 1}, 0, 8, "uring", 0, 0, true,
+       512, kCmpMemBlocks * kCmpBlockBytes / 512},
   };
   // The cache showcase ops (distribution sort's level-to-level re-reads,
   // multi-select's shrinking candidate re-scans) run a compact leg set:
@@ -370,6 +397,22 @@ void run_mode_comparison() {
       {"batched", kBatched},
       {"uring", kBatched, CpuTuning{1, 1}, 0, 8, "uring"},
       {"uring+cache", kBatched, CpuTuning{1, 1}, 0, 8, "uring", kCacheBlocks},
+  };
+  // Worker legs: the multi-process distributed path for the two ops that
+  // route through it, at W = 1, 2, 4 forked workers on a 4 KiB block
+  // geometry (the tiny-block geometry above starves the distributed plan's
+  // edge/cut tables, so dist_supported would fall back to the classic
+  // path and the legs would measure nothing).  W is geometry, never
+  // output: all three legs must report identical logical I/Os and output
+  // checksums — checked in-binary against the workers1 reference and again
+  // by bench_compare.py --workers.
+  const std::vector<ModeSpec> worker_modes = {
+      {"workers1", kBatched, CpuTuning{1, 1}, 0, 8, "file", 0, 1, false,
+       4096, 2048},
+      {"workers2", kBatched, CpuTuning{1, 1}, 0, 8, "file", 0, 2, false,
+       4096, 2048},
+      {"workers4", kBatched, CpuTuning{1, 1}, 0, 8, "file", 0, 4, false,
+       4096, 2048},
   };
 
   struct OpSpec {
@@ -383,6 +426,8 @@ void run_mode_comparison() {
       {"multi_partition", run_partition_mode, &full_modes, "async"},
       {"dsort", run_dsort_mode, &cache_modes, "batched"},
       {"multi_select", run_select_mode, &cache_modes, "batched"},
+      {"dsort", run_dsort_mode, &worker_modes, "workers1"},
+      {"multi_partition", run_partition_mode, &worker_modes, "workers1"},
   };
 
   bench::JsonEmitter json("wallclock");
@@ -415,9 +460,10 @@ void run_mode_comparison() {
       // tuning; batched/async already match — see the tuning comment.)
       // Shard legs additionally require the per-shard counters to partition
       // the facade totals.
-      const bool follows_ref = name.rfind("async+", 0) == 0 ||
-                               name.rfind("shard", 0) == 0 ||
-                               name.rfind("uring", 0) == 0;
+      const bool follows_ref =
+          name.rfind("async+", 0) == 0 || name.rfind("shard", 0) == 0 ||
+          name.rfind("workers", 0) == 0 ||
+          (name.rfind("uring", 0) == 0 && name != "uring-direct");
       const bool deterministic =
           (!follows_ref ||
            (r.ios == ref_ios && r.checksum == ref_checksum)) &&
@@ -436,6 +482,8 @@ void run_mode_comparison() {
       json.field("mode", std::string(mode.name));
       json.field("backend", std::string(mode.backend));
       json.field("uring_native", r.uring_native);
+      json.field("direct_io", r.direct_io);
+      json.field("workers", static_cast<std::uint64_t>(mode.workers));
       json.field("cache_blocks", static_cast<std::uint64_t>(mode.cache_blocks));
       json.field("cache_hits", r.cache_hits);
       json.field("cache_misses", r.cache_misses);
@@ -449,8 +497,8 @@ void run_mode_comparison() {
                  static_cast<std::uint64_t>(mode.shards > 0
                                                 ? mode.stripe_blocks
                                                 : std::size_t{0}));
-      json.field("block_bytes", static_cast<std::uint64_t>(kCmpBlockBytes));
-      json.field("mem_blocks", static_cast<std::uint64_t>(kCmpMemBlocks));
+      json.field("block_bytes", static_cast<std::uint64_t>(mode.block_bytes));
+      json.field("mem_blocks", static_cast<std::uint64_t>(mode.mem_blocks));
       json.field("records", static_cast<std::uint64_t>(cmp_records()));
       json.field("seconds", r.seconds);
       json.field("ios", r.ios);

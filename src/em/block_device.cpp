@@ -73,6 +73,14 @@ void BlockDevice::reset_stats() noexcept {
   if (cache_ != nullptr) cache_->reset_counters();
 }
 
+void BlockDevice::absorb_stats(const IoStats& delta,
+                               std::span<const IoStats> per_shard) noexcept {
+  (void)per_shard;  // one shard: the facade counters are the shard counters
+  reads_.fetch_add(delta.reads, std::memory_order_relaxed);
+  writes_.fetch_add(delta.writes, std::memory_order_relaxed);
+  retries_.fetch_add(delta.retries, std::memory_order_relaxed);
+}
+
 void BlockDevice::invalidate_cache_range(BlockId first,
                                          std::uint64_t count) noexcept {
   if (cache_ != nullptr) cache_->invalidate(first, count);

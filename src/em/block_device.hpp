@@ -260,6 +260,27 @@ class BlockDevice {
   void set_cache(BlockCache* cache) noexcept { cache_ = cache; }
   [[nodiscard]] BlockCache* cache() const noexcept { return cache_; }
 
+  /// True when a forked child process can keep transferring over the
+  /// inherited handle while the parent's copy stays usable — the property the
+  /// multi-worker layer (em/worker_group) needs to run cooperating processes
+  /// against one shared device.  FileBlockDevice qualifies (positional
+  /// pread/pwrite on a shared fd and offset-free file growth);
+  /// MemoryBlockDevice does not (a child's writes land in copy-on-write pages
+  /// the parent never sees), and neither does UringBlockDevice (the ring's
+  /// submission/completion queues must not be driven from two processes).
+  [[nodiscard]] virtual bool fork_safe() const noexcept { return false; }
+
+  /// Fold I/O performed on this device by a cooperating forked worker into
+  /// the counters: the child's transfers moved real blocks of the shared
+  /// backing store, but its counter increments died with its address space.
+  /// `delta` is the child's stats() delta; `per_shard` its shard_stats()
+  /// delta (empty for unsharded devices).  The base device adds `delta` to
+  /// its own counters; a composite device distributes `per_shard` to its
+  /// members instead, preserving the shards-partition-the-total invariant.
+  /// Main-thread only, at quiescent points.
+  virtual void absorb_stats(const IoStats& delta,
+                            std::span<const IoStats> per_shard) noexcept;
+
   /// Number of member shards behind this device — 1 for a plain device;
   /// ShardedBlockDevice reports its member count.
   [[nodiscard]] virtual std::size_t shard_count() const noexcept { return 1; }
@@ -511,6 +532,10 @@ class FileBlockDevice final : public BlockDevice {
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] std::string sidecar_path() const { return path_ + ".sums"; }
+
+  /// Positional I/O on a shared fd is fork-safe; growth is idempotent
+  /// (ftruncate to an absolute size), so cooperating processes compose.
+  [[nodiscard]] bool fork_safe() const noexcept override { return true; }
 
  protected:
   void do_read(BlockId block, std::span<std::byte> out) override;

@@ -68,6 +68,36 @@ struct CpuTuning {
   std::size_t sort_shards = 1;
 };
 
+/// Knobs for the multi-process worker layer (em/worker_group.hpp,
+/// docs/model.md "Multi-worker partitioning and the PEM model").  Like
+/// shards and batch_blocks, `workers` is geometry, never output: the
+/// distributed passes decompose into work units whose shape depends only on
+/// (n, B, M, tuning); W merely assigns units to processes, so every W
+/// produces bit-identical bytes and identical logical IoStats totals.
+struct WorkerTuning {
+  /// Cooperating workers per distributed pass.  0 (the default) disables the
+  /// distributed path entirely — algorithms run the classic single-process
+  /// code.  1 runs the distributed protocol with a single worker (same
+  /// schedule as any other W; useful as the parity baseline).
+  std::size_t workers = 0;
+  /// Crash injection for the resume tests: worker `kill_worker` dies
+  /// (`_exit(137)` when forked, WorkerDied when inline) at the start of
+  /// distributed round `kill_round` (1-based).  kill_round = 0 disarms.
+  std::size_t kill_worker = 0;
+  std::uint64_t kill_round = 0;
+};
+
+/// One worker's contribution to a distributed pass — the per-worker analogue
+/// of a PassTrace row's per-shard deltas.  `seconds` is the worker's busy
+/// time inside the round body; `barrier_seconds` the time it waited at the
+/// closing barrier for the slowest peer (max busy − own busy).
+struct PassWorkerIo {
+  std::size_t worker = 0;
+  IoStats io;
+  double seconds = 0.0;
+  double barrier_seconds = 0.0;
+};
+
 class Context {
  public:
   /// `mem_bytes` is the internal-memory capacity M (in bytes); the block
@@ -260,6 +290,37 @@ class Context {
     return device_->cache();
   }
 
+  /// Configure the multi-process worker layer.  Throws on absurd widths; 0
+  /// disables the distributed path (the default and the seed behavior).
+  /// Main-thread only, at quiescent points (no distributed round in flight).
+  void set_worker_tuning(const WorkerTuning& tuning) {
+    if (tuning.workers > 64) {
+      throw std::invalid_argument(
+          "Context::set_worker_tuning: workers must be <= 64");
+    }
+    worker_tuning_ = tuning;
+  }
+  [[nodiscard]] const WorkerTuning& worker_tuning() const noexcept {
+    return worker_tuning_;
+  }
+  /// Cooperating workers per distributed pass (0 = classic path).
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return worker_tuning_.workers;
+  }
+
+  /// Per-worker trace channel, the multi-process sibling of note_pass_hwm:
+  /// a distributed round deposits its per-worker deltas here and the pass
+  /// engine's scope collects them into the pass's trace row on exit.
+  /// Appending, so a pass of several rounds accumulates; take resets.
+  void note_pass_workers(std::vector<PassWorkerIo> rows) {
+    pass_workers_.insert(pass_workers_.end(),
+                         std::make_move_iterator(rows.begin()),
+                         std::make_move_iterator(rows.end()));
+  }
+  [[nodiscard]] std::vector<PassWorkerIo> take_pass_workers() noexcept {
+    return std::exchange(pass_workers_, {});
+  }
+
   /// In-pass memory high-water-mark channel.  A pass that tracks its own
   /// peak working set (e.g. the distribution sort's in-place final pass,
   /// whose segment groups are data-dependent) publishes the max here; the
@@ -283,7 +344,9 @@ class Context {
   FaultPolicy fault_policy_;
   IoTuning tuning_;
   CpuTuning cpu_tuning_;
+  WorkerTuning worker_tuning_;
   std::uint64_t pass_hwm_ = 0;
+  std::vector<PassWorkerIo> pass_workers_;
   std::unique_ptr<IoPipeline> pipeline_;
   std::unique_ptr<ThreadPool> cpu_pool_;
 };

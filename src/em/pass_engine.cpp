@@ -36,6 +36,7 @@ PassRunner::Scope::~Scope() {
   t.threads = runner_.ctx_->cpu_lanes();
   t.resumed = false;
   t.hwm_bytes = runner_.ctx_->take_pass_hwm();
+  t.worker_io = runner_.ctx_->take_pass_workers();
   // Per-shard breakdown: the delta of each member's counters over the pass.
   // The member count is fixed for the device's lifetime, so the two
   // snapshots always align.
@@ -116,6 +117,19 @@ std::string pass_trace_json(const PassTrace& t) {
     s += "{\"reads\":" + std::to_string(m.reads) +
          ",\"writes\":" + std::to_string(m.writes) +
          ",\"retries\":" + std::to_string(m.retries) + "}";
+  }
+  s += "],\"workers\":[";
+  for (std::size_t i = 0; i < t.worker_io.size(); ++i) {
+    if (i > 0) s += ',';
+    const PassWorkerIo& w = t.worker_io[i];
+    s += "{\"id\":" + std::to_string(w.worker) +
+         ",\"reads\":" + std::to_string(w.io.reads) +
+         ",\"writes\":" + std::to_string(w.io.writes) +
+         ",\"retries\":" + std::to_string(w.io.retries) + ",\"seconds\":";
+    append_double(s, w.seconds);
+    s += ",\"barrier_seconds\":";
+    append_double(s, w.barrier_seconds);
+    s += "}";
   }
   s += "]}";
   return s;

@@ -83,6 +83,10 @@ struct PassTrace {
   /// Context::note_pass_hwm (0 for passes whose footprint is static — the
   /// budget's peak() already covers those).
   std::uint64_t hwm_bytes = 0;
+  /// Per-worker deltas of a distributed pass (Context::note_pass_workers),
+  /// partitioning `io` exactly the way shard_io partitions the member sum.
+  /// Empty for single-process passes.
+  std::vector<PassWorkerIo> worker_io;
 };
 
 /// Sink for PassTrace records.  Attach one to a Context (set_pass_trace) and
@@ -141,9 +145,10 @@ class PassRunner {
           start_io_(runner.ctx_->io()),
           start_shards_(runner.ctx_->shard_stats()),
           start_(std::chrono::steady_clock::now()) {
-      // A stale high-water mark from outside any pass must not leak into
-      // this pass's row.
+      // Stale high-water marks or worker rows from outside any pass must
+      // not leak into this pass's row.
       (void)runner.ctx_->take_pass_hwm();
+      (void)runner.ctx_->take_pass_workers();
     }
 
     ~Scope();

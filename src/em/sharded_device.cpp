@@ -121,6 +121,33 @@ std::vector<IoStats> ShardedBlockDevice::shard_stats() const {
   return out;
 }
 
+bool ShardedBlockDevice::fork_safe() const noexcept {
+  for (const auto& m : members_) {
+    if (!m->fork_safe()) return false;
+  }
+  return true;
+}
+
+void ShardedBlockDevice::absorb_stats(
+    const IoStats& delta, std::span<const IoStats> per_shard) noexcept {
+  if (per_shard.size() == members_.size()) {
+    // Member-wise fold keeps shard rows partitioning the facade total: the
+    // child's row i already carries the facade retries it attributed to
+    // shard i, so landing the whole row in member i's counters preserves
+    // both the per-shard sums and the total.
+    IoStats rest = delta;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      members_[i]->absorb_stats(per_shard[i], {});
+      rest = rest - per_shard[i];
+    }
+    (void)rest;  // any cache counters in `rest` have no cross-process meaning
+    return;
+  }
+  // No per-shard breakdown (or a geometry mismatch): fall back to member 0
+  // so at least the totals stay honest.
+  if (!members_.empty()) members_[0]->absorb_stats(delta, {});
+}
+
 void ShardedBlockDevice::set_fault_policy(const FaultPolicy& policy) noexcept {
   BlockDevice::set_fault_policy(policy);
   for (const auto& m : members_) m->set_fault_policy(policy);

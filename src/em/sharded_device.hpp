@@ -73,6 +73,17 @@ class ShardedBlockDevice final : public BlockDevice {
   /// it, so summing rows reproduces stats().
   [[nodiscard]] std::vector<IoStats> shard_stats() const override;
 
+  /// Fork-safe iff every member is: the stripe map is immutable and growth
+  /// idempotent, so cooperating processes compose member-wise.
+  [[nodiscard]] bool fork_safe() const noexcept override;
+
+  /// A forked worker's delta is folded member-wise: each per-shard row — the
+  /// child's member counters plus the facade retries it attributed to that
+  /// shard — lands in the owning member's counters, preserving the
+  /// rows-partition-the-total invariant across processes.
+  void absorb_stats(const IoStats& delta,
+                    std::span<const IoStats> per_shard) noexcept override;
+
   /// Forwards to every member (where member-fault retries run) and keeps the
   /// facade's own copy (for logical faults armed on the facade).
   void set_fault_policy(const FaultPolicy& policy) noexcept override;

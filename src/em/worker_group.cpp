@@ -1,0 +1,331 @@
+// worker_group.cpp — forked rounds over pipes, and the inline fallback.
+#include "em/worker_group.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <optional>
+
+namespace emsplit {
+
+namespace {
+
+// Frame tag so a torn pipe is distinguishable from a protocol bug.
+constexpr std::uint64_t kFrameMagic = 0x454D'5750'524Bull;
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kThreadSanitizer = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kThreadSanitizer = true;
+#else
+constexpr bool kThreadSanitizer = false;
+#endif
+#else
+constexpr bool kThreadSanitizer = false;
+#endif
+
+bool write_full(int fd, const void* p, std::size_t n) noexcept {
+  const char* b = static_cast<const char*>(p);
+  while (n > 0) {
+    const ssize_t k = ::write(fd, b, n);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    b += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+/// Reads until `n` bytes or EOF; returns the bytes actually read.
+std::size_t read_full(int fd, void* p, std::size_t n) noexcept {
+  char* b = static_cast<char*>(p);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t k = ::read(fd, b + got, n - got);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return got;
+    }
+    if (k == 0) return got;
+    got += static_cast<std::size_t>(k);
+  }
+  return got;
+}
+
+void put_stats(WireWriter& w, const IoStats& s) {
+  w.u64(s.reads);
+  w.u64(s.writes);
+  w.u64(s.retries);
+  w.u64(s.cache_hits);
+  w.u64(s.cache_misses);
+  w.u64(s.cache_evictions);
+}
+
+template <typename ReadU64>
+IoStats get_stats(ReadU64&& rd) {
+  IoStats s;
+  s.reads = rd();
+  s.writes = rd();
+  s.retries = rd();
+  s.cache_hits = rd();
+  s.cache_misses = rd();
+  s.cache_evictions = rd();
+  return s;
+}
+
+/// One worker's frame as the parent decodes it.  `status` 0 = payload is the
+/// body's blob; 1 = the body threw and payload is the message.  nullopt =
+/// the pipe ended before a complete frame — the worker died.
+struct Frame {
+  std::uint64_t status = 0;
+  IoStats io;
+  std::vector<IoStats> shards;
+  double busy = 0.0;
+  std::vector<std::byte> payload;
+};
+
+std::optional<Frame> read_frame(int fd) {
+  const auto rd_u64 = [&]() -> std::optional<std::uint64_t> {
+    std::uint64_t v = 0;
+    if (read_full(fd, &v, sizeof(v)) != sizeof(v)) return std::nullopt;
+    return v;
+  };
+  const auto magic = rd_u64();
+  if (!magic || *magic != kFrameMagic) return std::nullopt;
+  Frame f;
+  const auto status = rd_u64();
+  if (!status) return std::nullopt;
+  f.status = *status;
+  bool ok = true;
+  const auto rd = [&]() -> std::uint64_t {
+    const auto v = rd_u64();
+    if (!v) {
+      ok = false;
+      return 0;
+    }
+    return *v;
+  };
+  f.io = get_stats(rd);
+  const std::uint64_t nshards = rd();
+  if (!ok || nshards > 4096) return std::nullopt;
+  f.shards.reserve(static_cast<std::size_t>(nshards));
+  for (std::uint64_t i = 0; i < nshards; ++i) f.shards.push_back(get_stats(rd));
+  double busy = 0.0;
+  if (read_full(fd, &busy, sizeof(busy)) != sizeof(busy)) return std::nullopt;
+  f.busy = busy;
+  const std::uint64_t len = rd();
+  if (!ok || len > (1ull << 34)) return std::nullopt;
+  f.payload.resize(static_cast<std::size_t>(len));
+  if (read_full(fd, f.payload.data(), f.payload.size()) != f.payload.size()) {
+    return std::nullopt;
+  }
+  return f;
+}
+
+/// Child side of one round.  Never returns; never runs destructors (_exit):
+/// the device handle, its backing file and the parent's journal must survive
+/// this process untouched.
+[[noreturn]] void child_main(int fd, Context& parent, std::size_t w,
+                             std::uint64_t round_no,
+                             const WorkerGroup::RoundBody& body) {
+  const WorkerTuning wt = parent.worker_tuning();
+  if (wt.kill_round == round_no && wt.kill_worker == w) ::_exit(137);
+  BlockDevice& dev = parent.device();
+  // The block cache is coordinator state: this child's copy is copy-on-write
+  // and its hits would double-count against the parent's live counters when
+  // the delta is absorbed.  Detach before the first snapshot.
+  dev.set_cache(nullptr);
+  IoStats io0;
+  std::vector<IoStats> sh0;
+  WireWriter frame;
+  frame.u64(kFrameMagic);
+  try {
+    io0 = dev.stats();
+    sh0 = dev.shard_stats();
+    Context cctx(dev, parent.mem_bytes());
+    // Same stream geometry as the parent (stream_blocks() ignores `async`),
+    // but one lane and no background thread: a freshly forked child of a
+    // multithreaded parent must not rely on inherited thread state.
+    IoTuning io = parent.io_tuning();
+    io.async = false;
+    cctx.set_io_tuning(io);
+    CpuTuning cpu = parent.cpu_tuning();
+    cpu.threads = 1;
+    cctx.set_cpu_tuning(cpu);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<std::byte> payload = body(cctx, w);
+    const double busy =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    frame.u64(0);
+    put_stats(frame, dev.stats() - io0);
+    std::vector<IoStats> shd = dev.shard_stats();
+    frame.u64(shd.size());
+    for (std::size_t i = 0; i < shd.size(); ++i) {
+      put_stats(frame, shd[i] - sh0[i]);
+    }
+    frame.f64(busy);
+    frame.pod_span<std::byte>(payload);
+  } catch (const std::exception& e) {
+    frame = WireWriter{};
+    frame.u64(kFrameMagic);
+    frame.u64(1);
+    put_stats(frame, dev.stats() - io0);
+    std::vector<IoStats> shd = dev.shard_stats();
+    frame.u64(shd.size());
+    for (std::size_t i = 0; i < shd.size(); ++i) {
+      put_stats(frame, i < sh0.size() ? shd[i] - sh0[i] : shd[i]);
+    }
+    frame.f64(0.0);
+    const std::string msg = e.what();
+    frame.pod_span<char>(std::span<const char>(msg.data(), msg.size()));
+  } catch (...) {
+    ::_exit(2);
+  }
+  const std::vector<std::byte> buf = frame.take();
+  ::_exit(write_full(fd, buf.data(), buf.size()) ? 0 : 3);
+}
+
+}  // namespace
+
+WorkerGroup::WorkerGroup(Context& ctx)
+    : ctx_(&ctx), workers_(ctx.worker_tuning().workers) {
+  if (workers_ == 0) {
+    throw std::invalid_argument("WorkerGroup: workers must be >= 1");
+  }
+  BlockDevice& dev = ctx.device();
+  forked_ = dev.fork_safe() && !dev.checksums() && !kThreadSanitizer &&
+            std::getenv("EMSPLIT_WORKERS_INLINE") == nullptr;
+}
+
+RoundOutcome WorkerGroup::round(const char* label, const RoundBody& body) {
+  ++round_no_;
+  (void)label;
+  return forked_ ? round_forked(body) : round_inline(body);
+}
+
+RoundOutcome WorkerGroup::round_forked(const RoundBody& body) {
+  BlockDevice& dev = ctx_->device();
+  struct Child {
+    pid_t pid = -1;
+    int rfd = -1;
+  };
+  std::vector<Child> kids;
+  kids.reserve(workers_);
+  const auto abort_spawn = [&kids]() noexcept {
+    for (const Child& c : kids) {
+      if (c.rfd >= 0) ::close(c.rfd);
+      if (c.pid > 0) ::waitpid(c.pid, nullptr, 0);
+    }
+  };
+  for (std::size_t w = 0; w < workers_; ++w) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      abort_spawn();
+      throw std::runtime_error("WorkerGroup: pipe() failed");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      abort_spawn();
+      throw std::runtime_error("WorkerGroup: fork() failed");
+    }
+    if (pid == 0) {
+      // Only this worker's write end stays open in the child; stray handles
+      // on siblings' pipes would keep their EOFs from ever arriving.
+      for (const Child& c : kids) ::close(c.rfd);
+      ::close(fds[0]);
+      child_main(fds[1], *ctx_, w, round_no_, body);
+    }
+    ::close(fds[1]);
+    kids.push_back({pid, fds[0]});
+  }
+
+  // Barrier: drain every pipe to a full frame (or EOF), then reap every
+  // child.  Draining in worker order is fine — frames are buffered by the
+  // kernel and a blocked writer simply waits its turn.
+  std::vector<std::optional<Frame>> frames(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    frames[w] = read_frame(kids[w].rfd);
+    ::close(kids[w].rfd);
+  }
+  std::vector<int> status(workers_, 0);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    ::waitpid(kids[w].pid, &status[w], 0);
+  }
+
+  // The children's transfers moved real blocks of the shared device; fold
+  // every reported delta back into the parent's counters — including a
+  // failed worker's (its I/O happened too).
+  RoundOutcome out;
+  out.payloads.resize(workers_);
+  out.rows.resize(workers_);
+  double max_busy = 0.0;
+  for (std::size_t w = 0; w < workers_; ++w) {
+    if (!frames[w]) continue;
+    dev.absorb_stats(frames[w]->io, frames[w]->shards);
+    out.rows[w] = PassWorkerIo{w, frames[w]->io, frames[w]->busy, 0.0};
+    max_busy = std::max(max_busy, frames[w]->busy);
+  }
+  for (std::size_t w = 0; w < workers_; ++w) {
+    if (frames[w] && frames[w]->status == 0) {
+      out.rows[w].barrier_seconds = max_busy - out.rows[w].seconds;
+      out.payloads[w] = std::move(frames[w]->payload);
+    }
+  }
+  for (std::size_t w = 0; w < workers_; ++w) {
+    if (!frames[w]) {
+      std::string how = "no status";
+      if (WIFEXITED(status[w])) {
+        how = "exit " + std::to_string(WEXITSTATUS(status[w]));
+      } else if (WIFSIGNALED(status[w])) {
+        how = "signal " + std::to_string(WTERMSIG(status[w]));
+      }
+      throw WorkerDied(w, "worker " + std::to_string(w) + " died in round " +
+                              std::to_string(round_no_) + " (" + how + ")");
+    }
+  }
+  for (std::size_t w = 0; w < workers_; ++w) {
+    if (frames[w]->status != 0) {
+      std::string msg(reinterpret_cast<const char*>(frames[w]->payload.data()),
+                      frames[w]->payload.size());
+      throw std::runtime_error("worker " + std::to_string(w) + ": " + msg);
+    }
+  }
+  return out;
+}
+
+RoundOutcome WorkerGroup::round_inline(const RoundBody& body) {
+  const WorkerTuning wt = ctx_->worker_tuning();
+  BlockDevice& dev = ctx_->device();
+  RoundOutcome out;
+  out.payloads.resize(workers_);
+  out.rows.resize(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    if (wt.kill_round == round_no_ && wt.kill_worker == w) {
+      throw WorkerDied(w, "worker " + std::to_string(w) +
+                              " killed inline in round " +
+                              std::to_string(round_no_));
+    }
+    const IoStats io0 = dev.stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    out.payloads[w] = body(*ctx_, w);
+    const double busy =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    // Sequential execution: the barrier is free by construction.
+    out.rows[w] = PassWorkerIo{w, dev.stats() - io0, busy, 0.0};
+  }
+  return out;
+}
+
+}  // namespace emsplit

@@ -33,6 +33,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dist/distributed.hpp"
 #include "em/checkpoint.hpp"
 #include "em/context.hpp"
 #include "em/pass_engine.hpp"
@@ -458,6 +459,25 @@ template <EmRecord T, typename Less = std::less<T>>
       (split_ranks.front() == 0 || split_ranks.back() >= n)) {
     throw std::invalid_argument(
         "multi_partition: split ranks must lie strictly inside (0, n)");
+  }
+
+  // With workers configured and the whole vector as the piece, the job runs
+  // as the distributed protocol (dist/distributed.hpp): same realized ranks
+  // and output bytes for every W, journaled under a W-free fingerprint.
+  // Nested pieces, empty rank lists and unsupported geometry fall through
+  // to the classic recursion.
+  if (first == 0 && last == input.size() && !split_ranks.empty() &&
+      dist::dist_supported<T>(ctx, n, split_ranks.size())) {
+    dist::DistResult<T> d =
+        dist::dist_multi_partition<T, Less>(ctx, input, split_ranks, less);
+    MultiPartitionResult<T> result;
+    result.data = std::move(d.data);
+    result.bounds = std::move(d.bounds);
+    result.spans.reserve(d.spans.size());
+    for (const dist::DistSpan& s : d.spans) {
+      result.spans.push_back({s.lo, s.hi, s.sorted});
+    }
+    return result;
   }
 
   MultiPartitionResult<T> result;

@@ -25,6 +25,7 @@
 #include <functional>
 #include <optional>
 
+#include "dist/distributed.hpp"
 #include "em/context.hpp"
 #include "em/pass_engine.hpp"
 #include "em/em_vector.hpp"
@@ -144,6 +145,13 @@ template <EmRecord T, typename Less = std::less<T>>
                                             const EmVector<T>& input,
                                             Less less = {}) {
   const std::size_t n = input.size();
+  // With workers configured, the whole sort runs as the distributed
+  // protocol (dist/distributed.hpp) — same output bytes for every W, the
+  // journal keyed by a W-free fingerprint.  Unsupported geometry falls
+  // through to the classic single-process path.
+  if (dist::dist_supported<T>(ctx, n, 0)) {
+    return dist::dist_distribution_sort<T, Less>(ctx, input, less);
+  }
   const std::size_t segment = std::max<std::size_t>(
       1, ctx.mem_records<T>() / 3);
 

@@ -296,6 +296,52 @@ TEST(ShardedFaultTest, MemberTransientFaultRetriesOnThatShard) {
   EXPECT_EQ(dev->stats().retries, 2u);
 }
 
+// A transient fault armed on the *facade itself* (a logical fault with no
+// member of its own) is retried by the facade's policy and *attributed*:
+// locate() charges each retry to the shard owning the first block of the
+// faulted request, so the per-shard rows keep partitioning the facade
+// totals exactly — retries included.
+TEST(ShardedFaultTest, FacadeArmedFaultAttributesRetryToOwningShard) {
+  auto sort_on = [](ShardedBlockDevice& dev, bool arm) {
+    Context ctx(dev, kMemBlocks * kBlockBytes);
+    const auto host = workload(9);
+    auto data = materialize<Record>(ctx, std::span<const Record>(host));
+    dev.reset_stats();
+    if (arm) {
+      dev.set_fault_policy(FaultPolicy{.max_retries = 3});
+      dev.arm_fault(
+          FaultSchedule::fail_then_succeed(/*remaining=*/40, /*times=*/2));
+    }
+    auto sorted = external_sort<Record>(ctx, data);
+    dev.disarm_fault();
+    return fnv_records(to_host(sorted));
+  };
+
+  auto ref_dev = make_sharded(3, 4);
+  const std::uint64_t want = sort_on(*ref_dev, false);
+  const IoStats want_ios = ref_dev->stats().base();
+
+  auto dev = make_sharded(3, 4);
+  const std::uint64_t got = sort_on(*dev, true);
+  EXPECT_EQ(got, want);
+  // base() strips retries: the re-issued blocks never double-count.
+  EXPECT_EQ(dev->stats().base(), want_ios);
+
+  EXPECT_EQ(dev->stats().retries, 2u);
+  const auto shards = dev->shard_stats();
+  ASSERT_EQ(shards.size(), 3u);
+  IoStats sum;
+  for (const IoStats& s : shards) sum += s;
+  EXPECT_EQ(sum.reads, dev->stats().reads);
+  EXPECT_EQ(sum.writes, dev->stats().writes);
+  EXPECT_EQ(sum.retries, dev->stats().retries);
+  // Both retries hit the same logical request, so exactly one shard's row
+  // carries the attributed pair.
+  std::size_t carrying = 0;
+  for (const IoStats& s : shards) carrying += s.retries != 0 ? 1 : 0;
+  EXPECT_EQ(carrying, 1u);
+}
+
 // A permanent member fault escapes the facade as a DeviceFault that names
 // the shard and carries the *logical* request range.
 TEST(ShardedFaultTest, MemberPermanentFaultSurfacesLogicalRange) {

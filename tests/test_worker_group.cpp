@@ -1,0 +1,335 @@
+// Multi-worker execution layer: W is geometry, never output.
+//
+// The matrix test runs distribution_sort and multi_partition under every
+// combination of worker count W in {1, 2, 4}, I/O tuning (sync, batched,
+// async) and backend (memory -> inline workers, file -> forked workers) and
+// asserts the whole contract at once: output bytes bit-identical across W,
+// logical IoStats totals identical across W, and every distributed pass's
+// per-worker trace rows partitioning that pass's I/O delta exactly.
+//
+// The kill tests arm WorkerTuning's crash injection so one worker dies at
+// the start of a distributed round; with a journal attached the rerun must
+// resume past the journaled passes (strictly cheaper than a cold run) and
+// still produce bit-identical output -- in both execution modes (a thrown
+// WorkerDied inline, an _exit(137) child under fork).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "dist/dist_plan.hpp"
+#include "em/checkpoint.hpp"
+#include "em/pass_engine.hpp"
+#include "em/worker_group.hpp"
+#include "test_helpers.hpp"
+
+namespace emsplit {
+namespace {
+
+using testutil::sorted_copy;
+
+// Geometry under which dist_supported holds for both operations: 128-byte
+// blocks (8 records), 256 blocks of memory, 6000 records => 5 formation
+// runs and ~12 splitters, comfortably inside the planning-table caps.
+constexpr std::size_t kBlockBytes = 128;
+constexpr std::size_t kMemBlocks = 256;
+constexpr std::size_t kRecords = 6000;
+
+const std::vector<std::uint64_t> kRanks{1234, 3000, 4567};
+
+struct Tuning {
+  const char* name;
+  IoTuning io;
+};
+
+const Tuning kTunings[] = {
+    {"sync", {1, 0, false}},
+    {"batched", {4, 0, false}},
+    {"async", {2, 2, true}},
+};
+
+std::vector<Record> dump(const EmVector<Record>& v) {
+  std::vector<Record> out;
+  out.reserve(v.size());
+  StreamReader<Record> r(v);
+  while (!r.done()) out.push_back(r.next());
+  return out;
+}
+
+/// Every distributed pass row carries exactly W worker rows whose reads,
+/// writes and retries sum to the row's own delta -- the per-worker analogue
+/// of the sharded-device partition check.
+void check_worker_rows(const PassTraceLog& trace, std::size_t W,
+                       const std::string& tag) {
+  std::size_t dist_rows = 0;
+  for (const PassTrace& row : trace.rows()) {
+    if (row.worker_io.empty()) continue;
+    if (row.resumed) continue;  // replayed rows carry no fresh worker work
+    ++dist_rows;
+    ASSERT_EQ(row.worker_io.size(), W) << tag << " " << row.pass;
+    IoStats sum;
+    for (const PassWorkerIo& wio : row.worker_io) sum += wio.io;
+    EXPECT_EQ(sum.reads, row.io.reads) << tag << " " << row.pass;
+    EXPECT_EQ(sum.writes, row.io.writes) << tag << " " << row.pass;
+    EXPECT_EQ(sum.retries, row.io.retries) << tag << " " << row.pass;
+  }
+  EXPECT_GT(dist_rows, 0u) << tag << ": no distributed pass recorded";
+}
+
+struct LegResult {
+  std::vector<Record> bytes;
+  IoStats io;
+  std::vector<std::uint64_t> bounds;  // partition only
+};
+
+/// One (backend, tuning, W, op) leg.  `file_path` empty selects the memory
+/// backend (inline workers); otherwise a FileBlockDevice (forked workers).
+LegResult run_leg(const std::string& file_path, const IoTuning& io,
+                  std::size_t W, bool partition,
+                  const std::vector<Record>& host) {
+  MemoryBlockDevice mem_dev(kBlockBytes);
+  std::unique_ptr<FileBlockDevice> file_dev;
+  BlockDevice* dev = &mem_dev;
+  if (!file_path.empty()) {
+    std::remove(file_path.c_str());
+    file_dev = std::make_unique<FileBlockDevice>(file_path, kBlockBytes);
+    dev = file_dev.get();
+  }
+  Context ctx(*dev, kMemBlocks * kBlockBytes);
+  ctx.set_io_tuning(io);
+  ctx.set_worker_tuning({W});
+  PassTraceLog trace;
+  ctx.set_pass_trace(&trace);
+
+  auto input = materialize<Record>(ctx, std::span<const Record>(host));
+  EXPECT_TRUE(dist::dist_supported<Record>(ctx, kRecords, partition ? 3 : 0))
+      << "geometry drifted: the distributed path no longer engages";
+
+  LegResult leg;
+  dev->reset_stats();
+  if (partition) {
+    auto res = multi_partition<Record>(ctx, input, kRanks);
+    leg.io = dev->stats().base();
+    leg.bytes = dump(res.data);
+    leg.bounds = res.bounds;
+    // Spans flagged sorted must actually be sorted runs of the output.
+    for (const auto& s : res.spans) {
+      if (!s.sorted) continue;
+      const auto lo = leg.bytes.begin() + static_cast<std::ptrdiff_t>(s.lo);
+      const auto hi = leg.bytes.begin() + static_cast<std::ptrdiff_t>(s.hi);
+      EXPECT_TRUE(std::is_sorted(lo, hi));
+    }
+  } else {
+    auto out = distribution_sort<Record>(ctx, input);
+    leg.io = dev->stats().base();
+    leg.bytes = dump(out);
+  }
+  check_worker_rows(trace, W,
+                    std::string(partition ? "mpart" : "dsort") + "/W=" +
+                        std::to_string(W));
+  ctx.set_pass_trace(nullptr);
+  return leg;
+}
+
+class WorkerTransparency : public ::testing::TestWithParam<bool> {};
+
+TEST_P(WorkerTransparency, OutputAndIoInvariantAcrossW) {
+  const bool use_file = GetParam();
+  const auto host = make_workload(Workload::kUniform, kRecords, 71);
+  const auto sorted_ref = sorted_copy(host);
+
+  for (const Tuning& t : kTunings) {
+    for (const bool partition : {false, true}) {
+      const std::string tag = std::string(use_file ? "file/" : "mem/") +
+                              t.name + (partition ? "/mpart" : "/dsort");
+      LegResult ref;
+      bool have_ref = false;
+      for (const std::size_t W : {1u, 2u, 4u}) {
+        const std::string path =
+            use_file ? testing::TempDir() + "/wg_" + t.name +
+                           (partition ? "_p_" : "_s_") + std::to_string(W) +
+                           ".dev"
+                     : std::string();
+        LegResult leg = run_leg(path, t.io, W, partition, host);
+        if (!path.empty()) std::remove(path.c_str());
+
+        if (!partition) {
+          // The distributed sort is a *sort*: equal to the oracle, which
+          // also forces bit-identity across W (records are totally ordered).
+          ASSERT_EQ(leg.bytes, sorted_ref) << tag << " W=" << W;
+        } else {
+          ASSERT_EQ(leg.bounds.front(), 0u) << tag;
+          ASSERT_EQ(leg.bounds.back(), kRecords) << tag;
+          // Each requested rank is realized exactly: the prefix below it is
+          // the multiset of the smallest r records.
+          for (const std::uint64_t r : kRanks) {
+            std::vector<Record> prefix(
+                leg.bytes.begin(),
+                leg.bytes.begin() + static_cast<std::ptrdiff_t>(r));
+            std::sort(prefix.begin(), prefix.end());
+            ASSERT_TRUE(std::equal(prefix.begin(), prefix.end(),
+                                   sorted_ref.begin()))
+                << tag << " W=" << W << " rank " << r;
+          }
+        }
+        if (!have_ref) {
+          ref = std::move(leg);
+          have_ref = true;
+          continue;
+        }
+        // W is geometry, never output: bytes and logical I/O both invariant.
+        ASSERT_EQ(leg.bytes, ref.bytes) << tag << " W diverged the bytes";
+        ASSERT_EQ(leg.io.reads, ref.io.reads) << tag;
+        ASSERT_EQ(leg.io.writes, ref.io.writes) << tag;
+        if (partition) {
+          ASSERT_EQ(leg.bounds, ref.bounds) << tag;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, WorkerTransparency, ::testing::Bool(),
+                         [](const auto& param_info) {
+                           return param_info.param ? "ForkedFile"
+                                                   : "InlineMemory";
+                         });
+
+// ---------------------------------------------------------------------------
+// Crash injection: a worker killed mid-job leaves a resumable journal, and
+// the rerun repays only the interrupted pass onward.
+
+TEST(WorkerGroupKill, InlineWorkerDiesAndJobResumes) {
+  const auto host = make_workload(Workload::kUniform, kRecords, 72);
+  const auto sorted_ref = sorted_copy(host);
+
+  MemoryBlockDevice dev(kBlockBytes);
+  Context ctx(dev, kMemBlocks * kBlockBytes);
+  ctx.set_worker_tuning({2});
+  auto input = materialize<Record>(ctx, std::span<const Record>(host));
+
+  // Uninterrupted reference cost for the repay comparison.
+  dev.reset_stats();
+  { auto ref = distribution_sort<Record>(ctx, input); }
+  const std::uint64_t ref_total = dev.stats().total();
+
+  const std::string jpath = testing::TempDir() + "/wg_kill_inline.ckpt";
+  std::remove(jpath.c_str());
+  {
+    CheckpointJournal journal(dev, jpath);
+    ctx.set_checkpoint(&journal);
+
+    // Worker 0 dies at the start of round 2 (the first selection round --
+    // run formation has already been journaled as pass 1).
+    ctx.set_worker_tuning({2, 0, 2});
+    bool died = false;
+    try {
+      auto out = distribution_sort<Record>(ctx, input);
+    } catch (const WorkerDied& e) {
+      died = true;
+      EXPECT_EQ(e.worker(), 0u);
+    }
+    ASSERT_TRUE(died) << "kill hook never fired";
+    ASSERT_GT(journal.owned_blocks(), 0u)
+        << "formation pass was not journaled before the kill";
+
+    // Disarm and rerun: resumes at pass 1, repays strictly less than a cold
+    // run, and the output is still the oracle.
+    ctx.set_worker_tuning({2});
+    dev.reset_stats();
+    auto out = distribution_sort<Record>(ctx, input);
+    const std::uint64_t resumed_total = dev.stats().total();
+    EXPECT_GE(journal.resumed_passes(), 1u);
+    EXPECT_LT(resumed_total, ref_total);
+    EXPECT_EQ(dump(out), sorted_ref);
+    EXPECT_EQ(journal.owned_blocks(), 0u);
+    ctx.set_checkpoint(nullptr);
+  }
+  std::remove(jpath.c_str());
+}
+
+TEST(WorkerGroupKill, ForkedWorkerDiesAndJobResumes) {
+  const auto host = make_workload(Workload::kUniform, kRecords, 73);
+  const auto sorted_ref = sorted_copy(host);
+
+  const std::string dev_path = testing::TempDir() + "/wg_kill_forked.dev";
+  std::remove(dev_path.c_str());
+  FileBlockDevice dev(dev_path, kBlockBytes);
+  Context ctx(dev, kMemBlocks * kBlockBytes);
+  ctx.set_worker_tuning({4});
+  auto input = materialize<Record>(ctx, std::span<const Record>(host));
+
+  dev.reset_stats();
+  { auto ref = distribution_sort<Record>(ctx, input); }
+  const std::uint64_t ref_total = dev.stats().total();
+
+  const std::string jpath = testing::TempDir() + "/wg_kill_forked.ckpt";
+  std::remove(jpath.c_str());
+  {
+    CheckpointJournal journal(dev, jpath);
+    ctx.set_checkpoint(&journal);
+
+    // Worker 3 _exit(137)s at the start of round 2; the coordinator turns
+    // the missing frame into WorkerDied after absorbing the other workers'
+    // stats deltas.
+    ctx.set_worker_tuning({4, 3, 2});
+    bool died = false;
+    try {
+      auto out = distribution_sort<Record>(ctx, input);
+    } catch (const WorkerDied& e) {
+      died = true;
+      EXPECT_EQ(e.worker(), 3u);
+    }
+    ASSERT_TRUE(died) << "kill hook never fired";
+    ASSERT_GT(journal.owned_blocks(), 0u);
+
+    // Resume under a *different* worker count: the fingerprint and the
+    // journaled extents are W-free, so any W may finish the job.
+    ctx.set_worker_tuning({2});
+    dev.reset_stats();
+    auto out = distribution_sort<Record>(ctx, input);
+    const std::uint64_t resumed_total = dev.stats().total();
+    EXPECT_GE(journal.resumed_passes(), 1u);
+    EXPECT_LT(resumed_total, ref_total);
+    EXPECT_EQ(dump(out), sorted_ref);
+    EXPECT_EQ(journal.owned_blocks(), 0u);
+    ctx.set_checkpoint(nullptr);
+  }
+  std::remove(jpath.c_str());
+  std::remove(dev_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// The forked/inline decision itself: a file device forks, a memory device
+// (whose pages are copy-on-write) must fall back to inline execution.
+
+TEST(WorkerGroupMode, ForkRequiresForkSafeDevice) {
+  MemoryBlockDevice mem_dev(kBlockBytes);
+  Context mem_ctx(mem_dev, kMemBlocks * kBlockBytes);
+  mem_ctx.set_worker_tuning({2});
+  WorkerGroup inline_group(mem_ctx);
+  EXPECT_FALSE(inline_group.forked());
+  EXPECT_EQ(inline_group.workers(), 2u);
+
+  const std::string dev_path = testing::TempDir() + "/wg_mode.dev";
+  std::remove(dev_path.c_str());
+  FileBlockDevice file_dev(dev_path, kBlockBytes);
+  Context file_ctx(file_dev, kMemBlocks * kBlockBytes);
+  file_ctx.set_worker_tuning({2});
+  WorkerGroup forked_group(file_ctx);
+  EXPECT_TRUE(forked_group.forked());
+
+  // Checksums force inline: the sidecar state is parent-private.
+  file_dev.set_checksums(true);
+  WorkerGroup checksummed_group(file_ctx);
+  EXPECT_FALSE(checksummed_group.forked());
+  std::remove(dev_path.c_str());
+}
+
+}  // namespace
+}  // namespace emsplit

@@ -26,6 +26,13 @@
 //                          against --mem-bytes (0 = no cache)  [default 0]
 //   --threads=N            CPU worker threads                  [default 1]
 //   --sort-shards=N        in-memory sort shard geometry       [default 1]
+//   --workers=W            cooperating worker processes for dsort /
+//                          partition (0 = classic single-process path;
+//                          forked when the backend is fork-safe, inline
+//                          otherwise)                          [default 0]
+//   --kill-worker=W:R      test hook: worker W dies at the start of
+//                          distributed round R (pairs with
+//                          --checkpoint-dir to exercise resume)
 //   --shards=D             stripe the device over D member devices
 //                          (RAID-0, the EM model's D-disk extension)
 //                                                              [default 1]
@@ -83,6 +90,9 @@ struct Options {
   std::size_t cache_blocks = 0;
   std::size_t threads = 1;
   std::size_t sort_shards = 1;
+  std::size_t workers = 0;
+  std::size_t kill_worker = 0;
+  std::uint64_t kill_round = 0;
   std::size_t shards = 1;
   std::size_t stripe_blocks = 8;
   std::size_t batch_blocks = 1;
@@ -177,6 +187,8 @@ Machine make_machine(const Options& opt) {
   m.ctx = std::make_unique<Context>(*m.dev, opt.mem_bytes);
   m.ctx->set_io_tuning(IoTuning{opt.batch_blocks, opt.queue_depth, opt.async});
   m.ctx->set_cpu_tuning(CpuTuning{opt.threads, opt.sort_shards});
+  m.ctx->set_worker_tuning(
+      WorkerTuning{opt.workers, opt.kill_worker, opt.kill_round});
   FaultPolicy policy;
   policy.max_retries = opt.fault_retries;
   policy.backoff = std::chrono::microseconds(opt.fault_backoff_us);
@@ -213,6 +225,7 @@ Machine make_machine(const Options& opt) {
   std::fprintf(stderr,
                "usage: emsplit [--block-bytes=N] [--mem-bytes=N]"
                " [--threads=N] [--sort-shards=N]\n"
+               "               [--workers=W] [--kill-worker=W:R]\n"
                "               [--backend=mem|file|uring] [--cache-blocks=N]\n"
                "               [--shards=D] [--stripe-blocks=N]"
                " [--batch-blocks=N] [--queue-depth=N] [--async=on|off]\n"
@@ -482,6 +495,18 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--sort-shards=", 0) == 0) {
       opt.sort_shards = static_cast<std::size_t>(
           parse_u64(arg.c_str() + 14, "sort-shards"));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      opt.workers =
+          static_cast<std::size_t>(parse_u64(arg.c_str() + 10, "workers"));
+    } else if (arg.rfind("--kill-worker=", 0) == 0) {
+      const std::string spec = arg.substr(14);
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos) usage("--kill-worker takes W:R");
+      opt.kill_worker = static_cast<std::size_t>(
+          parse_u64(spec.substr(0, colon).c_str(), "kill-worker worker"));
+      opt.kill_round =
+          parse_u64(spec.substr(colon + 1).c_str(), "kill-worker round");
+      if (opt.kill_round == 0) usage("--kill-worker round is 1-based");
     } else if (arg.rfind("--shards=", 0) == 0) {
       opt.shards =
           static_cast<std::size_t>(parse_u64(arg.c_str() + 9, "shards"));
@@ -547,6 +572,11 @@ int main(int argc, char** argv) {
     if (cmd == "splitters") return cmd_splitters(opt, argc - i, argv + i);
     if (cmd == "partition") return cmd_partition(opt, argc - i, argv + i);
     if (cmd == "histogram") return cmd_histogram(opt, argc - i, argv + i);
+  } catch (const WorkerDied& e) {
+    // Distinct exit code so scripted kill-and-resume runs (CI) can tell a
+    // injected worker death from an ordinary failure.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 137;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

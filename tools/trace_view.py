@@ -6,7 +6,11 @@ em/pass_engine.cpp).  This tool lays the passes out as a timeline — one row
 per pass with a proportional span bar — plus the columns that explain where
 the cost went: logical I/Os, cache hit rate, the pass's in-memory high-water
 mark, and the shard balance factor (max member share x D; 1.0 = perfectly
-even striping).
+even striping).  Distributed passes (run under --workers=W) additionally
+list one indented sub-row per worker: its share of the pass's I/O, its busy
+seconds, and how long it waited at the closing barrier for the slowest
+peer.  Traces written before the worker layer existed simply lack the
+"workers" key and render exactly as before.
 
 Usage:
     tools/trace_view.py [FILE] [--width=40]
@@ -94,12 +98,23 @@ def render(rows, width, out=sys.stdout):
               f"{int(r.get('reads', 0)):>9} {int(r.get('writes', 0)):>9} "
               f"{hit_rate(r):>5} {human_bytes(int(r.get('hwm_bytes', 0))):>9} "
               f"{bal:>5} {secs:>8.3f}  {bar}", file=out)
+        for w in r.get("workers", []):
+            wname = f"└ worker {int(w.get('id', 0))}"
+            wait = float(w.get("barrier_seconds", 0.0))
+            print(f"     {wname:<28} "
+                  f"{int(w.get('reads', 0)):>9} {int(w.get('writes', 0)):>9} "
+                  f"{'-':>5} {'-':>9} {'-':>5} "
+                  f"{float(w.get('seconds', 0.0)):>8.3f}  "
+                  f"barrier wait {wait:.3f}s", file=out)
         start += secs
 
     shards = max((len(r.get("shards", [])) for r in rows), default=0)
+    workers = max((len(r.get("workers", [])) for r in rows), default=0)
     tail = f"  {len(rows)} pass(es), {total_io} logical I/Os, {total:.3f}s"
     if shards:
         tail += f", {shards} shard(s)"
+    if workers:
+        tail += f", {workers} worker(s)"
     resumed = sum(1 for r in rows if r.get("resumed", False))
     if resumed:
         tail += f", {resumed} resumed"
