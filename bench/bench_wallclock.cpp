@@ -100,6 +100,10 @@ struct ModeSpec {
   // are exempt from the cross-leg determinism reference.
   std::size_t block_bytes = kCmpBlockBytes;
   std::size_t mem_blocks = kCmpMemBlocks;
+  bool supervised = false;       // arm the round supervisor (retries + hang
+                                 // deadline) on the worker leg; at zero
+                                 // faults it must be pure bookkeeping —
+                                 // same I/Os, same bytes, worker_retries 0
 };
 
 struct ModeResult {
@@ -113,6 +117,8 @@ struct ModeResult {
   bool direct_io = false;        // O_DIRECT probe accepted (uring backend)
   std::uint64_t cache_hits = 0;  // final rep's cache counters
   std::uint64_t cache_misses = 0;
+  std::uint64_t worker_retries = 0;  // re-executed worker I/O (0 unless a
+                                     // worker actually failed mid-round)
   std::string passes_json;       // JSON array of the final rep's trace rows
 };
 
@@ -177,7 +183,15 @@ Rig make_rig(const char* tag, const ModeSpec& mode) {
       std::make_unique<Context>(*rig.dev, mode.mem_blocks * mode.block_bytes);
   rig.ctx->set_io_tuning(mode.tuning);
   rig.ctx->set_cpu_tuning(mode.cpu);
-  rig.ctx->set_worker_tuning(WorkerTuning{mode.workers});
+  WorkerTuning wt;
+  wt.workers = mode.workers;
+  if (mode.supervised) {
+    // Supervision armed, zero faults injected: retries available, a generous
+    // hang deadline (the poll loop replaces the blocking drain either way).
+    wt.max_worker_retries = 2;
+    wt.worker_timeout = 30.0;
+  }
+  rig.ctx->set_worker_tuning(wt);
   rig.trace = std::make_unique<PassTraceLog>();
   rig.ctx->set_pass_trace(rig.trace.get());
   if (mode.cache_blocks > 0) {
@@ -266,6 +280,7 @@ ModeResult run_mode(const char* tag, const ModeSpec& mode,
       res.ios = stats.base().total();
       res.cache_hits = stats.cache_hits;
       res.cache_misses = stats.cache_misses;
+      res.worker_retries = stats.worker_retries;
     };
     body(*rig.ctx, data, res, capture);
     res.peak = rig.ctx->budget().peak();
@@ -413,6 +428,12 @@ void run_mode_comparison() {
        4096, 2048},
       {"workers4", kBatched, CpuTuning{1, 1}, 0, 8, "file", 0, 4, false,
        4096, 2048},
+      // Supervision armed at zero faults: the poll-driven drain, per-frame
+      // checksums and retry bookkeeping must cost nothing measurable —
+      // identical I/Os and checksum to workers2, worker_retries = 0, and
+      // wall-clock within bench_compare.py --supervision's threshold.
+      {"workers2+sup", kBatched, CpuTuning{1, 1}, 0, 8, "file", 0, 2, false,
+       4096, 2048, true},
   };
 
   struct OpSpec {
@@ -484,6 +505,8 @@ void run_mode_comparison() {
       json.field("uring_native", r.uring_native);
       json.field("direct_io", r.direct_io);
       json.field("workers", static_cast<std::uint64_t>(mode.workers));
+      json.field("supervised", mode.supervised);
+      json.field("worker_retries", r.worker_retries);
       json.field("cache_blocks", static_cast<std::uint64_t>(mode.cache_blocks));
       json.field("cache_hits", r.cache_hits);
       json.field("cache_misses", r.cache_misses);

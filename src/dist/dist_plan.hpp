@@ -52,15 +52,28 @@ struct DistPlan {
   std::size_t limit = 0;   ///< max part loadable for an in-memory sort
 };
 
+/// The per-worker memory share the plan is computed against: M divided by
+/// WorkerTuning::mem_workers, floored at the model's 2B minimum.  mem_workers
+/// is geometry (it shapes chunk and therefore the unit grid) but W-free, so
+/// any W <= mem_workers keeps the aggregate worker footprint <= M while every
+/// W at a fixed mem_workers stays bit-identical.
+template <EmRecord T>
+[[nodiscard]] std::size_t dist_worker_mem(const Context& ctx) {
+  const std::size_t mw = std::max<std::size_t>(
+      1, ctx.worker_tuning().mem_workers);
+  return std::max(ctx.mem_records<T>() / mw, 2 * ctx.block_records<T>());
+}
+
 template <EmRecord T>
 [[nodiscard]] DistPlan make_dist_plan(const Context& ctx, std::size_t n) {
   DistPlan p;
   p.n = n;
   p.b = ctx.block_records<T>();
   p.sbr = ctx.stream_blocks() * p.b;
-  const std::size_t mem = ctx.mem_records<T>();
-  // Worker-unit cap: 5/8 of M, minus the part writer's buffer and staging
-  // blocks, floored to a whole number of blocks (the grid alignment above).
+  const std::size_t mem = dist_worker_mem<T>(ctx);
+  // Worker-unit cap: 5/8 of the per-worker share, minus the part writer's
+  // buffer and staging blocks, floored to a whole number of blocks (the grid
+  // alignment above).
   const std::size_t cap = mem - 3 * (mem / 8);
   std::size_t chunk = cap > p.sbr + 3 * p.b ? cap - p.sbr - 3 * p.b : p.b;
   chunk = std::max(p.b, chunk / p.b * p.b);
@@ -93,7 +106,9 @@ template <EmRecord T>
   if (ctx.budget().used() != 0) return false;
   const DistPlan p = make_dist_plan<T>(ctx, n);
   if (p.n_runs < 2) return true;  // one run: the formation pass finishes it
-  const std::size_t mem = ctx.mem_records<T>();
+  // Worker units live in the per-worker share; the coordinator's planning
+  // tables (cut matrix, edges) live in the full-M quarter/eighth below.
+  const std::size_t mem = dist_worker_mem<T>(ctx);
   const std::size_t cap = mem - 3 * (mem / 8);
   // Streaming merge of an oversized part: one cursor block per run, the part
   // writer's buffer, staging.
@@ -125,6 +140,8 @@ template <EmRecord T>
   h = fingerprint_mix(h, ctx.block_records<T>());
   h = fingerprint_mix(h, ctx.stream_blocks());
   h = fingerprint_mix(h, ctx.mem_records<T>());
+  // mem_workers shapes the unit grid (like M itself); W still never does.
+  h = fingerprint_mix(h, ctx.worker_tuning().mem_workers);
   h = fingerprint_mix(h, ranks.size());
   for (const std::uint64_t r : ranks) h = fingerprint_mix(h, r);
   return h;

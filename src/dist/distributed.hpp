@@ -84,6 +84,8 @@ inline void merge_worker_rows(std::vector<PassWorkerIo>& acc,
     acc[r.worker].io += r.io;
     acc[r.worker].seconds += r.seconds;
     acc[r.worker].barrier_seconds += r.barrier_seconds;
+    // Peak resident bytes is a high-water mark, not a flow: max, not sum.
+    acc[r.worker].peak_bytes = std::max(acc[r.worker].peak_bytes, r.peak_bytes);
   }
 }
 
@@ -421,10 +423,13 @@ DistResult<T> dist_run(Context& ctx, const EmVector<T>& input,
   out.set_size(n);
   runner.run(sort_all ? "dsort/dist-scatter" : "mpart/dist-scatter", [&] {
     std::vector<PassWorkerIo> rows;
+    // The stitch attributes by the width the scatter bodies actually ran at;
+    // workers() may shrink (elastic degradation) once the round completes.
+    const std::size_t scatter_w = group.workers();
     std::vector<PartEdges<T>> edges =
         scatter_round<T>(group, p, chain.data().extent(), out.extent(), parts,
                          seg_cuts, less, rows);
-    stitch_edges<T>(ctx, out, parts, edges, group.workers(), rows);
+    stitch_edges<T>(ctx, out, parts, edges, scatter_w, rows);
     ctx.note_pass_workers(std::move(rows));
   });
 

@@ -11,21 +11,12 @@
 #include <utility>
 
 #include "em/block_cache.hpp"
+#include "em/fnv.hpp"
 #include "em/posix_io.hpp"
 
 namespace emsplit {
 
 namespace {
-
-/// FNV-1a over a byte span — the block checksum.
-std::uint64_t fnv1a(std::span<const std::byte> bytes) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const std::byte b : bytes) {
-    h ^= static_cast<std::uint64_t>(b);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
 
 /// splitmix64: the probabilistic schedule's per-attempt uniform draw.
 double uniform_draw(std::uint64_t seed, std::uint64_t counter) {
@@ -57,7 +48,8 @@ BlockDevice::~BlockDevice() = default;
 IoStats BlockDevice::stats() const noexcept {
   IoStats s{reads_.load(std::memory_order_relaxed),
             writes_.load(std::memory_order_relaxed),
-            retries_.load(std::memory_order_relaxed)};
+            retries_.load(std::memory_order_relaxed),
+            worker_retries_.load(std::memory_order_relaxed)};
   if (cache_ != nullptr) {
     s.cache_hits = cache_->hits();
     s.cache_misses = cache_->misses();
@@ -70,6 +62,7 @@ void BlockDevice::reset_stats() noexcept {
   reads_.store(0, std::memory_order_relaxed);
   writes_.store(0, std::memory_order_relaxed);
   retries_.store(0, std::memory_order_relaxed);
+  worker_retries_.store(0, std::memory_order_relaxed);
   if (cache_ != nullptr) cache_->reset_counters();
 }
 
@@ -79,6 +72,7 @@ void BlockDevice::absorb_stats(const IoStats& delta,
   reads_.fetch_add(delta.reads, std::memory_order_relaxed);
   writes_.fetch_add(delta.writes, std::memory_order_relaxed);
   retries_.fetch_add(delta.retries, std::memory_order_relaxed);
+  worker_retries_.fetch_add(delta.worker_retries, std::memory_order_relaxed);
 }
 
 void BlockDevice::invalidate_cache_range(BlockId first,
@@ -124,6 +118,8 @@ void BlockDevice::deallocate(const BlockRange& range) noexcept {
     const std::lock_guard<std::mutex> lock(sum_mu_);
     sums_.erase(sums_.lower_bound(range.first),
                 sums_.lower_bound(range.first + range.count));
+    dirty_sums_.erase(dirty_sums_.lower_bound(range.first),
+                      dirty_sums_.lower_bound(range.first + range.count));
   }
   BlockId first = range.first;
   std::uint64_t count = range.count;
@@ -231,13 +227,44 @@ void BlockDevice::backoff_sleep(std::uint64_t attempt) const {
 
 void BlockDevice::record_sums(BlockId first, std::uint64_t count,
                               std::span<const std::byte> in) {
+  const bool track = track_sums_.load(std::memory_order_acquire);
   const std::lock_guard<std::mutex> lock(sum_mu_);
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::size_t off = static_cast<std::size_t>(i) * block_bytes_;
     const std::size_t len = std::min(block_bytes_, in.size() - off);
-    sums_[first + i] = BlockSum{static_cast<std::uint32_t>(len),
-                                fnv1a(in.subspan(off, len))};
+    const BlockSum s{static_cast<std::uint32_t>(len),
+                     fnv1a(in.subspan(off, len))};
+    sums_[first + i] = s;
+    if (track) dirty_sums_[first + i] = s;
   }
+}
+
+std::vector<SumEntry> BlockDevice::take_dirty_sums() {
+  const std::lock_guard<std::mutex> lock(sum_mu_);
+  std::vector<SumEntry> out;
+  out.reserve(dirty_sums_.size());
+  for (const auto& [block, s] : dirty_sums_) {
+    out.push_back(SumEntry{block, s.len, s.sum});
+  }
+  dirty_sums_.clear();
+  return out;
+}
+
+void BlockDevice::merge_sums(std::span<const SumEntry> entries) {
+  const std::lock_guard<std::mutex> lock(sum_mu_);
+  for (const SumEntry& e : entries) {
+    sums_[e.block] = BlockSum{e.len, e.sum};
+  }
+}
+
+std::vector<SumEntry> BlockDevice::export_sums() const {
+  const std::lock_guard<std::mutex> lock(sum_mu_);
+  std::vector<SumEntry> out;
+  out.reserve(sums_.size());
+  for (const auto& [block, s] : sums_) {
+    out.push_back(SumEntry{block, s.len, s.sum});
+  }
+  return out;
 }
 
 void BlockDevice::verify_sums(BlockId first, std::uint64_t count,
@@ -454,44 +481,56 @@ void BlockDevice::restore(std::uint64_t size_blocks,
   }
 }
 
-void BlockDevice::save_sums(const std::string& path) const {
-  const std::lock_guard<std::mutex> lock(sum_mu_);
-  if (sums_.empty()) {
+void BlockDevice::write_sums_file(const std::string& path,
+                                  std::span<const SumEntry> entries) {
+  if (entries.empty()) {
     std::remove(path.c_str());
     return;
   }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return;  // best-effort: losing the sidecar only loses verification
-  const std::uint64_t n = sums_.size();
+  const std::uint64_t n = entries.size();
   bool ok = std::fwrite(&n, sizeof(n), 1, f) == 1;
-  for (const auto& [block, s] : sums_) {
+  for (const SumEntry& e : entries) {
     if (!ok) break;
-    ok = std::fwrite(&block, sizeof(block), 1, f) == 1 &&
-         std::fwrite(&s.len, sizeof(s.len), 1, f) == 1 &&
-         std::fwrite(&s.sum, sizeof(s.sum), 1, f) == 1;
+    ok = std::fwrite(&e.block, sizeof(e.block), 1, f) == 1 &&
+         std::fwrite(&e.len, sizeof(e.len), 1, f) == 1 &&
+         std::fwrite(&e.sum, sizeof(e.sum), 1, f) == 1;
   }
   std::fclose(f);
   if (!ok) std::remove(path.c_str());
 }
 
-void BlockDevice::load_sums(const std::string& path) {
+std::vector<SumEntry> BlockDevice::read_sums_file(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return;
+  if (f == nullptr) return {};
   std::uint64_t n = 0;
-  std::map<BlockId, BlockSum> loaded;
+  std::vector<SumEntry> loaded;
   bool ok = std::fread(&n, sizeof(n), 1, f) == 1;
   for (std::uint64_t i = 0; ok && i < n; ++i) {
-    BlockId block = 0;
-    BlockSum s;
-    ok = std::fread(&block, sizeof(block), 1, f) == 1 &&
-         std::fread(&s.len, sizeof(s.len), 1, f) == 1 &&
-         std::fread(&s.sum, sizeof(s.sum), 1, f) == 1;
-    if (ok) loaded.emplace(block, s);
+    SumEntry e;
+    ok = std::fread(&e.block, sizeof(e.block), 1, f) == 1 &&
+         std::fread(&e.len, sizeof(e.len), 1, f) == 1 &&
+         std::fread(&e.sum, sizeof(e.sum), 1, f) == 1;
+    if (ok) loaded.push_back(e);
   }
   std::fclose(f);
-  if (!ok) return;  // torn sidecar: start unverified rather than miscarry
+  if (!ok) return {};  // torn sidecar: start unverified rather than miscarry
+  return loaded;
+}
+
+void BlockDevice::save_sums(const std::string& path) const {
+  write_sums_file(path, export_sums());
+}
+
+void BlockDevice::load_sums(const std::string& path) {
+  const std::vector<SumEntry> loaded = read_sums_file(path);
+  if (loaded.empty()) return;
   const std::lock_guard<std::mutex> lock(sum_mu_);
-  sums_ = std::move(loaded);
+  sums_.clear();
+  for (const SumEntry& e : loaded) {
+    sums_.emplace(e.block, BlockSum{e.len, e.sum});
+  }
 }
 
 void BlockDevice::do_read_blocks(BlockId first, std::uint64_t count,

@@ -99,6 +99,16 @@ class DeviceFault : public std::runtime_error {
   std::uint64_t completed_ = 0;
 };
 
+/// One block's recorded checksum in wire/export form: FNV-1a over the
+/// `len`-byte prefix the write transferred.  The unit of checksum exchange
+/// between cooperating processes (a forked worker ships its dirty entries
+/// home in the result frame) and of sidecar persistence.
+struct SumEntry {
+  BlockId block = 0;
+  std::uint32_t len = 0;
+  std::uint64_t sum = 0;
+};
+
 /// A read returned bytes whose checksum does not match what was last written
 /// to that block (torn write, bit rot, or the test injector's flipped bit).
 /// Corruption is never transient: re-reading returns the same bytes, so the
@@ -345,6 +355,32 @@ class BlockDevice {
     return checksums_.load(std::memory_order_acquire);
   }
 
+  /// Dirty-sum tracking: while enabled, every checksum recorded by a write is
+  /// also noted in a dirty set that take_dirty_sums() drains.  A forked
+  /// worker enables this right after the fork so its checksum-table updates —
+  /// which would otherwise die with its copy-on-write address space — can be
+  /// shipped home in the result frame and folded back via merge_sums().
+  void set_sum_tracking(bool enabled) noexcept {
+    track_sums_.store(enabled, std::memory_order_release);
+  }
+  /// Drain the dirty set: every (block, len, sum) recorded since tracking was
+  /// enabled (or last drained), in block order.
+  [[nodiscard]] std::vector<SumEntry> take_dirty_sums();
+  /// Fold checksum entries from a cooperating process into the table (last
+  /// write wins, like the local write path).
+  void merge_sums(std::span<const SumEntry> entries);
+  /// The full checksum table in export form — ShardedBlockDevice partitions
+  /// this by owning member to write per-member sidecars.
+  [[nodiscard]] std::vector<SumEntry> export_sums() const;
+
+  /// Count supervised re-execution I/O: `n` block transfers re-performed by
+  /// the worker supervisor after a worker failed (em/worker_group.hpp).  The
+  /// transfers themselves were already counted in reads/writes — this mirrors
+  /// note_retry's separation of recovery volume from base counts.
+  void note_worker_retries(std::uint64_t n) noexcept {
+    worker_retries_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   /// Test injector for corruption: flip one bit of a block's stored bytes,
   /// bypassing the I/O counters and the checksum map — exactly what a torn
   /// write or a decayed cell does to a device.  Virtual so a composite
@@ -419,6 +455,14 @@ class BlockDevice {
   /// reads are the safe degradation).
   void save_sums(const std::string& path) const;
   void load_sums(const std::string& path);
+  /// The sidecar file format, shared with ShardedBlockDevice's per-member
+  /// sidecars: count, then (block, len, sum) triples.  Best-effort — a write
+  /// failure removes the file, a torn read yields an empty vector; losing a
+  /// sidecar only loses verification.  An empty entry set removes the file.
+  static void write_sums_file(const std::string& path,
+                              std::span<const SumEntry> entries);
+  [[nodiscard]] static std::vector<SumEntry> read_sums_file(
+      const std::string& path);
 
  private:
   /// Checksum of one block as last written: FNV-1a over the `len`-byte
@@ -437,6 +481,7 @@ class BlockDevice {
   std::atomic<std::uint64_t> reads_{0};
   std::atomic<std::uint64_t> writes_{0};
   std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> worker_retries_{0};
   // Fast path: one relaxed-ish load when disarmed.  The schedule state is
   // mutex-guarded so concurrent transfers charge it exactly once each.
   std::atomic<bool> fault_armed_{false};
@@ -449,8 +494,10 @@ class BlockDevice {
   // Sidecar page map: block -> checksum of its last write.  Guarded by its
   // own mutex (transfers of disjoint blocks run concurrently).
   std::atomic<bool> checksums_{false};
+  std::atomic<bool> track_sums_{false};
   mutable std::mutex sum_mu_;
   std::map<BlockId, BlockSum> sums_;
+  std::map<BlockId, BlockSum> dirty_sums_;  // guarded by sum_mu_
   BlockCache* cache_ = nullptr;
 };
 

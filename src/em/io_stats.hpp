@@ -30,6 +30,15 @@ struct IoStats {
   /// retried run are identical to the fault-free run and the paper's bounds
   /// stay stated in reads + writes alone.
   std::uint64_t retries = 0;
+  /// Block I/O re-performed by the worker supervisor after a worker process
+  /// died, hung past its deadline, or returned a corrupt result frame
+  /// (em/worker_group.hpp).  Like `retries`, deliberately *not* part of
+  /// total(): the supervisor re-executes the failed worker's unit schedule
+  /// inline, so its reads/writes land in the base counters exactly replacing
+  /// the counters the dead worker's frame would have reported — base counts
+  /// of a supervised run are identical to the fault-free run, and this field
+  /// records the re-executed volume separately.
+  std::uint64_t worker_retries = 0;
   /// Block-cache traffic on this device (em/block_cache.hpp).  A cache hit is
   /// a *logical* read whose blocks were served from the budget-charged cache
   /// instead of the backend — the read is still counted in `reads` (the model
@@ -51,6 +60,7 @@ struct IoStats {
     reads += o.reads;
     writes += o.writes;
     retries += o.retries;
+    worker_retries += o.worker_retries;
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
     cache_evictions += o.cache_evictions;
@@ -60,6 +70,7 @@ struct IoStats {
     a.reads -= b.reads;
     a.writes -= b.writes;
     a.retries -= b.retries;
+    a.worker_retries -= b.worker_retries;
     a.cache_hits -= b.cache_hits;
     a.cache_misses -= b.cache_misses;
     a.cache_evictions -= b.cache_evictions;

@@ -37,6 +37,7 @@ PassRunner::Scope::~Scope() {
   t.resumed = false;
   t.hwm_bytes = runner_.ctx_->take_pass_hwm();
   t.worker_io = runner_.ctx_->take_pass_workers();
+  t.supervision = runner_.ctx_->take_supervision();
   // Per-shard breakdown: the delta of each member's counters over the pass.
   // The member count is fixed for the device's lifetime, so the two
   // snapshots always align.
@@ -99,6 +100,7 @@ std::string pass_trace_json(const PassTrace& t) {
   s += ",\"reads\":" + std::to_string(t.io.reads);
   s += ",\"writes\":" + std::to_string(t.io.writes);
   s += ",\"retries\":" + std::to_string(t.io.retries);
+  s += ",\"worker_retries\":" + std::to_string(t.io.worker_retries);
   s += ",\"cache_hits\":" + std::to_string(t.io.cache_hits);
   s += ",\"cache_misses\":" + std::to_string(t.io.cache_misses);
   s += ",\"bytes\":" + std::to_string(t.bytes);
@@ -125,11 +127,24 @@ std::string pass_trace_json(const PassTrace& t) {
     s += "{\"id\":" + std::to_string(w.worker) +
          ",\"reads\":" + std::to_string(w.io.reads) +
          ",\"writes\":" + std::to_string(w.io.writes) +
-         ",\"retries\":" + std::to_string(w.io.retries) + ",\"seconds\":";
+         ",\"retries\":" + std::to_string(w.io.retries) +
+         ",\"worker_retries\":" + std::to_string(w.io.worker_retries) +
+         ",\"peak_bytes\":" + std::to_string(w.peak_bytes) + ",\"seconds\":";
     append_double(s, w.seconds);
     s += ",\"barrier_seconds\":";
     append_double(s, w.barrier_seconds);
     s += "}";
+  }
+  s += "],\"supervision\":[";
+  for (std::size_t i = 0; i < t.supervision.size(); ++i) {
+    if (i > 0) s += ',';
+    const SupervisionEvent& e = t.supervision[i];
+    s += "{\"round\":" + std::to_string(e.round) +
+         ",\"worker\":" + std::to_string(e.worker) + ",\"kind\":\"";
+    append_escaped(s, e.kind);
+    s += "\",\"detail\":\"";
+    append_escaped(s, e.detail);
+    s += "\"}";
   }
   s += "]}";
   return s;

@@ -87,6 +87,10 @@ struct PassTrace {
   /// partitioning `io` exactly the way shard_io partitions the member sum.
   /// Empty for single-process passes.
   std::vector<PassWorkerIo> worker_io;
+  /// Structured supervision events of the pass (Context::note_supervision):
+  /// worker retries, timeouts, corrupt frames, give-ups, degradations.
+  /// Empty on a failure-free pass.
+  std::vector<SupervisionEvent> supervision;
 };
 
 /// Sink for PassTrace records.  Attach one to a Context (set_pass_trace) and
@@ -145,10 +149,11 @@ class PassRunner {
           start_io_(runner.ctx_->io()),
           start_shards_(runner.ctx_->shard_stats()),
           start_(std::chrono::steady_clock::now()) {
-      // Stale high-water marks or worker rows from outside any pass must
-      // not leak into this pass's row.
+      // Stale high-water marks, worker rows or supervision events from
+      // outside any pass must not leak into this pass's row.
       (void)runner.ctx_->take_pass_hwm();
       (void)runner.ctx_->take_pass_workers();
+      (void)runner.ctx_->take_supervision();
     }
 
     ~Scope();

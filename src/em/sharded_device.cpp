@@ -81,7 +81,44 @@ ShardedBlockDevice::ShardedBlockDevice(
                   std::thread::hardware_concurrency() > 1);
 }
 
-ShardedBlockDevice::~ShardedBlockDevice() = default;
+ShardedBlockDevice::~ShardedBlockDevice() { flush_member_sidecars(); }
+
+void ShardedBlockDevice::flush_member_sidecars() {
+  if (!preserve_sidecars_) return;
+  // Partition the facade's checksum table (logical ids) by owning member and
+  // persist each member's share.  Runs before the member destructors: a
+  // FileBlockDevice member will still manage its *own* ".sums" sidecar (an
+  // empty one — facade checksums never reach member tables), which is why
+  // these files use a distinct suffix.
+  const std::vector<SumEntry> all = export_sums();
+  std::vector<std::vector<SumEntry>> by_member(members_.size());
+  for (const SumEntry& e : all) {
+    by_member[locate(e.block).shard].push_back(e);
+  }
+  for (std::size_t i = 0; i < members_.size() && i < sidecar_paths_.size();
+       ++i) {
+    write_sums_file(sidecar_paths_[i], by_member[i]);
+  }
+  // One snapshot per flush: later deallocations (and the destructor) must
+  // not rewrite what was just persisted.
+  preserve_sidecars_ = false;
+}
+
+void ShardedBlockDevice::set_member_sidecars(std::vector<std::string> paths,
+                                             bool preserve) {
+  if (paths.size() != members_.size()) {
+    throw std::invalid_argument(
+        "ShardedBlockDevice::set_member_sidecars: one path per member");
+  }
+  sidecar_paths_ = std::move(paths);
+  preserve_sidecars_ = preserve;
+  std::vector<SumEntry> merged;
+  for (const std::string& p : sidecar_paths_) {
+    const std::vector<SumEntry> loaded = read_sums_file(p);
+    merged.insert(merged.end(), loaded.begin(), loaded.end());
+  }
+  if (!merged.empty()) merge_sums(merged);
+}
 
 IoStats ShardedBlockDevice::stats() const noexcept {
   IoStats total{};
@@ -94,6 +131,7 @@ IoStats ShardedBlockDevice::stats() const noexcept {
   // transfers (plus attributed retries), not the hits served above them.
   const IoStats own = BlockDevice::stats();
   total.retries += own.retries;
+  total.worker_retries += own.worker_retries;
   total.reads += own.cache_hits;
   total.cache_hits += own.cache_hits;
   total.cache_misses += own.cache_misses;

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "em/block_device.hpp"
@@ -105,6 +106,28 @@ class ShardedBlockDevice final : public BlockDevice {
     return stripe_blocks_;
   }
 
+  /// Persistent per-member checksum sidecars.  `paths[i]` names member `i`'s
+  /// sidecar file (conventionally the member path + ".ssums" — distinct from
+  /// FileBlockDevice's own ".sums" suffix, whose destructor manages that
+  /// file).  On call, existing sidecars are read and their entries folded
+  /// into the facade's checksum table (entries are stored under *logical*
+  /// block ids, so they survive independently of member path order only as
+  /// long as the geometry matches — callers pass the same D and
+  /// stripe_blocks they saved with).  When `preserve` is set, the destructor
+  /// partitions the table by owning member and writes each member's entries
+  /// back to its sidecar.  Main-thread only, before transfers begin.
+  void set_member_sidecars(std::vector<std::string> paths, bool preserve);
+
+  /// Write the sidecars *now* from the current checksum table, then disarm
+  /// the destructor's rewrite.  Teardown paths that deallocate extents after
+  /// this call (a checkpoint journal returning its still-owned extents —
+  /// deallocation drops the freed blocks' entries) no longer erase the
+  /// persisted record: the files keep the pre-deallocation snapshot, which
+  /// is exactly what a resuming process needs to verify the journaled
+  /// blocks it re-reads.  No-op unless `set_member_sidecars` armed
+  /// persistence.  Main-thread only, at a quiescent point.
+  void flush_member_sidecars();
+
   /// Concurrent member sub-batch issue (default on for D > 1 on multi-core
   /// hosts; single-core hosts default to the serial walk, where worker
   /// handoffs can only lose).  Off routes every sub-batch serially on the
@@ -166,6 +189,8 @@ class ShardedBlockDevice final : public BlockDevice {
   // before any member device dies under it.
   std::vector<std::unique_ptr<BlockDevice>> members_;
   std::size_t stripe_blocks_;
+  std::vector<std::string> sidecar_paths_;
+  bool preserve_sidecars_ = false;
   std::vector<std::unique_ptr<IoPipeline>> pipelines_;
   /// Facade-level retries attributed per shard (atomic array: note_retry may
   /// fire from pipeline workers; atomics are not movable, hence the array).

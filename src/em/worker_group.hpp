@@ -28,19 +28,42 @@
 //    parent, in worker order, with per-worker deltas measured around each
 //    unit set.  Selected when the device is not fork-safe (MemoryBlockDevice
 //    writes would land in copy-on-write pages the parent never sees;
-//    UringBlockDevice's ring must not be driven from two processes), when
-//    checksums are enabled (the sidecar sum map is per-process state a
-//    child's writes would desynchronize), or under ThreadSanitizer (TSan
-//    forbids meaningful work after fork from a multithreaded process).
+//    UringBlockDevice's ring must not be driven from two processes), or
+//    under ThreadSanitizer (TSan forbids meaningful work after fork from a
+//    multithreaded process).  Block checksums compose with fork mode: a
+//    child tracks its checksum-table updates (BlockDevice::set_sum_tracking)
+//    and ships them home in the result frame, where the parent merges them.
 //
 // Both modes execute the *same* unit schedule in the same order per worker —
 // mode, like W itself, is geometry, never output.
 //
-// Crash injection: WorkerTuning{kill_worker, kill_round} makes that worker
-// die at the start of that round — _exit(137) when forked, a thrown
-// WorkerDied when inline.  The parent absorbs the surviving workers' I/O
-// (those blocks really moved), then throws WorkerDied; a journaled caller
-// resumes repaying only the interrupted pass.
+// Supervision (WorkerTuning::{max_worker_retries, worker_timeout,
+// degrade_after}): rounds are idempotent — every body writes only its own
+// worker's disjoint block-aligned ranges, so a failed worker's unit schedule
+// can simply run again.  The supervisor turns three failure classes into
+// round-local events: a *crash* (child death or pipe EOF before a full
+// frame), a *hang* (frame not complete by the per-round deadline; the child
+// is SIGKILLed), and a *corrupt frame* (the FNV checksum in the frame header
+// does not match the body).  Each failed worker's units are re-executed
+// inline in the coordinator with bounded retries and exponential backoff;
+// the re-executed transfers land in the base counters exactly replacing the
+// counters the lost frame would have reported — base I/O is identical to
+// the fault-free run at every failure schedule — and their volume is
+// attributed separately to IoStats::worker_retries, mirroring device-level
+// retries.  After `degrade_after` failures the group halves its width for
+// the remaining rounds (output-transparent by W-invariance).  Every decision
+// is recorded as a structured SupervisionEvent on the context, which the
+// pass engine folds into the pass's trace row.  With max_worker_retries = 0
+// (the default) any failure stays fatal: the parent absorbs the surviving
+// workers' I/O (those blocks really moved), then throws WorkerDied; a
+// journaled caller resumes repaying only the interrupted pass.
+//
+// Failure injection: WorkerTuning{kill_worker, kill_round} makes that worker
+// die at the start of that round (_exit(137) forked, a simulated failure
+// inline); {hang_worker, hang_round} makes it finish its work and then sleep
+// forever without sending its frame (proving completed work is safely
+// re-executable); {corrupt_worker, corrupt_round} flips a frame byte after
+// the header checksum is computed.
 #pragma once
 
 #include <cstddef>
@@ -172,11 +195,17 @@ class WorkerGroup {
  private:
   [[nodiscard]] RoundOutcome round_forked(const RoundBody& body);
   [[nodiscard]] RoundOutcome round_inline(const RoundBody& body);
+  /// Supervised recovery: re-execute worker `w`'s units of the current round
+  /// inline with bounded retries, depositing the result into `out` with the
+  /// re-executed I/O attributed to worker_retries.  Throws WorkerDied when
+  /// the retry budget is exhausted.
+  void recover_worker(std::size_t w, const RoundBody& body, RoundOutcome& out);
 
   Context* ctx_;
   std::size_t workers_;
   bool forked_;
-  std::uint64_t round_no_ = 0;  ///< 1-based ordinal of the next round
+  std::uint64_t round_no_ = 0;   ///< 1-based ordinal of the next round
+  std::uint64_t failures_ = 0;   ///< worker failures since the last degrade
 };
 
 }  // namespace emsplit

@@ -12,6 +12,14 @@
 // resume past the journaled passes (strictly cheaper than a cold run) and
 // still produce bit-identical output -- in both execution modes (a thrown
 // WorkerDied inline, an _exit(137) child under fork).
+//
+// The supervision tests drive WorkerGroup's round supervisor directly with
+// custom bodies: crash / hang / corrupt-frame injections recover via inline
+// re-execution (bounded retries, worker_retries attribution, structured
+// SupervisionEvents), retries exhaust into WorkerDied, elastic degradation
+// halves the group between rounds, and the M/mem_workers memory partition
+// bounds every child's reported budget peak.  End-to-end sweeps over whole
+// jobs live in test_fault_sweep.cpp.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -77,6 +85,8 @@ void check_worker_rows(const PassTraceLog& trace, std::size_t W,
     EXPECT_EQ(sum.reads, row.io.reads) << tag << " " << row.pass;
     EXPECT_EQ(sum.writes, row.io.writes) << tag << " " << row.pass;
     EXPECT_EQ(sum.retries, row.io.retries) << tag << " " << row.pass;
+    EXPECT_EQ(sum.worker_retries, row.io.worker_retries)
+        << tag << " " << row.pass;
   }
   EXPECT_GT(dist_rows, 0u) << tag << ": no distributed pass recorded";
 }
@@ -324,11 +334,341 @@ TEST(WorkerGroupMode, ForkRequiresForkSafeDevice) {
   WorkerGroup forked_group(file_ctx);
   EXPECT_TRUE(forked_group.forked());
 
-  // Checksums force inline: the sidecar state is parent-private.
+  // Checksums no longer force inline: children track their checksum-table
+  // updates (set_sum_tracking) and ship them home in the result frame.
   file_dev.set_checksums(true);
   WorkerGroup checksummed_group(file_ctx);
-  EXPECT_FALSE(checksummed_group.forked());
+  EXPECT_TRUE(checksummed_group.forked());
   std::remove(dev_path.c_str());
+}
+
+// Forked children's writes must land in the parent's checksum table: after a
+// forked dsort with checksums on, flipping one bit of the *output* must be
+// caught by the next verified read.  (Before the dirty-sum shipping, forked
+// mode either fell back to inline or the parent's table silently lacked
+// every child-written block.)
+TEST(WorkerGroupMode, ForkedChecksumsCoverChildWrites) {
+  const auto host = make_workload(Workload::kUniform, kRecords, 74);
+  const auto sorted_ref = sorted_copy(host);
+
+  const std::string dev_path = testing::TempDir() + "/wg_cksum.dev";
+  std::remove(dev_path.c_str());
+  FileBlockDevice dev(dev_path, kBlockBytes);
+  dev.set_checksums(true);
+  Context ctx(dev, kMemBlocks * kBlockBytes);
+  ctx.set_worker_tuning({2});
+  {
+    WorkerGroup probe(ctx);
+    ASSERT_TRUE(probe.forked()) << "checksums must not force inline anymore";
+  }
+  auto input = materialize<Record>(ctx, std::span<const Record>(host));
+  auto out = distribution_sort<Record>(ctx, input);
+  EXPECT_EQ(dump(out), sorted_ref);  // dump() re-reads under verification
+
+  // A block deep inside the output was written by a forked child (the
+  // scatter round); its checksum must be present and live.
+  const BlockId victim = out.extent().first + out.extent().count / 2;
+  dev.corrupt_bit(victim, 3);
+  std::vector<std::byte> buf(kBlockBytes);
+  EXPECT_THROW(dev.read(victim, buf), CorruptBlock)
+      << "child-written block was not covered by the merged checksum table";
+  std::remove(dev_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// The round supervisor, driven directly with custom bodies: failure
+// injection, bounded inline re-execution, worker_retries attribution,
+// structured events, retry exhaustion, and elastic degradation.
+
+/// Coordinator-allocated scratch range plus a body writing two blocks per
+/// worker (and reading one back), so every recovery has real I/O to re-count.
+struct SupervisedRound {
+  BlockRange range;
+
+  explicit SupervisedRound(BlockDevice& dev) : range(dev.allocate(8)) {}
+
+  [[nodiscard]] WorkerGroup::RoundBody body() const {
+    const BlockRange r = range;
+    return [r](Context& wctx, std::size_t w) -> std::vector<std::byte> {
+      BlockDevice& d = wctx.device();
+      std::vector<std::byte> blk(d.block_bytes(),
+                                 std::byte{static_cast<unsigned char>(w + 1)});
+      d.write(r.first + 2 * w, blk);
+      d.write(r.first + 2 * w + 1, blk);
+      d.read(r.first + 2 * w, blk);
+      WireWriter wire;
+      wire.u64(w);
+      return wire.take();
+    };
+  }
+
+  void check(BlockDevice& dev, const RoundOutcome& out, std::size_t W) const {
+    ASSERT_EQ(out.payloads.size(), W);
+    ASSERT_EQ(out.rows.size(), W);
+    std::vector<std::byte> blk(dev.block_bytes());
+    for (std::size_t w = 0; w < W; ++w) {
+      WireReader rd(out.payloads[w]);
+      EXPECT_EQ(rd.u64(), w) << "payload of worker " << w;
+      dev.read(range.first + 2 * w, blk);
+      EXPECT_EQ(std::to_integer<unsigned>(blk[0]), w + 1) << "worker " << w;
+    }
+  }
+};
+
+std::vector<std::string> kinds_of(const std::vector<SupervisionEvent>& evs) {
+  std::vector<std::string> v;
+  v.reserve(evs.size());
+  for (const SupervisionEvent& e : evs) v.push_back(e.kind);
+  return v;
+}
+
+TEST(WorkerSupervision, InlineCrashRecoversWithAttributedRetries) {
+  MemoryBlockDevice dev(kBlockBytes);
+  Context ctx(dev, kMemBlocks * kBlockBytes);
+  WorkerTuning wt;
+  wt.workers = 2;
+  wt.kill_worker = 1;
+  wt.kill_round = 1;
+  wt.max_worker_retries = 2;
+  ctx.set_worker_tuning(wt);
+  WorkerGroup group(ctx);
+  ASSERT_FALSE(group.forked());
+
+  SupervisedRound round(dev);
+  dev.reset_stats();
+  RoundOutcome out = group.round("sup", round.body());
+  const IoStats io = dev.stats();  // before check()'s verification reads
+  round.check(dev, out, 2);
+
+  // The injected failure cost one re-execution: worker 1's row carries its
+  // re-executed volume (2 writes + 1 read) as worker_retries, matching the
+  // device-level counter, and base counts equal the fault-free schedule.
+  EXPECT_EQ(io.reads, 2u);
+  EXPECT_EQ(io.writes, 4u);
+  EXPECT_EQ(io.worker_retries, 3u);
+  EXPECT_EQ(out.rows[0].io.worker_retries, 0u);
+  EXPECT_EQ(out.rows[1].io.worker_retries, 3u);
+  EXPECT_EQ(out.rows[1].io.reads, 1u);
+  EXPECT_EQ(out.rows[1].io.writes, 2u);
+
+  const auto events = ctx.take_supervision();
+  EXPECT_EQ(kinds_of(events), (std::vector<std::string>{"death", "retry"}));
+  EXPECT_EQ(events[0].round, 1u);
+  EXPECT_EQ(events[0].worker, 1u);
+}
+
+TEST(WorkerSupervision, RetriesExhaustIntoWorkerDied) {
+  MemoryBlockDevice dev(kBlockBytes);
+  Context ctx(dev, kMemBlocks * kBlockBytes);
+  WorkerTuning wt;
+  wt.workers = 2;
+  wt.kill_worker = 1;
+  wt.kill_round = 1;
+  wt.max_worker_retries = 2;
+  ctx.set_worker_tuning(wt);
+  WorkerGroup group(ctx);
+
+  const auto body = [](Context&, std::size_t w) -> std::vector<std::byte> {
+    if (w == 1) throw std::runtime_error("unit is cursed");
+    return {};
+  };
+  bool died = false;
+  try {
+    (void)group.round("sup", body);
+  } catch (const WorkerDied& e) {
+    died = true;
+    EXPECT_EQ(e.worker(), 1u);
+    EXPECT_NE(std::string(e.what()).find("cursed"), std::string::npos);
+  }
+  ASSERT_TRUE(died);
+  EXPECT_EQ(kinds_of(ctx.take_supervision()),
+            (std::vector<std::string>{"death", "retry", "retry", "give-up"}));
+}
+
+enum class Fault { kKill, kHang, kCorrupt };
+
+class ForkedSupervision : public ::testing::TestWithParam<Fault> {};
+
+TEST_P(ForkedSupervision, RecoversWithIdenticalBaseIo) {
+  const Fault fault = GetParam();
+  const std::string dev_path = testing::TempDir() + "/wg_sup_forked.dev";
+
+  // Fault-free reference round for the base-I/O comparison.
+  IoStats ref;
+  {
+    std::remove(dev_path.c_str());
+    FileBlockDevice dev(dev_path, kBlockBytes);
+    Context ctx(dev, kMemBlocks * kBlockBytes);
+    ctx.set_worker_tuning({2});
+    WorkerGroup group(ctx);
+    ASSERT_TRUE(group.forked());
+    SupervisedRound round(dev);
+    dev.reset_stats();
+    RoundOutcome out = group.round("sup", round.body());
+    round.check(dev, out, 2);
+    ref = dev.stats();
+    EXPECT_EQ(ref.worker_retries, 0u);
+  }
+
+  std::remove(dev_path.c_str());
+  FileBlockDevice dev(dev_path, kBlockBytes);
+  Context ctx(dev, kMemBlocks * kBlockBytes);
+  WorkerTuning wt;
+  wt.workers = 2;
+  wt.max_worker_retries = 2;
+  const char* expected_kind = nullptr;
+  switch (fault) {
+    case Fault::kKill:
+      wt.kill_worker = 1;
+      wt.kill_round = 1;
+      expected_kind = "death";
+      break;
+    case Fault::kHang:
+      wt.hang_worker = 1;
+      wt.hang_round = 1;
+      wt.worker_timeout = 1.0;
+      expected_kind = "timeout";
+      break;
+    case Fault::kCorrupt:
+      wt.corrupt_worker = 1;
+      wt.corrupt_round = 1;
+      expected_kind = "corrupt-frame";
+      break;
+  }
+  ctx.set_worker_tuning(wt);
+  WorkerGroup group(ctx);
+  ASSERT_TRUE(group.forked());
+
+  SupervisedRound round(dev);
+  dev.reset_stats();
+  RoundOutcome out = group.round("sup", round.body());
+  round.check(dev, out, 2);
+
+  // Base logical I/O identical to the fault-free round; the re-executed
+  // volume reported separately.
+  const IoStats io = dev.stats();
+  EXPECT_EQ(io.base(), ref.base());
+  EXPECT_EQ(io.worker_retries, 3u);
+  EXPECT_EQ(out.rows[1].io.worker_retries, 3u);
+
+  const auto events = ctx.take_supervision();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, expected_kind);
+  EXPECT_EQ(events[0].round, 1u);
+  EXPECT_EQ(events[0].worker, 1u);
+  EXPECT_EQ(events[1].kind, "retry");
+  std::remove(dev_path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Faults, ForkedSupervision,
+                         ::testing::Values(Fault::kKill, Fault::kHang,
+                                           Fault::kCorrupt),
+                         [](const auto& fault_info) {
+                           switch (fault_info.param) {
+                             case Fault::kKill: return "Kill";
+                             case Fault::kHang: return "Hang";
+                             default: return "Corrupt";
+                           }
+                         });
+
+TEST(WorkerSupervision, DegradationHalvesWidthBetweenRounds) {
+  MemoryBlockDevice dev(kBlockBytes);
+  Context ctx(dev, kMemBlocks * kBlockBytes);
+  WorkerTuning wt;
+  wt.workers = 4;
+  wt.kill_worker = 0;
+  wt.kill_round = 1;
+  wt.max_worker_retries = 1;
+  wt.degrade_after = 1;
+  ctx.set_worker_tuning(wt);
+  WorkerGroup group(ctx);
+  ASSERT_EQ(group.workers(), 4u);
+
+  const auto body = [](Context&, std::size_t w) -> std::vector<std::byte> {
+    WireWriter wire;
+    wire.u64(w);
+    return wire.take();
+  };
+  // Round 1 runs at the full width (degradation only applies *between*
+  // rounds -- the caller captured workers() when it built the body).
+  RoundOutcome r1 = group.round("sup", body);
+  EXPECT_EQ(r1.rows.size(), 4u);
+  EXPECT_EQ(group.workers(), 2u) << "width must halve after the failure";
+
+  RoundOutcome r2 = group.round("sup", body);
+  EXPECT_EQ(r2.rows.size(), 2u);
+  EXPECT_EQ(group.workers(), 2u) << "no further failures, no further halving";
+
+  const auto events = ctx.take_supervision();
+  EXPECT_EQ(kinds_of(events),
+            (std::vector<std::string>{"death", "retry", "degrade"}));
+  EXPECT_EQ(events[2].worker, 2u);  // the new width rides in the event
+}
+
+// ---------------------------------------------------------------------------
+// Worker-aware memory partitioning: with mem_workers = K every distributed
+// worker plans against and is budgeted M / K, so the reported per-worker
+// budget peaks are bounded by M / K and any W <= K keeps the sum under M --
+// while W itself stays bit-identical at fixed K.
+
+TEST(WorkerSupervision, MemWorkersBoundsChildPeaksAndStaysWInvariant) {
+  // 4x the matrix memory so the quartered per-worker plan still satisfies
+  // dist_supported (the coordinator's planning tables budget against full M).
+  const std::size_t mem_bytes = 4 * kMemBlocks * kBlockBytes;
+  const auto host = make_workload(Workload::kUniform, kRecords, 75);
+  const auto sorted_ref = sorted_copy(host);
+
+  LegResult ref;
+  bool have_ref = false;
+  for (const std::size_t W : {1u, 2u, 4u}) {
+    const std::string path =
+        testing::TempDir() + "/wg_memw_" + std::to_string(W) + ".dev";
+    std::remove(path.c_str());
+    FileBlockDevice dev(path, kBlockBytes);
+    Context ctx(dev, mem_bytes);
+    WorkerTuning wt;
+    wt.workers = W;
+    wt.mem_workers = 4;
+    ctx.set_worker_tuning(wt);
+    PassTraceLog trace;
+    ctx.set_pass_trace(&trace);
+    auto input = materialize<Record>(ctx, std::span<const Record>(host));
+    ASSERT_TRUE(dist::dist_supported<Record>(ctx, kRecords, 0))
+        << "quartered plan no longer fits; grow the test's memory";
+
+    dev.reset_stats();
+    auto out = distribution_sort<Record>(ctx, input);
+    LegResult leg;
+    leg.io = dev.stats().base();
+    leg.bytes = dump(out);
+    ASSERT_EQ(leg.bytes, sorted_ref) << "W=" << W;
+
+    // Every forked worker's reported budget peak obeys the M/K partition.
+    const std::size_t share =
+        std::max(mem_bytes / 4, 2 * ctx.block_bytes());
+    std::size_t peaks_seen = 0;
+    for (const PassTrace& row : trace.rows()) {
+      for (const PassWorkerIo& wio : row.worker_io) {
+        if (wio.peak_bytes == 0) continue;  // inline / recovered rows
+        ++peaks_seen;
+        EXPECT_LE(wio.peak_bytes, share)
+            << row.pass << " worker " << wio.worker;
+      }
+    }
+    EXPECT_GT(peaks_seen, 0u) << "no forked worker reported a budget peak";
+
+    ctx.set_pass_trace(nullptr);
+    std::remove(path.c_str());
+    if (!have_ref) {
+      ref = std::move(leg);
+      have_ref = true;
+      continue;
+    }
+    // Same knob, different W: bytes and logical I/O must not move.
+    ASSERT_EQ(leg.bytes, ref.bytes) << "W=" << W;
+    ASSERT_EQ(leg.io.reads, ref.io.reads) << "W=" << W;
+    ASSERT_EQ(leg.io.writes, ref.io.writes) << "W=" << W;
+  }
 }
 
 }  // namespace

@@ -32,8 +32,17 @@ wall-clock must stay within --threshold of the same op's workers1 row (on
 a single-core host the distributed path cannot win wall-clock; the gate
 only forbids it costing more than coordination overhead should).
 
+With --supervision the tool gates the supervised legs of the latest entry:
+every "<mode>+sup" row (the round supervisor armed — poll-driven drain,
+frame checksums, retry budget — with zero faults injected) must match its
+unsupervised "<mode>" sibling's logical I/O count and output checksum
+exactly, report worker_retries = 0 (nothing was re-executed), and stay
+within --threshold of the sibling's wall-clock: supervision at zero faults
+is pure bookkeeping, never a tax.
+
 Usage:
-    tools/bench_compare.py [FILE] [--threshold=0.10] [--backends] [--workers]
+    tools/bench_compare.py [FILE] [--threshold=0.10] [--backends]
+                           [--workers] [--supervision]
 
 Exit status: 0 = no regression (including "fewer than two entries"),
 1 = at least one regression, 2 = bad input.
@@ -192,11 +201,69 @@ def workers_gate(entries, threshold):
     return 0
 
 
+def supervision_gate(entries, threshold):
+    """Gate the latest entry's supervised legs (see module docstring)."""
+    new = entries[-1]
+    rows = new.get("rows", [])
+    print(f"bench_compare: supervision gate on '{new.get('label', '?')}' "
+          f"(threshold {threshold:.0%})")
+
+    failures = 0
+
+    def fail(msg):
+        nonlocal failures
+        failures += 1
+        print(f"  FAIL {msg}", file=sys.stderr)
+
+    checked = 0
+    for r in rows:
+        mode = str(r.get("mode", ""))
+        if not mode.endswith("+sup"):
+            continue
+        op = r.get("op", "?")
+        base_mode = mode[:-len("+sup")]
+        base = next((b for b in rows
+                     if b.get("op") == op and b.get("mode") == base_mode),
+                    None)
+        if base is None:
+            fail(f"{op}/{mode}: no unsupervised '{base_mode}' sibling")
+            continue
+        checked += 1
+        # Hard gates: supervision is bookkeeping, never geometry or output.
+        if r.get("ios") != base.get("ios"):
+            fail(f"{op}/{mode}: ios {r.get('ios')} != {base_mode} "
+                 f"ios {base.get('ios')}")
+        if r.get("checksum") != base.get("checksum"):
+            fail(f"{op}/{mode}: checksum diverged from {base_mode}")
+        if r.get("worker_retries", 0) != 0:
+            fail(f"{op}/{mode}: worker_retries="
+                 f"{r.get('worker_retries')} with no faults injected")
+        bs, ns = float(base.get("seconds", 0)), float(r.get("seconds", 0))
+        if bs > 0 and ns > bs * (1.0 + threshold):
+            fail(f"{op}/{mode}: {ns:.3f}s exceeds {base_mode} "
+                 f"{bs:.3f}s by more than {threshold:.0%}")
+        else:
+            print(f"    ok {op}/{mode}: {ns:.3f}s vs {base_mode} "
+                  f"{bs:.3f}s at equal ios, worker_retries=0")
+
+    if checked == 0:
+        print("bench_compare: no +sup rows in the latest entry",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"bench_compare: supervision gate failed "
+              f"({failures} check(s))", file=sys.stderr)
+        return 1
+    print(f"bench_compare: supervision gate passed ({checked} row(s))")
+    return 0
+
+
 def main(argv):
     path = "BENCH_wallclock.json"
     threshold = 0.10
     backends = False
     workers = False
+    supervision = False
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
@@ -204,6 +271,8 @@ def main(argv):
             backends = True
         elif arg == "--workers":
             workers = True
+        elif arg == "--supervision":
+            supervision = True
         elif arg in ("-h", "--help"):
             print(__doc__)
             return 0
@@ -219,7 +288,7 @@ def main(argv):
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         return 2
 
-    if backends or workers:
+    if backends or workers or supervision:
         if not entries:
             print(f"bench_compare: no entries in {path}", file=sys.stderr)
             return 2
@@ -228,6 +297,8 @@ def main(argv):
             rc = backend_gate(entries) or rc
         if workers:
             rc = workers_gate(entries, threshold) or rc
+        if supervision:
+            rc = supervision_gate(entries, threshold) or rc
         return rc
 
     if len(entries) < 2:

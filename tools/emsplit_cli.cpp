@@ -33,6 +33,21 @@
 //   --kill-worker=W:R      test hook: worker W dies at the start of
 //                          distributed round R (pairs with
 //                          --checkpoint-dir to exercise resume)
+//   --hang-worker=W:R      test hook: worker W finishes round R's work but
+//                          never sends its frame (needs --worker-timeout)
+//   --corrupt-frame=W:R    test hook: worker W's round-R result frame has a
+//                          byte flipped after its checksum is computed
+//   --max-worker-retries=N re-execute a failed worker's units up to N times
+//                          per round instead of aborting the pass
+//                                                              [default 0]
+//   --worker-timeout=S     per-round deadline in seconds for forked workers;
+//                          a worker with no complete frame by then is
+//                          SIGKILLed and treated as a crash (0 = none)
+//   --degrade-after=N      after N worker failures, re-plan remaining rounds
+//                          at half the workers (0 = never)     [default 0]
+//   --mem-workers=N        budget each distributed worker M/N bytes (plans
+//                          shrink accordingly; any --workers=W with W <= N
+//                          keeps aggregate worker memory <= M) [default 1]
 //   --shards=D             stripe the device over D member devices
 //                          (RAID-0, the EM model's D-disk extension)
 //                                                              [default 1]
@@ -93,6 +108,14 @@ struct Options {
   std::size_t workers = 0;
   std::size_t kill_worker = 0;
   std::uint64_t kill_round = 0;
+  std::size_t hang_worker = 0;
+  std::uint64_t hang_round = 0;
+  std::size_t corrupt_worker = 0;
+  std::uint64_t corrupt_round = 0;
+  std::uint64_t max_worker_retries = 0;
+  double worker_timeout = 0.0;
+  std::uint64_t degrade_after = 0;
+  std::size_t mem_workers = 1;
   std::size_t shards = 1;
   std::size_t stripe_blocks = 8;
   std::size_t batch_blocks = 1;
@@ -126,6 +149,16 @@ struct Machine {
   Machine& operator=(Machine&&) = default;
   ~Machine() {
     if (ctx != nullptr && cache != nullptr) ctx->set_block_cache(nullptr);
+    // The journal destructor returns its still-owned extents to the device,
+    // and deallocation drops the freed blocks' checksum entries — snapshot
+    // the sidecars first so an interrupted run's journaled blocks stay
+    // verifiable on resume.  (On a completed run the journal owns nothing,
+    // the table is empty, and the flush removes the sidecar files.)
+    if (journal != nullptr && dev != nullptr) {
+      if (auto* sh = dynamic_cast<ShardedBlockDevice*>(dev.get())) {
+        sh->flush_member_sidecars();
+      }
+    }
     if (trace != nullptr && !trace_path.empty() &&
         !write_pass_trace_jsonl(*trace, trace_path)) {
       std::fprintf(stderr, "warning: could not write trace file %s\n",
@@ -168,18 +201,29 @@ Machine make_machine(const Options& opt) {
   }
   if (opt.shards > 1) {
     // D-disk machine: one member device per shard behind a striping facade.
-    // With --checkpoint-dir each member persists as its own file; the
-    // journal and the checksum map live at the facade level (per-member
-    // checksum sidecars are not persisted — a restart simply starts
-    // unverified, the same safe degradation as a killed process).
+    // With --checkpoint-dir each member persists as its own file, and when
+    // checksums are on the facade's per-member checksum maps persist too
+    // (".ssums" sidecars next to each member file): a restarted run resumes
+    // with corruption detection intact instead of starting unverified.
     std::vector<std::unique_ptr<BlockDevice>> members;
+    std::vector<std::string> sidecars;
     members.reserve(opt.shards);
+    const bool persist = !opt.checkpoint_dir.empty();
     for (std::size_t d = 0; d < opt.shards; ++d) {
-      members.push_back(
-          make_member(opt, "device.shard" + std::to_string(d) + ".bin"));
+      const std::string name = "device.shard" + std::to_string(d) + ".bin";
+      members.push_back(make_member(opt, name));
+      sidecars.push_back((persist ? opt.checkpoint_dir + "/" + name
+                                  : "/tmp/emsplit." +
+                                        std::to_string(::getpid()) + "." +
+                                        name) +
+                         ".ssums");
     }
-    m.dev = std::make_unique<ShardedBlockDevice>(std::move(members),
-                                                 opt.stripe_blocks);
+    auto sharded = std::make_unique<ShardedBlockDevice>(std::move(members),
+                                                        opt.stripe_blocks);
+    if (persist && opt.checksums) {
+      sharded->set_member_sidecars(std::move(sidecars), /*preserve=*/true);
+    }
+    m.dev = std::move(sharded);
   } else {
     m.dev = make_member(opt, "device.bin");
   }
@@ -187,8 +231,19 @@ Machine make_machine(const Options& opt) {
   m.ctx = std::make_unique<Context>(*m.dev, opt.mem_bytes);
   m.ctx->set_io_tuning(IoTuning{opt.batch_blocks, opt.queue_depth, opt.async});
   m.ctx->set_cpu_tuning(CpuTuning{opt.threads, opt.sort_shards});
-  m.ctx->set_worker_tuning(
-      WorkerTuning{opt.workers, opt.kill_worker, opt.kill_round});
+  WorkerTuning wt;
+  wt.workers = opt.workers;
+  wt.kill_worker = opt.kill_worker;
+  wt.kill_round = opt.kill_round;
+  wt.hang_worker = opt.hang_worker;
+  wt.hang_round = opt.hang_round;
+  wt.corrupt_worker = opt.corrupt_worker;
+  wt.corrupt_round = opt.corrupt_round;
+  wt.max_worker_retries = opt.max_worker_retries;
+  wt.worker_timeout = opt.worker_timeout;
+  wt.degrade_after = opt.degrade_after;
+  wt.mem_workers = opt.mem_workers;
+  m.ctx->set_worker_tuning(wt);
   FaultPolicy policy;
   policy.max_retries = opt.fault_retries;
   policy.backoff = std::chrono::microseconds(opt.fault_backoff_us);
@@ -225,7 +280,10 @@ Machine make_machine(const Options& opt) {
   std::fprintf(stderr,
                "usage: emsplit [--block-bytes=N] [--mem-bytes=N]"
                " [--threads=N] [--sort-shards=N]\n"
-               "               [--workers=W] [--kill-worker=W:R]\n"
+               "               [--workers=W] [--kill-worker=W:R]"
+               " [--hang-worker=W:R] [--corrupt-frame=W:R]\n"
+               "               [--max-worker-retries=N] [--worker-timeout=S]"
+               " [--degrade-after=N] [--mem-workers=N]\n"
                "               [--backend=mem|file|uring] [--cache-blocks=N]\n"
                "               [--shards=D] [--stripe-blocks=N]"
                " [--batch-blocks=N] [--queue-depth=N] [--async=on|off]\n"
@@ -303,6 +361,9 @@ void print_cost(const Context& ctx, std::size_t n) {
   // stays byte-identical across thread counts and fault-free runs.
   if (io.retries > 0) {
     std::printf(" + %" PRIu64 " transient retries", io.retries);
+  }
+  if (io.worker_retries > 0) {
+    std::printf(" + %" PRIu64 " re-executed worker I/Os", io.worker_retries);
   }
   if (io.cache_hits > 0) {
     std::printf(" (%" PRIu64 " served from cache)", io.cache_hits);
@@ -507,6 +568,39 @@ int main(int argc, char** argv) {
       opt.kill_round =
           parse_u64(spec.substr(colon + 1).c_str(), "kill-worker round");
       if (opt.kill_round == 0) usage("--kill-worker round is 1-based");
+    } else if (arg.rfind("--hang-worker=", 0) == 0) {
+      const std::string spec = arg.substr(14);
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos) usage("--hang-worker takes W:R");
+      opt.hang_worker = static_cast<std::size_t>(
+          parse_u64(spec.substr(0, colon).c_str(), "hang-worker worker"));
+      opt.hang_round =
+          parse_u64(spec.substr(colon + 1).c_str(), "hang-worker round");
+      if (opt.hang_round == 0) usage("--hang-worker round is 1-based");
+    } else if (arg.rfind("--corrupt-frame=", 0) == 0) {
+      const std::string spec = arg.substr(16);
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos) usage("--corrupt-frame takes W:R");
+      opt.corrupt_worker = static_cast<std::size_t>(
+          parse_u64(spec.substr(0, colon).c_str(), "corrupt-frame worker"));
+      opt.corrupt_round =
+          parse_u64(spec.substr(colon + 1).c_str(), "corrupt-frame round");
+      if (opt.corrupt_round == 0) usage("--corrupt-frame round is 1-based");
+    } else if (arg.rfind("--max-worker-retries=", 0) == 0) {
+      opt.max_worker_retries =
+          parse_u64(arg.c_str() + 21, "max-worker-retries");
+    } else if (arg.rfind("--worker-timeout=", 0) == 0) {
+      char* end = nullptr;
+      opt.worker_timeout = std::strtod(arg.c_str() + 17, &end);
+      if (end == arg.c_str() + 17 || *end != '\0' || opt.worker_timeout < 0) {
+        usage("--worker-timeout takes seconds >= 0");
+      }
+    } else if (arg.rfind("--degrade-after=", 0) == 0) {
+      opt.degrade_after = parse_u64(arg.c_str() + 16, "degrade-after");
+    } else if (arg.rfind("--mem-workers=", 0) == 0) {
+      opt.mem_workers = static_cast<std::size_t>(
+          parse_u64(arg.c_str() + 14, "mem-workers"));
+      if (opt.mem_workers == 0) usage("--mem-workers must be positive");
     } else if (arg.rfind("--shards=", 0) == 0) {
       opt.shards =
           static_cast<std::size_t>(parse_u64(arg.c_str() + 9, "shards"));
