@@ -3,15 +3,16 @@
 //   ./equi_depth_histogram [n] [buckets]
 //
 // Build a (nearly) equi-depth histogram of a large on-disk column and use it
-// to answer selectivity estimates, comparing construction cost at several
-// slack levels.  With slack, the bucket boundaries come from approximate
-// K-splitters and construction undercuts both the exact quantile computation
-// and the trivial sort.
+// to answer selectivity estimates.  With slack, the bucket boundaries come
+// from approximate K-splitters and construction undercuts the exact quantile
+// computation.  The SplitterIndex keeps the partition resident: histograms
+// at any coarser k regroup the index buckets with zero further I/O, and
+// exact ranks cost one bucket scan instead of an estimate.
 #include <cinttypes>
 #include <cstdio>
 
-#include "apps/histogram.hpp"
 #include "core/api.hpp"
+#include "service/splitter_index.hpp"
 
 using namespace emsplit;
 
@@ -26,18 +27,19 @@ int main(int argc, char** argv) {
   auto host = make_workload(Workload::kUniform, n, /*seed=*/3);
   EmVector<Record> data = materialize<Record>(ctx, host);
 
-  std::printf("building %" PRIu64 "-bucket equi-depth histograms over %zu "
+  std::printf("building %" PRIu64 "-bucket splitter indexes over %zu "
               "records\n\n",
               buckets, n);
   std::printf("%12s %12s %12s %12s\n", "slack", "build_ios", "min_bucket",
               "max_bucket");
 
-  EquiDepthHistogram<Record> hist;
+  SplitterIndex<Record> idx;
   for (const double slack : {0.0, 0.9, 3.0}) {
     dev.reset_stats();
-    hist = build_equi_depth_histogram<Record>(ctx, data, buckets, slack);
+    idx = SplitterIndex<Record>::build(ctx, data, buckets, slack);
     std::uint64_t lo = ~0ULL, hi = 0;
-    for (const auto s : hist.sizes) {
+    for (std::size_t j = 0; j + 1 < idx.bounds().size(); ++j) {
+      const auto s = idx.bounds()[j + 1] - idx.bounds()[j];
       lo = std::min(lo, s);
       hi = std::max(hi, s);
     }
@@ -45,21 +47,39 @@ int main(int argc, char** argv) {
                 dev.stats().total(), lo, hi);
   }
 
-  // Use the last histogram as a query estimator.
-  std::printf("\nselectivity estimates from the slack=3.0 histogram:\n");
+  // Coarser histograms regroup the resident routing table: zero I/O.
+  std::printf("\nderived histograms from the slack=3.0 index:\n");
+  for (const std::uint64_t k : {std::uint64_t{4}, std::uint64_t{16}, buckets}) {
+    dev.reset_stats();
+    const auto h = idx.histogram(k);
+    std::printf("  k=%-3" PRIu64 " -> %zu buckets, %" PRIu64
+                " device I/Os\n",
+                k, h.value.buckets(), dev.stats().total());
+  }
+
+  // Use the last histogram as a query estimator, and the index itself for
+  // the exact answer the estimator approximates.
+  std::printf("\nselectivity at the slack=3.0 boundaries:\n");
+  const auto hist = idx.histogram(buckets).value;
   auto sorted_host = host;
   std::sort(sorted_host.begin(), sorted_host.end());
   for (const double frac : {0.10, 0.50, 0.90}) {
-    const auto idx = static_cast<std::size_t>(frac * static_cast<double>(n));
-    const Record probe = sorted_host[idx];
+    const auto i = static_cast<std::size_t>(frac * static_cast<double>(n));
+    const Record probe = sorted_host[i];
     const auto est = hist.estimate_rank(probe);
-    std::printf("  key at true rank %8zu -> estimated rank %8" PRIu64
-                "  (err %.2f%% of N)\n",
-                idx + 1, est,
+    const auto exact = idx.rank(probe);
+    std::printf("  true rank %8zu  estimate %8" PRIu64 " (err %.2f%% of N)"
+                "  exact %8" PRIu64 " in %" PRIu64 " I/Os\n",
+                i + 1, est,
                 100.0 *
-                    (est > idx + 1 ? static_cast<double>(est - idx - 1)
-                                   : static_cast<double>(idx + 1 - est)) /
-                    static_cast<double>(n));
+                    (est > i + 1 ? static_cast<double>(est - i - 1)
+                                 : static_cast<double>(i + 1 - est)) /
+                    static_cast<double>(n),
+                exact.value, exact.io.reads);
+    if (exact.value != i + 1) {
+      std::printf("  !! exact rank disagrees with the oracle\n");
+      return 1;
+    }
   }
   return 0;
 }

@@ -4,55 +4,24 @@
 // an equi-depth histogram with K buckets are exactly the output of
 // approximate K-splitters with a = b = N/K, and *relaxing* the bucket sizes
 // to [(1-slack)N/K, (1+slack)N/K] makes construction cheaper — sometimes
-// sublinear.  This module packages that as a small analytics utility:
-// build a histogram, then answer rank / selectivity estimates from it.
+// sublinear.  The EquiDepthHistogram type and the shared [a, b] spec now
+// live in the service layer (service/splitter_index.hpp) — the resident
+// server answers histogram(k) from its index with zero I/O; this header is
+// the batch adapter that builds one from scratch.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
-#include <vector>
+#include <utility>
 
 #include "core/splitters.hpp"
 #include "core/verify.hpp"
 #include "em/context.hpp"
 #include "em/em_vector.hpp"
+#include "service/splitter_index.hpp"
 
 namespace emsplit {
-
-/// A nearly equi-depth histogram: K buckets, bucket i covering
-/// (boundary[i-1], boundary[i]] with counted size sizes[i].
-template <EmRecord T>
-struct EquiDepthHistogram {
-  std::vector<T> boundaries;           ///< K-1 bucket boundaries (ascending)
-  std::vector<std::uint64_t> sizes;    ///< K exact bucket sizes
-  std::uint64_t total = 0;             ///< N
-
-  [[nodiscard]] std::size_t buckets() const { return sizes.size(); }
-
-  /// Estimated rank of `x` (midpoint of its bucket's rank range): the
-  /// standard equi-depth estimator, error at most half the bucket size.
-  template <typename Less = std::less<T>>
-  [[nodiscard]] std::uint64_t estimate_rank(const T& x, Less less = {}) const {
-    const auto it = std::lower_bound(
-        boundaries.begin(), boundaries.end(), x,
-        [&](const T& s, const T& v) { return less(s, v); });
-    const auto j = static_cast<std::size_t>(it - boundaries.begin());
-    std::uint64_t before = 0;
-    for (std::size_t i = 0; i < j; ++i) before += sizes[i];
-    return before + sizes[j] / 2;
-  }
-
-  /// Estimated number of elements in (lo, hi].
-  template <typename Less = std::less<T>>
-  [[nodiscard]] std::uint64_t estimate_range(const T& lo, const T& hi,
-                                             Less less = {}) const {
-    const auto rl = estimate_rank(lo, less);
-    const auto rh = estimate_rank(hi, less);
-    return rh >= rl ? rh - rl : 0;
-  }
-};
 
 /// Build a nearly equi-depth histogram with `buckets` buckets, allowing each
 /// bucket to deviate from N/K by a fraction `slack` (0 = exact equi-depth).
@@ -69,14 +38,7 @@ template <EmRecord T, typename Less = std::less<T>>
   if (slack < 0.0) {
     throw std::invalid_argument("histogram: slack must be non-negative");
   }
-  const double target = static_cast<double>(n) / static_cast<double>(buckets);
-  ApproxSpec spec{
-      .k = buckets,
-      .a = slack >= 1.0 ? 0
-                        : static_cast<std::uint64_t>((1.0 - slack) * target),
-      .b = static_cast<std::uint64_t>((1.0 + slack) * target) + 1};
-  spec.a = std::min<std::uint64_t>(spec.a, n / buckets);
-  spec.b = std::max<std::uint64_t>(spec.b, (n + buckets - 1) / buckets);
+  const ApproxSpec spec = equi_depth_spec(n, buckets, slack);
 
   EquiDepthHistogram<T> h;
   h.boundaries = approx_splitters<T, Less>(ctx, data, spec, less);

@@ -17,6 +17,7 @@
 #include "core/partitioning.hpp"
 #include "em/context.hpp"
 #include "em/em_vector.hpp"
+#include "service/splitter_index.hpp"
 
 namespace emsplit {
 
@@ -53,15 +54,9 @@ template <EmRecord T, typename Less = std::less<T>>
   if (tolerance < 0.0) {
     throw std::invalid_argument("balance_load: tolerance must be >= 0");
   }
-  const double ideal = static_cast<double>(n) / static_cast<double>(machines);
-  ApproxSpec spec{
-      .k = machines,
-      .a = tolerance >= 1.0
-               ? 0
-               : static_cast<std::uint64_t>((1.0 - tolerance) * ideal),
-      .b = static_cast<std::uint64_t>((1.0 + tolerance) * ideal) + 1};
-  spec.a = std::min<std::uint64_t>(spec.a, n / machines);
-  spec.b = std::max<std::uint64_t>(spec.b, (n + machines - 1) / machines);
+  // The [a, b] shape is the shared equi-depth spec (service layer) — the
+  // same expressions this header inlined before the service refactor.
+  const ApproxSpec spec = equi_depth_spec(n, machines, tolerance);
 
   LoadBalancePlan<T> plan;
   plan.assignment = approx_partitioning<T, Less>(ctx, data, spec, less);

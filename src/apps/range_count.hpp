@@ -4,30 +4,20 @@
 // |S ∩ (lo_j, hi_j]| for every query.  Online, each query would need an
 // index; offline, the batch reduces to rank computation for the 2Q range
 // endpoints, which is exactly the kind of repeated-rank work the paper's
-// machinery is built for.  Two strategies, both exposed:
-//
-//   * sort-merge (the classic): sort S once, sort the endpoints, one
-//     merged scan — Θ((N/B) lg_{M/B}(N/B) + Q lg Q).
-//   * splitter-based: ONE approximate-splitter pass gives a memory-resident
-//     bucket table; a counting scan then resolves every endpoint's rank up
-//     to bucket granularity, and a second scan of only the straddled
-//     buckets makes them exact.  For Q up to Θ(M), this is O(N/B + Q)
-//     I/Os — sublogarithmic where sorting pays its log.
-//
-// (The second strategy is this repository's own composition, not from the
-// paper — it shows what the splitters primitive is good for downstream.)
+// machinery is built for.  The rank engine itself lives in the service
+// layer (service/splitter_index.hpp, `scan_ranks`) — the resident server
+// answers the same queries online through a SplitterIndex; this header is
+// the batch adapter over the shared scan.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "em/context.hpp"
 #include "em/em_vector.hpp"
-#include "em/stream.hpp"
-#include "select/linear_splitters.hpp"
-#include "sort/external_sort.hpp"
+#include "service/splitter_index.hpp"
 
 namespace emsplit {
 
@@ -38,44 +28,14 @@ struct RangeQuery {
 };
 
 /// Exact ranks of arbitrary probe values: #{e in S : e <= probe_j} for all
-/// probes, in O(N/B + probes) I/Os for up to Θ(M) probes.  The workhorse
-/// for batched range counting; exposed for reuse.
+/// probes, in O(N/B + probes) I/Os for up to Θ(M) probes.  Thin adapter
+/// over the service-layer scan (kept for source compatibility and the
+/// batch-vs-index differential tests).
 template <EmRecord T, typename Less = std::less<T>>
 [[nodiscard]] std::vector<std::uint64_t> batched_ranks(
     Context& ctx, const EmVector<T>& data, std::vector<T> probes,
     Less less = {}) {
-  const std::size_t q = probes.size();
-  if (q == 0) return {};
-  // Sort probes, remember the inverse permutation.
-  std::vector<std::size_t> order(q);
-  for (std::size_t i = 0; i < q; ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
-    return less(probes[x], probes[y]);
-  });
-  std::vector<T> sorted_probes(q);
-  for (std::size_t i = 0; i < q; ++i) sorted_probes[i] = probes[order[i]];
-
-  // One scan, counting below each probe via binary search per record.
-  auto res = ctx.budget().reserve(q * (sizeof(T) + 8));
-  std::vector<std::uint64_t> counts(q, 0);
-  {
-    StreamReader<T> reader(data);
-    while (!reader.done()) {
-      const T e = reader.next();
-      // e contributes to every probe >= e: find the first such probe.
-      const auto it = std::lower_bound(
-          sorted_probes.begin(), sorted_probes.end(), e,
-          [&](const T& p, const T& x) { return less(p, x); });
-      const auto j = static_cast<std::size_t>(it - sorted_probes.begin());
-      if (j < q) ++counts[j];
-    }
-  }
-  // Prefix-sum: counts[j] currently holds #{e : probe_{j-1} < e <= probe_j}.
-  for (std::size_t j = 1; j < q; ++j) counts[j] += counts[j - 1];
-
-  std::vector<std::uint64_t> out(q);
-  for (std::size_t i = 0; i < q; ++i) out[order[i]] = counts[i];
-  return out;
+  return scan_ranks<T, Less>(ctx, data, std::move(probes), less);
 }
 
 /// Batched range counts via one scan (see header).  Queries may overlap and

@@ -5,7 +5,10 @@
 // I/Os — one rank selection for the threshold plus one filter scan —
 // instead of the sort-based O((N/B) log_{M/B}(N/B)) or the heap-based
 // O((N/B) log K) comparisons with a K-record memory footprint (which
-// breaks the budget once K > M).
+// breaks the budget once K > M).  The filter scan itself lives in the
+// service layer (service/splitter_index.hpp, `filter_exactly`) — the
+// resident server answers top_k(k) from its index instead; this header is
+// the batch adapter over threshold selection plus the shared filter.
 #pragma once
 
 #include <cstdint>
@@ -14,8 +17,8 @@
 
 #include "em/context.hpp"
 #include "em/em_vector.hpp"
-#include "em/stream.hpp"
 #include "select/base_case.hpp"
+#include "service/splitter_index.hpp"
 
 namespace emsplit {
 
@@ -30,20 +33,9 @@ template <EmRecord T, typename Less = std::less<T>>
   }
   // Threshold: the element of rank N-K+1; the top K are everything >= it.
   const T threshold = select_rank<T, Less>(ctx, input, n - k + 1, less);
-  EmVector<T> out(ctx, static_cast<std::size_t>(k));
-  StreamReader<T> reader(input);
-  StreamWriter<T> writer(out);
-  while (!reader.done()) {
-    const T e = reader.next();
-    if (!less(e, threshold)) writer.push(e);  // e >= threshold
-  }
-  writer.finish();
-  if (out.size() != k) {
-    throw std::logic_error(
-        "top_k: filter count mismatch (duplicate records? the library "
-        "requires a strict total order)");
-  }
-  return out;
+  return filter_exactly<T>(
+      ctx, input, k, [&](const T& e) { return !less(e, threshold); },  // >=
+      "top_k");
 }
 
 /// The K smallest records of `input`.
@@ -56,18 +48,9 @@ template <EmRecord T, typename Less = std::less<T>>
     throw std::invalid_argument("top_k: K must be in [1, N]");
   }
   const T threshold = select_rank<T, Less>(ctx, input, k, less);
-  EmVector<T> out(ctx, static_cast<std::size_t>(k));
-  StreamReader<T> reader(input);
-  StreamWriter<T> writer(out);
-  while (!reader.done()) {
-    const T e = reader.next();
-    if (!less(threshold, e)) writer.push(e);  // e <= threshold
-  }
-  writer.finish();
-  if (out.size() != k) {
-    throw std::logic_error("top_k: filter count mismatch");
-  }
-  return out;
+  return filter_exactly<T>(
+      ctx, input, k, [&](const T& e) { return !less(threshold, e); },  // <=
+      "top_k");
 }
 
 }  // namespace emsplit

@@ -1,6 +1,7 @@
 #include "em/block_device.hpp"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -44,6 +45,14 @@ BlockDevice::BlockDevice(std::size_t block_bytes) : block_bytes_(block_bytes) {
 }
 
 BlockDevice::~BlockDevice() = default;
+
+thread_local std::uint64_t BlockDevice::thread_cache_hits_ = 0;
+
+std::uint64_t BlockDevice::take_thread_cache_hits() noexcept {
+  const std::uint64_t hits = thread_cache_hits_;
+  thread_cache_hits_ = 0;
+  return hits;
+}
 
 IoStats BlockDevice::stats() const noexcept {
   IoStats s{reads_.load(std::memory_order_relaxed),
@@ -318,6 +327,8 @@ void BlockDevice::read_core(const char* op, BlockId first, std::uint64_t count,
       if (!hit) {
         do_read_blocks(first + done, d.allowed, sub);
         if (cache_ != nullptr) cache_->note_read(first + done, d.allowed, sub);
+      } else {
+        thread_cache_hits_ += d.allowed;
       }
       reads_.fetch_add(d.allowed, std::memory_order_relaxed);
       if (verify && !hit) verify_sums(first + done, d.allowed, sub);
@@ -558,29 +569,61 @@ void BlockDevice::do_write_blocks(BlockId first, std::uint64_t count,
 MemoryBlockDevice::MemoryBlockDevice(std::size_t block_bytes)
     : BlockDevice(block_bytes) {}
 
-MemoryBlockDevice::~MemoryBlockDevice() = default;
+MemoryBlockDevice::~MemoryBlockDevice() {
+  for (const Arena& a : arenas_) ::munmap(a.base, a.bytes);
+}
 
 void MemoryBlockDevice::do_grow(std::uint64_t new_size_blocks) {
   const std::unique_lock<std::shared_mutex> lock(mu_);
   blocks_.resize(new_size_blocks);  // lazily materialized pages
 }
 
+std::byte* MemoryBlockDevice::materialize(BlockId block) {
+  const std::lock_guard<std::mutex> lock(arena_mu_);
+  if (blocks_[block] != nullptr) return blocks_[block];  // lost the race
+  if (arenas_.empty() ||
+      arenas_.back().used + block_bytes() > arenas_.back().bytes) {
+    // MAP_SHARED so a forked worker's writes reach the parent; anonymous
+    // mappings come pre-zeroed, matching the sparse-read contract.
+    const std::size_t bytes =
+        std::max<std::size_t>(std::size_t{1} << 20, block_bytes());
+    void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) throw std::bad_alloc();
+    arenas_.push_back(Arena{static_cast<std::byte*>(p), bytes, 0});
+  }
+  Arena& a = arenas_.back();
+  std::byte* page = a.base + a.used;
+  a.used += block_bytes();
+  blocks_[block] = page;
+  return page;
+}
+
+void MemoryBlockDevice::prepare_fork() {
+  // Exclusive lock: forking happens at a quiescent point, and materializing
+  // the full table must not interleave with transfers resizing under us.
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  for (BlockId b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b] == nullptr) materialize(b);
+  }
+}
+
 void MemoryBlockDevice::read_one(BlockId block,
                                  std::span<std::byte> out) const {
-  const auto& page = blocks_[block];
+  const std::byte* page = blocks_[block];
   if (page == nullptr) {
     // Reading a never-written block yields zeroes (like a sparse file).
     std::memset(out.data(), 0, out.size());
     return;
   }
-  std::memcpy(out.data(), page.get(), out.size());
+  std::memcpy(out.data(), page, out.size());
 }
 
 void MemoryBlockDevice::write_one(BlockId block,
                                   std::span<const std::byte> in) {
-  auto& page = blocks_[block];
-  if (page == nullptr) page = std::make_unique<std::byte[]>(block_bytes());
-  std::memcpy(page.get(), in.data(), in.size());
+  std::byte* page = blocks_[block];
+  if (page == nullptr) page = materialize(block);
+  std::memcpy(page, in.data(), in.size());
 }
 
 void MemoryBlockDevice::do_read(BlockId block, std::span<std::byte> out) {

@@ -274,11 +274,34 @@ class BlockDevice {
   /// inherited handle while the parent's copy stays usable — the property the
   /// multi-worker layer (em/worker_group) needs to run cooperating processes
   /// against one shared device.  FileBlockDevice qualifies (positional
-  /// pread/pwrite on a shared fd and offset-free file growth);
-  /// MemoryBlockDevice does not (a child's writes land in copy-on-write pages
-  /// the parent never sees), and neither does UringBlockDevice (the ring's
-  /// submission/completion queues must not be driven from two processes).
+  /// pread/pwrite on a shared fd and offset-free file growth).
+  /// MemoryBlockDevice qualifies because its pages live in MAP_SHARED
+  /// anonymous arenas (prepare_fork materializes every page so a child never
+  /// needs to extend the page table).  UringBlockDevice qualifies in buffered
+  /// mode: the child must not drive the parent's ring, so child_after_fork
+  /// pins it to the positional pread/pwrite fallback over the shared fd.
   [[nodiscard]] virtual bool fork_safe() const noexcept { return false; }
+
+  /// Called in the parent, at a quiescent point, immediately before forking
+  /// cooperating workers.  A backend uses this to reach the state fork
+  /// sharing needs: MemoryBlockDevice materializes all pages into its shared
+  /// arenas; UringBlockDevice drains in-flight write-behind so children read
+  /// settled bytes.  Default: nothing to prepare.
+  virtual void prepare_fork() {}
+
+  /// Called once inside a freshly forked worker, before any transfer.  A
+  /// backend uses this to drop resources it must not share with the parent:
+  /// UringBlockDevice stops driving the inherited ring and falls back to
+  /// positional I/O.  The child _exits without running destructors, so this
+  /// must not need a matching teardown.  Default: nothing to do.
+  virtual void child_after_fork() noexcept {}
+
+  /// Drain and zero this thread's cache-hit counter.  read_core bumps a
+  /// thread_local counter on every cache-served block, so a query thread can
+  /// attribute hits to itself exactly even while other threads share the
+  /// device: clear before the query, take after.  The device-wide totals in
+  /// stats() are unaffected.
+  [[nodiscard]] static std::uint64_t take_thread_cache_hits() noexcept;
 
   /// Fold I/O performed on this device by a cooperating forked worker into
   /// the counters: the child's transfers moved real blocks of the shared
@@ -472,6 +495,12 @@ class BlockDevice {
     std::uint64_t sum = 0;
   };
 
+  /// Per-thread cache-hit tally for take_thread_cache_hits(); thread-owned,
+  /// so no synchronization.  Shared across BlockDevice instances on purpose —
+  /// a query runs against one device at a time, and a sharded facade's
+  /// members all credit the same querying thread.
+  static thread_local std::uint64_t thread_cache_hits_;
+
   std::size_t block_bytes_;
   std::atomic<std::uint64_t> size_blocks_{0};
   std::uint64_t allocated_blocks_ = 0;
@@ -546,6 +575,13 @@ class MemoryBlockDevice final : public BlockDevice {
   explicit MemoryBlockDevice(std::size_t block_bytes);
   ~MemoryBlockDevice() override;
 
+  /// Pages live in MAP_SHARED anonymous arenas, so a forked worker's writes
+  /// land in memory the parent sees.  prepare_fork materializes every page
+  /// up front — the page *table* (blocks_) is ordinary copy-on-write memory,
+  /// so children must never need to install a new page pointer.
+  [[nodiscard]] bool fork_safe() const noexcept override { return true; }
+  void prepare_fork() override;
+
  protected:
   void do_read(BlockId block, std::span<std::byte> out) override;
   void do_write(BlockId block, std::span<const std::byte> in) override;
@@ -556,13 +592,28 @@ class MemoryBlockDevice final : public BlockDevice {
   void do_grow(std::uint64_t new_size_blocks) override;
 
  private:
+  /// One mmap'd MAP_SHARED | MAP_ANONYMOUS chunk; pages are bump-allocated
+  /// from it and returned only when the device is destroyed (like the old
+  /// per-page heap allocations, which also lived until destruction).
+  struct Arena {
+    std::byte* base = nullptr;
+    std::size_t bytes = 0;
+    std::size_t used = 0;
+  };
+
   // Locked copy loops; `mu_` is held shared during transfers (they touch
   // disjoint blocks) and exclusively while do_grow resizes the page table.
   void read_one(BlockId block, std::span<std::byte> out) const;
   void write_one(BlockId block, std::span<const std::byte> in);
+  /// Install a shared-arena page for `block` (idempotent).  Serialized by
+  /// `arena_mu_`, acquired after the shared transfer lock — first writes to
+  /// distinct blocks race on the bump pointer, not on the transfers.
+  std::byte* materialize(BlockId block);
 
   mutable std::shared_mutex mu_;
-  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::vector<std::byte*> blocks_;  // nullptr = never written (reads as zero)
+  std::mutex arena_mu_;
+  std::vector<Arena> arenas_;
 };
 
 /// File-backed device for wall-clock experiments and crash-recoverable runs.

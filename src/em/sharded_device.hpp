@@ -78,6 +78,15 @@ class ShardedBlockDevice final : public BlockDevice {
   /// idempotent, so cooperating processes compose member-wise.
   [[nodiscard]] bool fork_safe() const noexcept override;
 
+  /// Fork hooks forward to every member (members own the shared state; the
+  /// facade itself is stripe arithmetic plus counters).
+  void prepare_fork() override {
+    for (auto& m : members_) m->prepare_fork();
+  }
+  void child_after_fork() noexcept override {
+    for (auto& m : members_) m->child_after_fork();
+  }
+
   /// A forked worker's delta is folded member-wise: each per-shard row — the
   /// child's member counters plus the facade retries it attributed to that
   /// shard — lands in the owning member's counters, preserving the

@@ -601,10 +601,28 @@ void UringBlockDevice::ring_read(BlockId, std::uint64_t,
 // BlockDevice hooks
 // ---------------------------------------------------------------------------
 
+void UringBlockDevice::prepare_fork() {
+  // Settle the file before children share it: seal every open coalescing
+  // window and wait out the in-flight completions, so a child's positional
+  // reads observe the newest enqueued writes.
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_fd_ < 0) return;
+  drain_writes(nullptr);
+  rethrow_pending();
+}
+
+void UringBlockDevice::child_after_fork() noexcept {
+  // The inherited ring's queues belong to the parent; a child driving them
+  // would corrupt both processes' accounting.  Pin the child to the
+  // positional branch (mu_ was quiescent at fork, so no lock is needed, and
+  // the child _exits without running this object's destructor).
+  forked_child_ = true;
+}
+
 void UringBlockDevice::do_read_blocks(BlockId first, std::uint64_t count,
                                       std::span<std::byte> out) {
   const std::lock_guard<std::mutex> lock(mu_);
-  if (ring_fd_ < 0) {
+  if (ring_fd_ < 0 || forked_child_) {
     detail::posix_pread_span(fd_, first * block_bytes(), out,
                              "UringBlockDevice");
     return;
@@ -615,7 +633,7 @@ void UringBlockDevice::do_read_blocks(BlockId first, std::uint64_t count,
 void UringBlockDevice::do_write_blocks(BlockId first, std::uint64_t count,
                                        std::span<const std::byte> in) {
   const std::lock_guard<std::mutex> lock(mu_);
-  if (ring_fd_ < 0) {
+  if (ring_fd_ < 0 || forked_child_) {
     detail::posix_pwrite_span(fd_, first * block_bytes(), in,
                               "UringBlockDevice");
     return;
@@ -643,7 +661,7 @@ void UringBlockDevice::do_grow(std::uint64_t new_size_blocks) {
 }
 
 void UringBlockDevice::do_discard(const BlockRange& range) noexcept {
-  if (ring_fd_ < 0) return;
+  if (ring_fd_ < 0 || forked_child_) return;
   try {
     const std::lock_guard<std::mutex> lock(mu_);
     // Drain writes into the freed extent so a recycled block can never be

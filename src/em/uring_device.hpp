@@ -108,6 +108,15 @@ class UringBlockDevice final : public BlockDevice {
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] std::string sidecar_path() const { return path_ + ".sums"; }
 
+  /// Buffered mode is fork-safe: children never drive the parent's ring —
+  /// child_after_fork pins them to positional pread/pwrite on the shared fd
+  /// (the same path the no-ring fallback uses), and prepare_fork drains
+  /// write-behind so children read settled bytes.  Direct mode is not: the
+  /// positional fallback moves unaligned user spans, which O_DIRECT rejects.
+  [[nodiscard]] bool fork_safe() const noexcept override { return !direct_; }
+  void prepare_fork() override;
+  void child_after_fork() noexcept override;
+
  protected:
   void do_read(BlockId block, std::span<std::byte> out) override;
   void do_write(BlockId block, std::span<const std::byte> in) override;
@@ -165,6 +174,9 @@ class UringBlockDevice final : public BlockDevice {
   bool keep_file_;
   bool direct_ = false;
   Tuning tuning_;
+  /// Set inside a forked worker: transfers take the positional branch and
+  /// never touch the inherited ring (whose queues belong to the parent).
+  bool forked_child_ = false;
 
   // Ring state (valid iff ring_fd_ >= 0), all guarded by mu_.
   int ring_fd_ = -1;

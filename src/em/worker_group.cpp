@@ -121,6 +121,9 @@ std::optional<Frame> parse_body(std::span<const std::byte> body) {
   const WorkerTuning wt = parent.worker_tuning();
   if (wt.kill_round == round_no && wt.kill_worker == w) ::_exit(137);
   BlockDevice& dev = parent.device();
+  // Drop what must not be shared with the parent (e.g. the inherited uring's
+  // queues) before the first transfer.
+  dev.child_after_fork();
   // The block cache is coordinator state: this child's copy is copy-on-write
   // and its hits would double-count against the parent's live counters when
   // the delta is absorbed.  Detach before the first snapshot.
@@ -317,6 +320,9 @@ void WorkerGroup::recover_worker(std::size_t w, const RoundBody& body,
 RoundOutcome WorkerGroup::round_forked(const RoundBody& body) {
   const WorkerTuning wt = ctx_->worker_tuning();
   BlockDevice& dev = ctx_->device();
+  // Let the backend reach the state fork sharing needs (materialize shared
+  // pages, settle write-behind) before any child exists.
+  dev.prepare_fork();
   struct Child {
     pid_t pid = -1;
     int rfd = -1;

@@ -1,0 +1,507 @@
+// server.cpp — SplitterServer: admission, epoch publish/recover, socket.
+
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "em/checkpoint.hpp"
+#include "em/file_io.hpp"
+#include "em/memory_budget.hpp"
+
+namespace emsplit {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+[[nodiscard]] bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  const char* b = s.data();
+  const char* e = b + s.size();
+  const auto [p, ec] = std::from_chars(b, e, out);
+  return ec == std::errc{} && p == e;
+}
+
+[[nodiscard]] bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t w = ::write(fd, data.data() + off, data.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+SplitterServer::SplitterServer(Context& ctx, Config cfg)
+    : ctx_(&ctx), cfg_(std::move(cfg)) {}
+
+SplitterServer::~SplitterServer() = default;
+
+bool SplitterServer::persistent() const {
+  return ctx_->checkpoint() != nullptr && !cfg_.state_dir.empty();
+}
+
+std::uint64_t SplitterServer::epoch_fingerprint(std::uint64_t epoch) const {
+  // Epoch-numbered service fingerprint: tag + geometry + epoch.  Distinct
+  // from every sort/partition fingerprint by the leading tag word.
+  std::uint64_t h = fingerprint_mix(kFingerprintSeed, 0x53504C4954535256ULL);
+  h = fingerprint_mix(h, cfg_.buckets);
+  h = fingerprint_mix(h, ctx_->block_bytes());
+  h = fingerprint_mix(h, epoch);
+  return h;
+}
+
+std::string SplitterServer::current_path() const {
+  return cfg_.state_dir + "/SERVICE_CURRENT";
+}
+
+void SplitterServer::write_current(std::uint64_t epoch) const {
+  // Write-to-temp + atomic rename: the CURRENT file either names the old
+  // epoch or the new one, never a torn value.
+  const std::string path = current_path();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("service: cannot write " + tmp);
+  }
+  const bool ok = std::fprintf(f, "%llu\n",
+                               static_cast<unsigned long long>(epoch)) > 0;
+  if (std::fclose(f) != 0 || !ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("service: cannot publish " + path);
+  }
+}
+
+std::shared_ptr<const SplitterServer::Index> SplitterServer::snapshot(
+    std::uint64_t& epoch_out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  epoch_out = epoch_;
+  return current_;
+}
+
+std::uint64_t SplitterServer::epoch() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+std::uint64_t SplitterServer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return current_ ? current_->size() : 0;
+}
+
+SplitterServer::Index SplitterServer::build_epoch() {
+  if (cfg_.source_path.empty()) {
+    throw std::invalid_argument("service: no source file configured");
+  }
+  EmVector<Record> data = import_file<Record>(*ctx_, cfg_.source_path);
+  if (data.size() == 0) {
+    throw std::invalid_argument("service: source file is empty");
+  }
+  const std::uint64_t kk = std::min<std::uint64_t>(cfg_.buckets, data.size());
+  return Index::build(*ctx_, data, kk, cfg_.slack);
+}
+
+void SplitterServer::publish(Index idx) {
+  std::uint64_t next = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    next = epoch_ + 1;
+  }
+  CheckpointJournal* jr = persistent() ? ctx_->checkpoint() : nullptr;
+  std::shared_ptr<const Index> fresh;
+  if (jr != nullptr) {
+    const std::uint64_t fp = epoch_fingerprint(next);
+    // A crash between a previous publish and its CURRENT bump leaves an
+    // orphan under this fingerprint; reclaim it before re-publishing.
+    if (jr->resume_sort(fp)) {
+      ctx_->device().deallocate(jr->take_sort_extent(fp));
+    }
+    const std::uint64_t n = idx.size();
+    std::vector<std::uint64_t> bounds = idx.bounds();
+    std::vector<Record> uppers = idx.uppers();
+    std::vector<std::uint64_t> payload;
+    payload.reserve(2 + bounds.size() + 2 * uppers.size());
+    payload.push_back(1);  // payload version
+    payload.push_back(bounds.size() - 1);
+    payload.insert(payload.end(), bounds.begin(), bounds.end());
+    for (const Record& u : uppers) {
+      payload.push_back(u.key);
+      payload.push_back(u.payload);
+    }
+    BlockRange extent = idx.data().release_extent();
+    // The crash-injection point: set_crash_after_publishes() fires inside
+    // this append, after the journal entry lands but before CURRENT moves.
+    jr->publish_sort_pass(fp, 1, extent, n, payload);
+    EmVector<Record> view =
+        EmVector<Record>::adopt(*ctx_, extent, n, /*owning=*/false);
+    fresh = std::make_shared<Index>(Index::adopt(
+        *ctx_, std::move(view), std::move(bounds), std::move(uppers)));
+    write_current(next);
+  } else {
+    fresh = std::make_shared<Index>(std::move(idx));
+  }
+  std::shared_ptr<const Index> old;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    old = std::exchange(current_, std::move(fresh));
+    epoch_ = next;
+  }
+  if (old) {
+    // Queries in flight pinned the old snapshot; wait them out, then retire
+    // the superseded epoch's blocks.
+    while (old.use_count() > 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    old.reset();
+    if (jr != nullptr) {
+      const std::uint64_t pfp = epoch_fingerprint(next - 1);
+      if (jr->resume_sort(pfp)) {
+        ctx_->device().deallocate(jr->take_sort_extent(pfp));
+      }
+    }
+  }
+}
+
+bool SplitterServer::recover() {
+  CheckpointJournal* jr = persistent() ? ctx_->checkpoint() : nullptr;
+  if (jr == nullptr) return false;
+  std::FILE* f = std::fopen(current_path().c_str(), "r");
+  if (f == nullptr) return false;
+  unsigned long long e = 0;
+  const bool read_ok = std::fscanf(f, "%llu", &e) == 1;
+  std::fclose(f);
+  if (!read_ok || e == 0) return false;
+  const auto st = jr->resume_sort(epoch_fingerprint(e));
+  if (!st) return false;
+
+  const std::vector<std::uint64_t>& p = st->offsets;
+  if (p.size() < 3 || p[0] != 1) {
+    throw std::runtime_error("service: corrupt epoch payload (header)");
+  }
+  const std::uint64_t kk = p[1];
+  if (kk == 0 || p.size() != 3 * kk + 3) {
+    throw std::runtime_error("service: corrupt epoch payload (shape)");
+  }
+  std::vector<std::uint64_t> bounds(
+      p.begin() + 2, p.begin() + 2 + static_cast<std::ptrdiff_t>(kk) + 1);
+  std::vector<Record> uppers(static_cast<std::size_t>(kk));
+  for (std::size_t i = 0; i < uppers.size(); ++i) {
+    uppers[i] = Record{p[3 + static_cast<std::size_t>(kk) + 2 * i],
+                       p[4 + static_cast<std::size_t>(kk) + 2 * i]};
+  }
+  if (bounds.back() != st->size) {
+    throw std::runtime_error("service: corrupt epoch payload (size)");
+  }
+  EmVector<Record> view = EmVector<Record>::adopt(
+      *ctx_, st->extent, static_cast<std::size_t>(st->size), /*owning=*/false);
+  auto idx = std::make_shared<Index>(Index::adopt(
+      *ctx_, std::move(view), std::move(bounds), std::move(uppers)));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(idx);
+    epoch_ = e;
+  }
+  // A crash mid-refresh may have left the *next* epoch published in the
+  // journal with CURRENT still naming this one: reclaim the orphan.
+  const std::uint64_t nfp = epoch_fingerprint(e + 1);
+  if (jr->resume_sort(nfp)) {
+    ctx_->device().deallocate(jr->take_sort_extent(nfp));
+  }
+  recovered_ = true;
+  return true;
+}
+
+void SplitterServer::start() {
+  const std::lock_guard<std::mutex> lock(refresh_mu_);
+  if (recover()) return;
+  publish(build_epoch());
+}
+
+std::uint64_t SplitterServer::refresh() {
+  const std::lock_guard<std::mutex> lock(refresh_mu_);
+  publish(build_epoch());
+  return epoch();
+}
+
+SplitterServer::Reply SplitterServer::query(const Request& req,
+                                            std::uint64_t client) {
+  const auto t0 = Clock::now();
+  Reply rep;
+  std::shared_ptr<const Index> idx = snapshot(rep.epoch);
+  QueryTrace row;
+  row.kind = query_kind_name(req.kind);
+  row.client = client;
+  row.epoch = rep.epoch;
+  row.k = req.k;
+  if (!idx) {
+    rep.admission = "error";
+    rep.error = "service not started";
+    rep.seconds = seconds_since(t0);
+    row.admission = rep.admission;
+    row.detail = rep.error;
+    row.seconds = rep.seconds;
+    trace_.record(std::move(row));
+    return rep;
+  }
+
+  // Admission: cost the request, charge the budget, queue briefly, shed.
+  const std::uint64_t need = idx->footprint_bytes(req.kind, req.k);
+  rep.admission = "admit";
+  std::optional<MemoryReservation> ticket = ctx_->budget().try_reserve(need);
+  while (!ticket && !stop_.load()) {
+    if (seconds_since(t0) >= cfg_.queue_wait) break;
+    rep.admission = "queued";
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    ticket = ctx_->budget().try_reserve(need);
+  }
+  rep.queue_seconds = seconds_since(t0);
+  if (!ticket) {
+    rep.admission = "shed";
+    rep.error = "over budget: query needs " + std::to_string(need) + " bytes";
+    shed_.fetch_add(1);
+  } else {
+    // Two-phase admission: drop the ticket so the engine can reserve its
+    // actual working set (the estimate is an upper bound on it).  A query
+    // racing past admission into a collision sheds at the engine's own
+    // reserve instead.
+    ticket.reset();
+    try {
+      switch (req.kind) {
+        case QueryKind::kRank: {
+          const auto r = idx->rank(req.lo);
+          rep.value = r.value;
+          rep.io = r.io;
+          break;
+        }
+        case QueryKind::kRange: {
+          const auto r = idx->range_count(req.lo, req.hi);
+          rep.value = r.value;
+          rep.io = r.io;
+          break;
+        }
+        case QueryKind::kHistogram: {
+          auto r = idx->histogram(req.k);
+          rep.hist = std::move(r.value);
+          rep.io = r.io;
+          break;
+        }
+        case QueryKind::kTopK: {
+          auto r = idx->top_k(req.k, req.largest);
+          rep.records = std::move(r.value);
+          rep.io = r.io;
+          break;
+        }
+      }
+      rep.ok = true;
+      served_.fetch_add(1);
+    } catch (const BudgetExceeded& ex) {
+      rep.admission = "shed";
+      rep.error = ex.what();
+      shed_.fetch_add(1);
+    } catch (const std::exception& ex) {
+      rep.admission = "error";
+      rep.error = ex.what();
+    }
+  }
+  rep.seconds = seconds_since(t0);
+
+  row.admission = rep.admission;
+  row.ok = rep.ok;
+  row.queue_seconds = rep.queue_seconds;
+  row.seconds = rep.seconds;
+  row.io = rep.io;
+  row.value = rep.value;
+  row.detail = rep.error;
+  trace_.record(std::move(row));
+  return rep;
+}
+
+std::string SplitterServer::handle_line(const std::string& line,
+                                        std::uint64_t client,
+                                        bool& close_conn) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+
+  const auto bad = [&](const std::string& why) {
+    QueryTrace row;
+    row.kind = "?";
+    row.client = client;
+    row.epoch = epoch();
+    row.admission = "error";
+    row.detail = why + ": " + line;
+    trace_.record(std::move(row));
+    return "ERR " + why + "\n";
+  };
+  const auto u64_arg = [&](std::uint64_t& out) {
+    std::string tok;
+    return static_cast<bool>(in >> tok) && parse_u64(tok, out);
+  };
+
+  if (cmd == "RANK" || cmd == "RANGE") {
+    Request req;
+    req.kind = cmd == "RANK" ? QueryKind::kRank : QueryKind::kRange;
+    std::uint64_t lo = 0;
+    if (!u64_arg(lo)) return bad("usage: " + cmd + " <key> [<key>]");
+    // Key-level probes: payload saturated, so rank(key) counts every record
+    // with a key <= the probe regardless of payload.
+    req.lo = Record{lo, ~0ULL};
+    if (req.kind == QueryKind::kRange) {
+      std::uint64_t hi = 0;
+      if (!u64_arg(hi)) return bad("usage: RANGE <lo-key> <hi-key>");
+      req.hi = Record{hi, ~0ULL};
+    }
+    const Reply rep = query(req, client);
+    if (!rep.ok) return (rep.admission == "shed" ? "SHED " : "ERR ") + rep.error + "\n";
+    return "OK " + std::to_string(rep.value) + "\n";
+  }
+  if (cmd == "HIST") {
+    Request req;
+    req.kind = QueryKind::kHistogram;
+    if (!u64_arg(req.k)) return bad("usage: HIST <k>");
+    const Reply rep = query(req, client);
+    if (!rep.ok) return (rep.admission == "shed" ? "SHED " : "ERR ") + rep.error + "\n";
+    std::string out = "OK " + std::to_string(rep.hist.buckets()) + " " +
+                      std::to_string(rep.hist.total) + "\n";
+    for (std::size_t i = 0; i < rep.hist.buckets(); ++i) {
+      out += "BUCKET " + std::to_string(rep.hist.sizes[i]);
+      if (i < rep.hist.boundaries.size()) {
+        out += " " + std::to_string(rep.hist.boundaries[i].key);
+      }
+      out += "\n";
+    }
+    return out + "END\n";
+  }
+  if (cmd == "TOPK") {
+    Request req;
+    req.kind = QueryKind::kTopK;
+    if (!u64_arg(req.k)) return bad("usage: TOPK <k> [MIN]");
+    std::string dir;
+    if (in >> dir) {
+      if (dir == "MIN") {
+        req.largest = false;
+      } else if (dir != "MAX") {
+        return bad("usage: TOPK <k> [MIN]");
+      }
+    }
+    const Reply rep = query(req, client);
+    if (!rep.ok) return (rep.admission == "shed" ? "SHED " : "ERR ") + rep.error + "\n";
+    std::string out = "OK " + std::to_string(rep.records.size()) + "\n";
+    for (const Record& r : rep.records) {
+      out += "REC " + std::to_string(r.key) + " " + std::to_string(r.payload) +
+             "\n";
+    }
+    return out + "END\n";
+  }
+  if (cmd == "STATS") {
+    return "OK epoch=" + std::to_string(epoch()) +
+           " n=" + std::to_string(size()) +
+           " served=" + std::to_string(served_.load()) +
+           " shed=" + std::to_string(shed_.load()) + "\n";
+  }
+  if (cmd == "EPOCH") {
+    return "OK " + std::to_string(epoch()) + "\n";
+  }
+  if (cmd == "REFRESH") {
+    try {
+      return "OK " + std::to_string(refresh()) + "\n";
+    } catch (const std::exception& ex) {
+      return std::string("ERR ") + ex.what() + "\n";
+    }
+  }
+  if (cmd == "SHUTDOWN") {
+    close_conn = true;
+    stop();
+    return "OK bye\n";
+  }
+  return bad("unknown command");
+}
+
+void SplitterServer::serve_conn(int fd, std::uint64_t client) {
+  std::string buf;
+  char tmp[4096];
+  bool close_conn = false;
+  while (!close_conn && !stop_.load()) {
+    const auto nl = buf.find('\n');
+    if (nl == std::string::npos) {
+      pollfd p{};
+      p.fd = fd;
+      p.events = POLLIN;
+      const int pr = ::poll(&p, 1, 100);
+      if (pr < 0 && errno != EINTR) break;
+      if (pr <= 0) continue;
+      const ssize_t r = ::read(fd, tmp, sizeof(tmp));
+      if (r <= 0) break;
+      buf.append(tmp, static_cast<std::size_t>(r));
+      continue;
+    }
+    std::string line = buf.substr(0, nl);
+    buf.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::string out = handle_line(line, client, close_conn);
+    if (!out.empty() && !write_all(fd, out)) break;
+  }
+  ::close(fd);
+}
+
+void SplitterServer::serve_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("service: socket path too long");
+  }
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                socket_path.c_str());
+
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (lfd < 0) throw std::runtime_error("service: socket() failed");
+  ::unlink(socket_path.c_str());
+  if (::bind(lfd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(lfd, 64) < 0) {
+    ::close(lfd);
+    throw std::runtime_error("service: cannot listen on " + socket_path);
+  }
+
+  std::vector<std::thread> conns;
+  std::uint64_t next_client = 0;
+  while (!stop_.load()) {
+    pollfd p{};
+    p.fd = lfd;
+    p.events = POLLIN;
+    const int pr = ::poll(&p, 1, 100);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0) continue;
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    ++next_client;
+    conns.emplace_back(&SplitterServer::serve_conn, this, cfd, next_client);
+  }
+  for (std::thread& t : conns) t.join();
+  ::close(lfd);
+  ::unlink(socket_path.c_str());
+}
+
+}  // namespace emsplit

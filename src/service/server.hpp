@@ -1,0 +1,152 @@
+// server.hpp — the resident splitter service.
+//
+// SplitterServer keeps one SplitterIndex<Record> epoch resident and serves
+// rank / range / histogram / top-k queries from N concurrent client threads,
+// through two front ends:
+//
+//   * the in-process API (query()): used by the tests, the examples and the
+//     bench harness — a Request in, a Reply out, thread-safe.
+//   * a line-protocol Unix-domain socket (serve_unix()): one serving thread
+//     per connection, the `emsplit query` client on the other end.
+//
+// Admission control: every request is costed with the index's
+// footprint_bytes() estimate and charged against the context's MemoryBudget
+// via try_reserve().  An over-budget request queues (polling) for up to
+// Config::queue_wait seconds, then sheds with a structured reject.  The
+// admission ticket is released before the engine runs — the engine reserves
+// its actual working set itself — so admission is two-phase and approximate:
+// a query that slips past admission into a budget collision simply sheds at
+// its own reserve() instead (caught, never fatal).
+//
+// Epoch refresh: refresh() rebuilds the index from the source file and
+// publishes the result atomically.  With a checkpoint journal attached the
+// publish is crash-consistent:
+//
+//   1. the new epoch's extent + geometry go into the journal
+//      (publish_sort_pass under an epoch-numbered fingerprint),
+//   2. the CURRENT file (state_dir/SERVICE_CURRENT) is bumped by
+//      write-to-temp + atomic rename,
+//   3. the snapshot pointer is swapped; queries in flight keep the old
+//      epoch alive until they drain, then its blocks are retired.
+//
+// A crash between (1) and (2) — the injection point the kill tests use —
+// leaves the journal holding an orphaned next epoch: restart serves the
+// CURRENT epoch and reclaims the orphan's blocks.  Queries never block on a
+// refresh; they read whichever epoch is published when they snapshot.
+//
+// Threading: query() is safe from any thread.  start()/refresh() serialize
+// on an internal mutex and are the only paths that touch the device
+// allocator, preserving the substrate's single-allocator-thread rule.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "em/context.hpp"
+#include "service/splitter_index.hpp"
+#include "util/record.hpp"
+
+namespace emsplit {
+
+class SplitterServer {
+ public:
+  struct Config {
+    std::string source_path;    ///< record file each (re)build reads
+    std::uint64_t buckets = 64; ///< index buckets K
+    double slack = 0.25;        ///< equi-depth slack for the build
+    double queue_wait = 0.05;   ///< seconds an over-budget query may queue
+    std::string state_dir;      ///< CURRENT-file home ("" = ephemeral)
+  };
+
+  struct Request {
+    QueryKind kind = QueryKind::kRank;
+    Record lo{};                ///< rank probe / range lower bound
+    Record hi{};                ///< range upper bound
+    std::uint64_t k = 0;        ///< histogram buckets / top-k k
+    bool largest = true;        ///< top-k direction
+  };
+
+  struct Reply {
+    bool ok = false;
+    std::string admission;      ///< "admit" | "queued" | "shed" | "error"
+    std::string error;          ///< reject reason / error text
+    std::uint64_t value = 0;    ///< rank / range count
+    EquiDepthHistogram<Record> hist;
+    std::vector<Record> records;  ///< top-k records, ascending
+    IoStats io;                 ///< the query's own I/O
+    double seconds = 0;         ///< total latency, queueing included
+    double queue_seconds = 0;   ///< admission wait
+    std::uint64_t epoch = 0;    ///< epoch that served (or rejected) it
+  };
+
+  SplitterServer(Context& ctx, Config cfg);
+  ~SplitterServer();
+
+  SplitterServer(const SplitterServer&) = delete;
+  SplitterServer& operator=(const SplitterServer&) = delete;
+
+  /// Bring the service up: recover the last published epoch from the
+  /// checkpoint journal if one is attached and holds state, otherwise build
+  /// epoch 1 from the source file and publish it.
+  void start();
+
+  /// True when start() served the journal's epoch instead of rebuilding —
+  /// what the restart smoke asserts after a mid-refresh kill.
+  [[nodiscard]] bool recovered() const noexcept { return recovered_; }
+
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] std::uint64_t size() const;
+  [[nodiscard]] std::uint64_t served() const noexcept { return served_; }
+  [[nodiscard]] std::uint64_t shed() const noexcept { return shed_; }
+
+  /// Answer one request (thread-safe).  `client` tags the trace row.
+  Reply query(const Request& req, std::uint64_t client = 0);
+
+  /// Rebuild from the source file and publish the next epoch; returns it.
+  std::uint64_t refresh();
+
+  /// Accept-and-serve loop on a Unix-domain socket (blocks until stop()).
+  void serve_unix(const std::string& socket_path);
+
+  /// Ask serve_unix() to wind down; safe from any thread / signal context.
+  void stop() noexcept { stop_.store(true); }
+
+  [[nodiscard]] QueryTraceLog& trace() noexcept { return trace_; }
+
+ private:
+  using Index = SplitterIndex<Record>;
+
+  [[nodiscard]] std::shared_ptr<const Index> snapshot(
+      std::uint64_t& epoch_out) const;
+  [[nodiscard]] std::uint64_t epoch_fingerprint(std::uint64_t epoch) const;
+  [[nodiscard]] bool persistent() const;
+  [[nodiscard]] Index build_epoch();
+  void publish(Index idx);
+  [[nodiscard]] bool recover();
+  void write_current(std::uint64_t epoch) const;
+  [[nodiscard]] std::string current_path() const;
+  void serve_conn(int fd, std::uint64_t client);
+  [[nodiscard]] std::string handle_line(const std::string& line,
+                                        std::uint64_t client, bool& close_conn);
+
+  Context* ctx_;
+  Config cfg_;
+  QueryTraceLog trace_;
+
+  mutable std::mutex mu_;  ///< guards current_ / epoch_
+  std::shared_ptr<const Index> current_;
+  std::uint64_t epoch_ = 0;
+
+  std::mutex refresh_mu_;  ///< serializes start/refresh (allocator work)
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  bool recovered_ = false;
+};
+
+}  // namespace emsplit

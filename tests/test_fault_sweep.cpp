@@ -333,8 +333,8 @@ struct SweepRun {
   std::vector<SupervisionEvent> events;       // concatenated over all passes
 };
 
-/// One supervised distributed run.  Empty `path` = memory device (inline
-/// workers); otherwise a FileBlockDevice (forked workers).
+/// One supervised distributed run.  Empty `path` = memory device; otherwise
+/// a FileBlockDevice.  Both fork their workers (all devices are fork-safe).
 SweepRun run_supervised(const std::string& path, bool partition,
                         const std::vector<Record>& host,
                         const WorkerTuning& wt) {
@@ -390,7 +390,7 @@ TEST_P(WorkerFaultSweep, EveryWorkerRoundPositionRecoversToIdenticalRun) {
   const auto host = make_workload(Workload::kUniform, kWgRecords, 31);
 
   for (const bool partition : {false, true}) {
-    const std::string tag = std::string(use_file ? "forked/" : "inline/") +
+    const std::string tag = std::string(use_file ? "file/" : "mem/") +
                             (partition ? "mpart" : "dsort");
     const std::string path =
         use_file ? testing::TempDir() + "/wsweep_" +

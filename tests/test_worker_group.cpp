@@ -2,10 +2,12 @@
 //
 // The matrix test runs distribution_sort and multi_partition under every
 // combination of worker count W in {1, 2, 4}, I/O tuning (sync, batched,
-// async) and backend (memory -> inline workers, file -> forked workers) and
-// asserts the whole contract at once: output bytes bit-identical across W,
-// logical IoStats totals identical across W, and every distributed pass's
-// per-worker trace rows partitioning that pass's I/O delta exactly.
+// async) and backend (memory, file and io_uring -- all fork-safe since the
+// memory device moved to MAP_SHARED arenas -- plus memory with workers
+// forced inline via EMSPLIT_WORKERS_INLINE) and asserts the whole contract
+// at once: output bytes bit-identical across W, logical IoStats totals
+// identical across W, and every distributed pass's per-worker trace rows
+// partitioning that pass's I/O delta exactly.
 //
 // The kill tests arm WorkerTuning's crash injection so one worker dies at
 // the start of a distributed round; with a journal attached the rerun must
@@ -29,10 +31,13 @@
 #include <string>
 #include <vector>
 
+#include <cstdlib>
+
 #include "core/api.hpp"
 #include "dist/dist_plan.hpp"
 #include "em/checkpoint.hpp"
 #include "em/pass_engine.hpp"
+#include "em/uring_device.hpp"
 #include "em/worker_group.hpp"
 #include "test_helpers.hpp"
 
@@ -40,6 +45,13 @@ namespace emsplit {
 namespace {
 
 using testutil::sorted_copy;
+
+/// Scoped EMSPLIT_WORKERS_INLINE=1: every device is fork-safe now, so the
+/// inline execution path only runs when explicitly forced.
+struct InlineWorkersGuard {
+  InlineWorkersGuard() { ::setenv("EMSPLIT_WORKERS_INLINE", "1", 1); }
+  ~InlineWorkersGuard() { ::unsetenv("EMSPLIT_WORKERS_INLINE"); }
+};
 
 // Geometry under which dist_supported holds for both operations: 128-byte
 // blocks (8 records), 256 blocks of memory, 6000 records => 5 formation
@@ -97,19 +109,45 @@ struct LegResult {
   std::vector<std::uint64_t> bounds;  // partition only
 };
 
-/// One (backend, tuning, W, op) leg.  `file_path` empty selects the memory
-/// backend (inline workers); otherwise a FileBlockDevice (forked workers).
-LegResult run_leg(const std::string& file_path, const IoTuning& io,
-                  std::size_t W, bool partition,
-                  const std::vector<Record>& host) {
-  MemoryBlockDevice mem_dev(kBlockBytes);
-  std::unique_ptr<FileBlockDevice> file_dev;
-  BlockDevice* dev = &mem_dev;
-  if (!file_path.empty()) {
-    std::remove(file_path.c_str());
-    file_dev = std::make_unique<FileBlockDevice>(file_path, kBlockBytes);
-    dev = file_dev.get();
+/// The execution-mode matrix: every backend forks by default (they are all
+/// fork-safe), and kMemInline pins the legacy inline path via the env knob.
+enum class WorkerBackend { kMemInline, kMem, kFile, kUring };
+
+constexpr const char* backend_name(WorkerBackend b) {
+  switch (b) {
+    case WorkerBackend::kMemInline: return "InlineMemory";
+    case WorkerBackend::kMem: return "ForkedMemory";
+    case WorkerBackend::kFile: return "ForkedFile";
+    default: return "ForkedUring";
   }
+}
+
+/// One (backend, tuning, W, op) leg.  `file_path` names the backing file for
+/// the file/uring backends (unused for memory).
+LegResult run_leg(WorkerBackend backend, const std::string& file_path,
+                  const IoTuning& io, std::size_t W, bool partition,
+                  const std::vector<Record>& host) {
+  std::unique_ptr<InlineWorkersGuard> inline_guard;
+  if (backend == WorkerBackend::kMemInline) {
+    inline_guard = std::make_unique<InlineWorkersGuard>();
+  }
+  std::unique_ptr<BlockDevice> owned;
+  switch (backend) {
+    case WorkerBackend::kMemInline:
+    case WorkerBackend::kMem:
+      owned = std::make_unique<MemoryBlockDevice>(kBlockBytes);
+      break;
+    case WorkerBackend::kFile:
+      std::remove(file_path.c_str());
+      owned = std::make_unique<FileBlockDevice>(file_path, kBlockBytes);
+      break;
+    case WorkerBackend::kUring:
+      std::remove(file_path.c_str());
+      owned = std::make_unique<UringBlockDevice>(
+          file_path, kBlockBytes, UringBlockDevice::tuned(io.queue_depth));
+      break;
+  }
+  BlockDevice* dev = owned.get();
   Context ctx(*dev, kMemBlocks * kBlockBytes);
   ctx.set_io_tuning(io);
   ctx.set_worker_tuning({W});
@@ -146,27 +184,25 @@ LegResult run_leg(const std::string& file_path, const IoTuning& io,
   return leg;
 }
 
-class WorkerTransparency : public ::testing::TestWithParam<bool> {};
+class WorkerTransparency : public ::testing::TestWithParam<WorkerBackend> {};
 
 TEST_P(WorkerTransparency, OutputAndIoInvariantAcrossW) {
-  const bool use_file = GetParam();
+  const WorkerBackend backend = GetParam();
   const auto host = make_workload(Workload::kUniform, kRecords, 71);
   const auto sorted_ref = sorted_copy(host);
 
   for (const Tuning& t : kTunings) {
     for (const bool partition : {false, true}) {
-      const std::string tag = std::string(use_file ? "file/" : "mem/") +
+      const std::string tag = std::string(backend_name(backend)) + "/" +
                               t.name + (partition ? "/mpart" : "/dsort");
       LegResult ref;
       bool have_ref = false;
       for (const std::size_t W : {1u, 2u, 4u}) {
-        const std::string path =
-            use_file ? testing::TempDir() + "/wg_" + t.name +
-                           (partition ? "_p_" : "_s_") + std::to_string(W) +
-                           ".dev"
-                     : std::string();
-        LegResult leg = run_leg(path, t.io, W, partition, host);
-        if (!path.empty()) std::remove(path.c_str());
+        const std::string path = testing::TempDir() + "/wg_" + t.name +
+                                 (partition ? "_p_" : "_s_") +
+                                 std::to_string(W) + ".dev";
+        LegResult leg = run_leg(backend, path, t.io, W, partition, host);
+        std::remove(path.c_str());
 
         if (!partition) {
           // The distributed sort is a *sort*: equal to the oracle, which
@@ -204,17 +240,18 @@ TEST_P(WorkerTransparency, OutputAndIoInvariantAcrossW) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Backends, WorkerTransparency, ::testing::Bool(),
-                         [](const auto& param_info) {
-                           return param_info.param ? "ForkedFile"
-                                                   : "InlineMemory";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Backends, WorkerTransparency,
+    ::testing::Values(WorkerBackend::kMemInline, WorkerBackend::kMem,
+                      WorkerBackend::kFile, WorkerBackend::kUring),
+    [](const auto& param_info) { return backend_name(param_info.param); });
 
 // ---------------------------------------------------------------------------
 // Crash injection: a worker killed mid-job leaves a resumable journal, and
 // the rerun repays only the interrupted pass onward.
 
 TEST(WorkerGroupKill, InlineWorkerDiesAndJobResumes) {
+  InlineWorkersGuard inline_workers;  // pin the thrown-WorkerDied path
   const auto host = make_workload(Workload::kUniform, kRecords, 72);
   const auto sorted_ref = sorted_copy(host);
 
@@ -315,16 +352,27 @@ TEST(WorkerGroupKill, ForkedWorkerDiesAndJobResumes) {
 }
 
 // ---------------------------------------------------------------------------
-// The forked/inline decision itself: a file device forks, a memory device
-// (whose pages are copy-on-write) must fall back to inline execution.
+// The forked/inline decision itself: every stock device is fork-safe now
+// (the memory device's pages moved to MAP_SHARED arenas), so forking is the
+// default everywhere and inline execution is an explicit opt-out.
 
 TEST(WorkerGroupMode, ForkRequiresForkSafeDevice) {
   MemoryBlockDevice mem_dev(kBlockBytes);
   Context mem_ctx(mem_dev, kMemBlocks * kBlockBytes);
   mem_ctx.set_worker_tuning({2});
-  WorkerGroup inline_group(mem_ctx);
-  EXPECT_FALSE(inline_group.forked());
-  EXPECT_EQ(inline_group.workers(), 2u);
+  ASSERT_TRUE(mem_dev.fork_safe());
+  WorkerGroup mem_group(mem_ctx);
+  EXPECT_TRUE(mem_group.forked())
+      << "shared-arena memory device no longer forks";
+  EXPECT_EQ(mem_group.workers(), 2u);
+
+  {
+    // The env knob is the only remaining route to the inline path.
+    InlineWorkersGuard inline_workers;
+    WorkerGroup inline_group(mem_ctx);
+    EXPECT_FALSE(inline_group.forked());
+    EXPECT_EQ(inline_group.workers(), 2u);
+  }
 
   const std::string dev_path = testing::TempDir() + "/wg_mode.dev";
   std::remove(dev_path.c_str());
@@ -423,6 +471,7 @@ std::vector<std::string> kinds_of(const std::vector<SupervisionEvent>& evs) {
 }
 
 TEST(WorkerSupervision, InlineCrashRecoversWithAttributedRetries) {
+  InlineWorkersGuard inline_workers;
   MemoryBlockDevice dev(kBlockBytes);
   Context ctx(dev, kMemBlocks * kBlockBytes);
   WorkerTuning wt;
@@ -458,6 +507,7 @@ TEST(WorkerSupervision, InlineCrashRecoversWithAttributedRetries) {
 }
 
 TEST(WorkerSupervision, RetriesExhaustIntoWorkerDied) {
+  InlineWorkersGuard inline_workers;  // a throwing body needs inline units
   MemoryBlockDevice dev(kBlockBytes);
   Context ctx(dev, kMemBlocks * kBlockBytes);
   WorkerTuning wt;

@@ -40,9 +40,21 @@ exactly, report worker_retries = 0 (nothing was re-executed), and stay
 within --threshold of the sibling's wall-clock: supervision at zero faults
 is pure bookkeeping, never a tax.
 
+With --service the tool gates the resident-server legs of the latest entry
+(op == "service"): every leg answers the same fixed query mix, so all legs
+must report identical per-query I/O sums and identical answer checksums
+(clients, backend and cache are load and geometry, never output — hard
+failures at any threshold), no leg may shed a query or fail a check
+(shed == 0, ok true), cache-backed legs must report cache_hits > 0, and
+every leg's wall-clock must stay within --threshold of the single-client
+file baseline (on a single-core host concurrency cannot win; the gate only
+forbids contention costing more than scheduling overhead should).  Legs on
+a fallback uring backend (uring_native false) keep the hard gates but waive
+the wall-clock check.
+
 Usage:
     tools/bench_compare.py [FILE] [--threshold=0.10] [--backends]
-                           [--workers] [--supervision]
+                           [--workers] [--supervision] [--service]
 
 Exit status: 0 = no regression (including "fewer than two entries"),
 1 = at least one regression, 2 = bad input.
@@ -258,12 +270,84 @@ def supervision_gate(entries, threshold):
     return 0
 
 
+def service_gate(entries, threshold):
+    """Gate the latest entry's service legs (see module docstring)."""
+    new = entries[-1]
+    rows = [r for r in new.get("rows", []) if r.get("op") == "service"]
+    print(f"bench_compare: service gate on '{new.get('label', '?')}' "
+          f"(threshold {threshold:.0%})")
+
+    failures = 0
+
+    def fail(msg):
+        nonlocal failures
+        failures += 1
+        print(f"  FAIL {msg}", file=sys.stderr)
+
+    if not rows:
+        print("bench_compare: no service rows in the latest entry",
+              file=sys.stderr)
+        return 1
+
+    base = next((r for r in rows
+                 if r.get("clients") == 1 and r.get("backend") == "file"
+                 and r.get("cache_blocks", 0) == 0), None)
+    if base is None:
+        fail("no single-client file baseline leg")
+        base = rows[0]
+    bs = float(base.get("seconds", 0))
+
+    checked = 0
+    for r in rows:
+        mode = r.get("mode", "?")
+        checked += 1
+        # Hard gates: every leg answers the same mix with the same reads
+        # and the same bytes, and serves all of it.
+        if r.get("ios") != base.get("ios"):
+            fail(f"service/{mode}: ios {r.get('ios')} != baseline "
+                 f"ios {base.get('ios')}")
+        if r.get("checksum") != base.get("checksum"):
+            fail(f"service/{mode}: answer checksum diverged from baseline")
+        if r.get("shed", 0) != 0:
+            fail(f"service/{mode}: shed {r.get('shed')} query(ies)")
+        if not r.get("ok", False):
+            fail(f"service/{mode}: in-binary check failed (ok false)")
+        if r.get("cache_blocks", 0) > 0 and r.get("cache_hits", 0) <= 0:
+            fail(f"service/{mode}: cache_blocks="
+                 f"{r.get('cache_blocks')} but cache_hits=0")
+        if r is base:
+            print(f"    ok service/{mode}: baseline {bs:.3f}s "
+                  f"({float(r.get('qps', 0)):.0f} qps, "
+                  f"p99 {1e3 * float(r.get('p99_seconds', 0)):.3f}ms)")
+            continue
+        if r.get("backend") == "uring" and not r.get("uring_native", False):
+            print(f"  note service/{mode}: fallback backend "
+                  f"(uring_native false); wall-clock gate waived")
+            continue
+        ns = float(r.get("seconds", 0))
+        if bs > 0 and ns > bs * (1.0 + threshold):
+            fail(f"service/{mode}: {ns:.3f}s exceeds baseline "
+                 f"{bs:.3f}s by more than {threshold:.0%}")
+        else:
+            print(f"    ok service/{mode}: {ns:.3f}s vs baseline {bs:.3f}s "
+                  f"({float(r.get('qps', 0)):.0f} qps, "
+                  f"p99 {1e3 * float(r.get('p99_seconds', 0)):.3f}ms)")
+
+    if failures:
+        print(f"bench_compare: service gate failed ({failures} check(s))",
+              file=sys.stderr)
+        return 1
+    print(f"bench_compare: service gate passed ({checked} row(s))")
+    return 0
+
+
 def main(argv):
     path = "BENCH_wallclock.json"
     threshold = 0.10
     backends = False
     workers = False
     supervision = False
+    service = False
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
@@ -273,6 +357,8 @@ def main(argv):
             workers = True
         elif arg == "--supervision":
             supervision = True
+        elif arg == "--service":
+            service = True
         elif arg in ("-h", "--help"):
             print(__doc__)
             return 0
@@ -288,7 +374,7 @@ def main(argv):
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         return 2
 
-    if backends or workers or supervision:
+    if backends or workers or supervision or service:
         if not entries:
             print(f"bench_compare: no entries in {path}", file=sys.stderr)
             return 2
@@ -299,6 +385,8 @@ def main(argv):
             rc = workers_gate(entries, threshold) or rc
         if supervision:
             rc = supervision_gate(entries, threshold) or rc
+        if service:
+            rc = service_gate(entries, threshold) or rc
         return rc
 
     if len(entries) < 2:

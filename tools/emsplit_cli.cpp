@@ -13,60 +13,18 @@
 //   emsplit partition <in> <out> <K> <a> <b>
 //   emsplit histogram <file> <buckets> [slack]
 //   emsplit info      <file>
+//   emsplit serve     <file> <socket> [--buckets=K] [--slack=F] [--queue-wait=S]
+//   emsplit query     <socket> <REQUEST...>
 //
-// Global options (before the subcommand):
-//   --block-bytes=N        simulated block size                [default 4096]
-//   --mem-bytes=N          simulated memory budget             [default 1048576]
-//   --backend=mem|file|uring
-//                          physical backend: in-memory pages, positional
-//                          file I/O, or the io_uring write-behind ring
-//                          (gracefully falls back to positional I/O when
-//                          io_uring is unavailable)            [default mem]
-//   --cache-blocks=N       shared block cache capacity in blocks, charged
-//                          against --mem-bytes (0 = no cache)  [default 0]
-//   --threads=N            CPU worker threads                  [default 1]
-//   --sort-shards=N        in-memory sort shard geometry       [default 1]
-//   --workers=W            cooperating worker processes for dsort /
-//                          partition (0 = classic single-process path;
-//                          forked when the backend is fork-safe, inline
-//                          otherwise)                          [default 0]
-//   --kill-worker=W:R      test hook: worker W dies at the start of
-//                          distributed round R (pairs with
-//                          --checkpoint-dir to exercise resume)
-//   --hang-worker=W:R      test hook: worker W finishes round R's work but
-//                          never sends its frame (needs --worker-timeout)
-//   --corrupt-frame=W:R    test hook: worker W's round-R result frame has a
-//                          byte flipped after its checksum is computed
-//   --max-worker-retries=N re-execute a failed worker's units up to N times
-//                          per round instead of aborting the pass
-//                                                              [default 0]
-//   --worker-timeout=S     per-round deadline in seconds for forked workers;
-//                          a worker with no complete frame by then is
-//                          SIGKILLed and treated as a crash (0 = none)
-//   --degrade-after=N      after N worker failures, re-plan remaining rounds
-//                          at half the workers (0 = never)     [default 0]
-//   --mem-workers=N        budget each distributed worker M/N bytes (plans
-//                          shrink accordingly; any --workers=W with W <= N
-//                          keeps aggregate worker memory <= M) [default 1]
-//   --shards=D             stripe the device over D member devices
-//                          (RAID-0, the EM model's D-disk extension)
-//                                                              [default 1]
-//   --stripe-blocks=N      blocks per stripe unit on a sharded device
-//                                                              [default 8]
-//   --batch-blocks=N       blocks per stream device call       [default 1]
-//   --queue-depth=N        extra in-flight batches per stream  [default 0]
-//   --async=on|off         background I/O worker               [default off]
-//   --trace=FILE           per-pass trace rows as JSON-lines (I/Os, bytes,
-//                          wall time, per-shard breakdown, balance)
-//   --fault-policy=R[:US]  retry transient device faults up to R times,
-//                          first backoff US microseconds       [default 0]
-//   --checksums=on|off     per-block corruption detection      [default off]
-//   --checkpoint-dir=DIR   crash-recoverable runs: a file-backed device and
-//                          a pass-boundary journal live in DIR; rerunning
-//                          the identical command resumes from the last
-//                          completed pass (sort / dsort / partition / select)
-//   --crash-after-pass=N   test hook: exit abruptly after N checkpoint
-//                          publishes (simulates SIGKILL mid-run)
+// Global options (before the subcommand) describe the simulated machine —
+// see tools/cli_common.cpp (usage()) or docs/cli.md for the full list; the
+// parsing and Machine assembly live there, shared by every command.
+//
+// serve keeps a SplitterIndex resident and answers the line protocol on a
+// Unix-domain socket (RANK / RANGE / HIST / TOPK / STATS / EPOCH / REFRESH /
+// SHUTDOWN); query is the thin client.  With --checkpoint-dir the service's
+// epoch publishes are crash-consistent: kill it mid-refresh, restart, and it
+// serves the last published epoch (the CI smoke leg's assertion).
 //
 // --threads is pure execution width: for any value, the reported I/O cost
 // and the output bytes are identical (the determinism contract in
@@ -77,305 +35,27 @@
 // (docs/model.md, "Sharded devices and the D-disk model").  Transient
 // retries never change the base I/O counts either — `[cost]` reports them
 // separately (docs/model.md, "Failure model, retries, and recovery").
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/histogram.hpp"
+#include "cli_common.hpp"
 #include "core/api.hpp"
-#include "em/block_cache.hpp"
-#include "em/checkpoint.hpp"
 #include "em/file_io.hpp"
-#include "em/uring_device.hpp"
+#include "service/server.hpp"
 
 namespace {
 
 using namespace emsplit;
-
-struct Options {
-  std::size_t block_bytes = 4096;
-  std::size_t mem_bytes = 1 << 20;
-  std::string backend = "mem";
-  std::size_t cache_blocks = 0;
-  std::size_t threads = 1;
-  std::size_t sort_shards = 1;
-  std::size_t workers = 0;
-  std::size_t kill_worker = 0;
-  std::uint64_t kill_round = 0;
-  std::size_t hang_worker = 0;
-  std::uint64_t hang_round = 0;
-  std::size_t corrupt_worker = 0;
-  std::uint64_t corrupt_round = 0;
-  std::uint64_t max_worker_retries = 0;
-  double worker_timeout = 0.0;
-  std::uint64_t degrade_after = 0;
-  std::size_t mem_workers = 1;
-  std::size_t shards = 1;
-  std::size_t stripe_blocks = 8;
-  std::size_t batch_blocks = 1;
-  std::size_t queue_depth = 0;
-  bool async = false;
-  std::string trace_path;
-  std::uint64_t fault_retries = 0;
-  std::uint64_t fault_backoff_us = 0;
-  bool checksums = false;
-  std::string checkpoint_dir;
-  std::uint64_t crash_after = 0;
-};
-
-/// The simulated machine one command runs on.  Destruction order matters:
-/// the journal returns its extents to the device, so it must die first —
-/// members are declared device, journal, context and destroyed in reverse.
-/// The destructor flushes the `--trace` log (every pass has completed by
-/// then, and the context is still alive during the destructor body).
-struct Machine {
-  std::unique_ptr<BlockDevice> dev;
-  std::unique_ptr<CheckpointJournal> journal;
-  std::unique_ptr<Context> ctx;
-  // After ctx: the cache must die first (it releases chunks back to the
-  // context's budget in its destructor).
-  std::unique_ptr<BlockCache> cache;
-  std::unique_ptr<PassTraceLog> trace;
-  std::string trace_path;
-
-  Machine() = default;
-  Machine(Machine&&) = default;
-  Machine& operator=(Machine&&) = default;
-  ~Machine() {
-    if (ctx != nullptr && cache != nullptr) ctx->set_block_cache(nullptr);
-    // The journal destructor returns its still-owned extents to the device,
-    // and deallocation drops the freed blocks' checksum entries — snapshot
-    // the sidecars first so an interrupted run's journaled blocks stay
-    // verifiable on resume.  (On a completed run the journal owns nothing,
-    // the table is empty, and the flush removes the sidecar files.)
-    if (journal != nullptr && dev != nullptr) {
-      if (auto* sh = dynamic_cast<ShardedBlockDevice*>(dev.get())) {
-        sh->flush_member_sidecars();
-      }
-    }
-    if (trace != nullptr && !trace_path.empty() &&
-        !write_pass_trace_jsonl(*trace, trace_path)) {
-      std::fprintf(stderr, "warning: could not write trace file %s\n",
-                   trace_path.c_str());
-    }
-  }
-};
-
-std::unique_ptr<BlockDevice> make_member(const Options& opt,
-                                         const std::string& name) {
-  // Crash-recoverable runs keep the device file (and re-adopt its blocks on
-  // the next start); otherwise file-backed backends use a private scratch
-  // file removed on exit.
-  const bool persist = !opt.checkpoint_dir.empty();
-  const std::string path =
-      persist ? opt.checkpoint_dir + "/" + name
-              : "/tmp/emsplit." + std::to_string(::getpid()) + "." + name;
-  if (opt.backend == "uring") {
-    return std::make_unique<UringBlockDevice>(
-        path, opt.block_bytes, UringBlockDevice::tuned(opt.queue_depth),
-        /*keep_file=*/persist, /*preserve_contents=*/persist);
-  }
-  if (opt.backend == "file" || persist) {
-    return std::make_unique<FileBlockDevice>(path, opt.block_bytes,
-                                             /*keep_file=*/persist,
-                                             /*preserve_contents=*/persist);
-  }
-  return std::make_unique<MemoryBlockDevice>(opt.block_bytes);
-}
-
-Machine make_machine(const Options& opt) {
-  Machine m;
-  if (opt.backend == "uring") {
-    // Capability note on stderr so stdout stays byte-identical across hosts
-    // (backend choice is geometry, never output).
-    std::fprintf(stderr, "[backend] uring: %s\n",
-                 UringBlockDevice::uring_supported()
-                     ? "native io_uring ring"
-                     : "fallback (io_uring unavailable; positional I/O)");
-  }
-  if (opt.shards > 1) {
-    // D-disk machine: one member device per shard behind a striping facade.
-    // With --checkpoint-dir each member persists as its own file, and when
-    // checksums are on the facade's per-member checksum maps persist too
-    // (".ssums" sidecars next to each member file): a restarted run resumes
-    // with corruption detection intact instead of starting unverified.
-    std::vector<std::unique_ptr<BlockDevice>> members;
-    std::vector<std::string> sidecars;
-    members.reserve(opt.shards);
-    const bool persist = !opt.checkpoint_dir.empty();
-    for (std::size_t d = 0; d < opt.shards; ++d) {
-      const std::string name = "device.shard" + std::to_string(d) + ".bin";
-      members.push_back(make_member(opt, name));
-      sidecars.push_back((persist ? opt.checkpoint_dir + "/" + name
-                                  : "/tmp/emsplit." +
-                                        std::to_string(::getpid()) + "." +
-                                        name) +
-                         ".ssums");
-    }
-    auto sharded = std::make_unique<ShardedBlockDevice>(std::move(members),
-                                                        opt.stripe_blocks);
-    if (persist && opt.checksums) {
-      sharded->set_member_sidecars(std::move(sidecars), /*preserve=*/true);
-    }
-    m.dev = std::move(sharded);
-  } else {
-    m.dev = make_member(opt, "device.bin");
-  }
-  m.dev->set_checksums(opt.checksums);
-  m.ctx = std::make_unique<Context>(*m.dev, opt.mem_bytes);
-  m.ctx->set_io_tuning(IoTuning{opt.batch_blocks, opt.queue_depth, opt.async});
-  m.ctx->set_cpu_tuning(CpuTuning{opt.threads, opt.sort_shards});
-  WorkerTuning wt;
-  wt.workers = opt.workers;
-  wt.kill_worker = opt.kill_worker;
-  wt.kill_round = opt.kill_round;
-  wt.hang_worker = opt.hang_worker;
-  wt.hang_round = opt.hang_round;
-  wt.corrupt_worker = opt.corrupt_worker;
-  wt.corrupt_round = opt.corrupt_round;
-  wt.max_worker_retries = opt.max_worker_retries;
-  wt.worker_timeout = opt.worker_timeout;
-  wt.degrade_after = opt.degrade_after;
-  wt.mem_workers = opt.mem_workers;
-  m.ctx->set_worker_tuning(wt);
-  FaultPolicy policy;
-  policy.max_retries = opt.fault_retries;
-  policy.backoff = std::chrono::microseconds(opt.fault_backoff_us);
-  m.ctx->set_fault_policy(policy);
-  if (opt.cache_blocks > 0) {
-    m.cache = std::make_unique<BlockCache>(m.ctx->budget(), opt.block_bytes,
-                                           opt.cache_blocks);
-    if (!m.cache->enabled()) {
-      std::fprintf(stderr,
-                   "warning: block cache disabled (budget declined the first "
-                   "chunk; shrink --cache-blocks or grow --mem-bytes)\n");
-    }
-    m.ctx->set_block_cache(m.cache.get());
-  }
-  if (!opt.checkpoint_dir.empty()) {
-    m.journal = std::make_unique<CheckpointJournal>(
-        *m.dev, opt.checkpoint_dir + "/journal.ckpt");
-    m.journal->restore_device();
-    m.ctx->set_checkpoint(m.journal.get());
-    if (opt.crash_after > 0) {
-      m.journal->set_crash_after_publishes(opt.crash_after);
-    }
-  }
-  if (!opt.trace_path.empty()) {
-    m.trace = std::make_unique<PassTraceLog>();
-    m.trace_path = opt.trace_path;
-    m.ctx->set_pass_trace(m.trace.get());
-  }
-  return m;
-}
-
-[[noreturn]] void usage(const char* why = nullptr) {
-  if (why != nullptr) std::fprintf(stderr, "error: %s\n\n", why);
-  std::fprintf(stderr,
-               "usage: emsplit [--block-bytes=N] [--mem-bytes=N]"
-               " [--threads=N] [--sort-shards=N]\n"
-               "               [--workers=W] [--kill-worker=W:R]"
-               " [--hang-worker=W:R] [--corrupt-frame=W:R]\n"
-               "               [--max-worker-retries=N] [--worker-timeout=S]"
-               " [--degrade-after=N] [--mem-workers=N]\n"
-               "               [--backend=mem|file|uring] [--cache-blocks=N]\n"
-               "               [--shards=D] [--stripe-blocks=N]"
-               " [--batch-blocks=N] [--queue-depth=N] [--async=on|off]\n"
-               "               [--trace=FILE] [--fault-policy=R[:BACKOFF_US]]"
-               " [--checksums=on|off]\n"
-               "               [--checkpoint-dir=DIR] [--crash-after-pass=N]"
-               " <command>\n"
-               "  gen       <file> <n> [workload] [seed]   create a dataset\n"
-               "  sort      <in> <out>                     external sort\n"
-               "  dsort     <in> <out>                     distribution sort\n"
-               "  select    <file> <rank> [rank ...]       multi-selection\n"
-               "  splitters <file> <K> <a> <b>             approximate K-splitters\n"
-               "  partition <in> <out> <K> <a> <b>         approximate K-partitioning\n"
-               "  histogram <file> <buckets> [slack]       nearly equi-depth histogram\n"
-               "  info      <file>                         dataset summary\n"
-               "workloads: uniform sorted reverse few_distinct organ_pipe zipfian"
-               " block_striped\n");
-  std::exit(2);
-}
-
-std::uint64_t parse_u64(const char* s, const char* what) {
-  char* end = nullptr;
-  const std::uint64_t v = std::strtoull(s, &end, 10);
-  if (end == s || *end != '\0') {
-    std::fprintf(stderr, "error: bad %s: '%s'\n", what, s);
-    std::exit(2);
-  }
-  return v;
-}
-
-std::vector<Record> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
-    std::exit(1);
-  }
-  const auto bytes = static_cast<std::size_t>(in.tellg());
-  if (bytes % sizeof(Record) != 0) {
-    std::fprintf(stderr, "error: %s is not a whole number of records\n",
-                 path.c_str());
-    std::exit(1);
-  }
-  std::vector<Record> v(bytes / sizeof(Record));
-  in.seekg(0);
-  in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(bytes));
-  return v;
-}
-
-void write_file(const std::string& path, const std::vector<Record>& v) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    std::exit(1);
-  }
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(Record)));
-}
-
-Workload parse_workload(const std::string& name) {
-  for (const Workload w : all_workloads()) {
-    if (to_string(w) == name) return w;
-  }
-  std::fprintf(stderr, "error: unknown workload '%s'\n", name.c_str());
-  std::exit(2);
-}
-
-void print_cost(const Context& ctx, std::size_t n) {
-  const auto scan =
-      (n + ctx.block_records<Record>() - 1) / ctx.block_records<Record>();
-  const IoStats io = ctx.io();
-  std::printf("[cost] %" PRIu64 " block I/Os (reads %" PRIu64 ", writes %"
-              PRIu64 ")",
-              io.total(), io.reads, io.writes);
-  // Retries and resumed passes print only when nonzero: the default output
-  // stays byte-identical across thread counts and fault-free runs.
-  if (io.retries > 0) {
-    std::printf(" + %" PRIu64 " transient retries", io.retries);
-  }
-  if (io.worker_retries > 0) {
-    std::printf(" + %" PRIu64 " re-executed worker I/Os", io.worker_retries);
-  }
-  if (io.cache_hits > 0) {
-    std::printf(" (%" PRIu64 " served from cache)", io.cache_hits);
-  }
-  const CheckpointJournal* journal = ctx.checkpoint();
-  if (journal != nullptr && journal->resumed_passes() > 0) {
-    std::printf(" (resumed %" PRIu64 " journaled passes)",
-                journal->resumed_passes());
-  }
-  std::printf("; one scan = %zu; peak memory %zu / %zu bytes\n", scan,
-              ctx.budget().peak(), ctx.budget().capacity());
-}
+using namespace emsplit::cli;
 
 int cmd_gen(const Options&, int argc, char** argv) {
   if (argc < 2) usage("gen needs <file> <n>");
@@ -528,144 +208,129 @@ int cmd_histogram(const Options& opt, int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(const Options& opt, int argc, char** argv) {
+  if (argc < 2) usage("serve needs <file> <socket>");
+  SplitterServer::Config cfg;
+  cfg.source_path = argv[0];
+  const std::string socket_path = argv[1];
+  cfg.state_dir = opt.checkpoint_dir;
+  for (int a = 2; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--buckets=", 0) == 0) {
+      cfg.buckets = parse_u64(arg.c_str() + 10, "buckets");
+      if (cfg.buckets == 0) usage("--buckets must be positive");
+    } else if (arg.rfind("--slack=", 0) == 0) {
+      cfg.slack = std::strtod(arg.c_str() + 8, nullptr);
+      if (cfg.slack < 0) usage("--slack must be >= 0");
+    } else if (arg.rfind("--queue-wait=", 0) == 0) {
+      cfg.queue_wait = std::strtod(arg.c_str() + 13, nullptr);
+      if (cfg.queue_wait < 0) usage("--queue-wait must be >= 0");
+    } else {
+      usage(("unknown serve option " + arg).c_str());
+    }
+  }
+  Machine m = make_machine(opt);
+  Context& ctx = *m.ctx;
+  SplitterServer server(ctx, cfg);
+  server.start();
+  std::printf("[serve] epoch %" PRIu64 " %s: %" PRIu64 " records, %" PRIu64
+              " buckets\n",
+              server.epoch(), server.recovered() ? "recovered" : "built",
+              server.size(), cfg.buckets);
+  std::printf("[serve] listening on %s\n", socket_path.c_str());
+  std::fflush(stdout);  // readiness marker: scripts wait for this line
+  server.serve_unix(socket_path);
+  // Trace: the machine's pass rows (build/refresh passes) first, then the
+  // query rows appended into the same JSON-lines file — trace_view.py
+  // renders the mix.  Cleared so the Machine destructor doesn't re-truncate.
+  if (m.trace != nullptr && !m.trace_path.empty()) {
+    if (!write_pass_trace_jsonl(*m.trace, m.trace_path) ||
+        !append_query_trace_jsonl(server.trace(), m.trace_path)) {
+      std::fprintf(stderr, "warning: could not write trace file %s\n",
+                   m.trace_path.c_str());
+    }
+    m.trace_path.clear();
+  }
+  print_cost(ctx, static_cast<std::size_t>(server.size()));
+  std::printf("[serve] epoch %" PRIu64 ": served %" PRIu64 " queries, shed %"
+              PRIu64 "\n",
+              server.epoch(), server.served(), server.shed());
+  return 0;
+}
+
+int cmd_query(const Options&, int argc, char** argv) {
+  if (argc < 2) usage("query needs <socket> <REQUEST...>");
+  const std::string socket_path = argv[0];
+  std::string line;
+  for (int a = 1; a < argc; ++a) {
+    if (a > 1) line += ' ';
+    line += argv[a];
+  }
+  line += '\n';
+  const std::string word = argv[1];
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) usage("socket path too long");
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                socket_path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0) {
+    std::fprintf(stderr, "error: cannot connect to %s\n", socket_path.c_str());
+    if (fd >= 0) ::close(fd);
+    return 1;
+  }
+  std::FILE* f = ::fdopen(fd, "r+");
+  if (f == nullptr) {
+    ::close(fd);
+    return 1;
+  }
+  std::fputs(line.c_str(), f);
+  std::fflush(f);
+
+  int rc = 1;
+  char buf[4096];
+  if (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    std::fputs(buf, stdout);
+    if (std::strncmp(buf, "OK", 2) == 0) {
+      rc = 0;
+    } else if (std::strncmp(buf, "SHED", 4) == 0) {
+      rc = 3;  // distinct exit code: structured admission reject, not an error
+    }
+    // Vector replies (HIST / TOPK) stream lines until their END sentinel.
+    if (rc == 0 && (word == "HIST" || word == "TOPK")) {
+      while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+        std::fputs(buf, stdout);
+        if (std::strcmp(buf, "END\n") == 0) break;
+      }
+    }
+  }
+  std::fclose(f);  // closes fd too
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
-  int i = 1;
-  for (; i < argc && std::strncmp(argv[i], "--", 2) == 0; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--block-bytes=", 0) == 0) {
-      opt.block_bytes = static_cast<std::size_t>(
-          parse_u64(arg.c_str() + 14, "block-bytes"));
-    } else if (arg.rfind("--mem-bytes=", 0) == 0) {
-      opt.mem_bytes =
-          static_cast<std::size_t>(parse_u64(arg.c_str() + 12, "mem-bytes"));
-    } else if (arg.rfind("--backend=", 0) == 0) {
-      opt.backend = arg.substr(10);
-      if (opt.backend != "mem" && opt.backend != "file" &&
-          opt.backend != "uring") {
-        usage("--backend takes mem|file|uring");
-      }
-    } else if (arg.rfind("--cache-blocks=", 0) == 0) {
-      opt.cache_blocks = static_cast<std::size_t>(
-          parse_u64(arg.c_str() + 15, "cache-blocks"));
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      opt.threads =
-          static_cast<std::size_t>(parse_u64(arg.c_str() + 10, "threads"));
-    } else if (arg.rfind("--sort-shards=", 0) == 0) {
-      opt.sort_shards = static_cast<std::size_t>(
-          parse_u64(arg.c_str() + 14, "sort-shards"));
-    } else if (arg.rfind("--workers=", 0) == 0) {
-      opt.workers =
-          static_cast<std::size_t>(parse_u64(arg.c_str() + 10, "workers"));
-    } else if (arg.rfind("--kill-worker=", 0) == 0) {
-      const std::string spec = arg.substr(14);
-      const std::size_t colon = spec.find(':');
-      if (colon == std::string::npos) usage("--kill-worker takes W:R");
-      opt.kill_worker = static_cast<std::size_t>(
-          parse_u64(spec.substr(0, colon).c_str(), "kill-worker worker"));
-      opt.kill_round =
-          parse_u64(spec.substr(colon + 1).c_str(), "kill-worker round");
-      if (opt.kill_round == 0) usage("--kill-worker round is 1-based");
-    } else if (arg.rfind("--hang-worker=", 0) == 0) {
-      const std::string spec = arg.substr(14);
-      const std::size_t colon = spec.find(':');
-      if (colon == std::string::npos) usage("--hang-worker takes W:R");
-      opt.hang_worker = static_cast<std::size_t>(
-          parse_u64(spec.substr(0, colon).c_str(), "hang-worker worker"));
-      opt.hang_round =
-          parse_u64(spec.substr(colon + 1).c_str(), "hang-worker round");
-      if (opt.hang_round == 0) usage("--hang-worker round is 1-based");
-    } else if (arg.rfind("--corrupt-frame=", 0) == 0) {
-      const std::string spec = arg.substr(16);
-      const std::size_t colon = spec.find(':');
-      if (colon == std::string::npos) usage("--corrupt-frame takes W:R");
-      opt.corrupt_worker = static_cast<std::size_t>(
-          parse_u64(spec.substr(0, colon).c_str(), "corrupt-frame worker"));
-      opt.corrupt_round =
-          parse_u64(spec.substr(colon + 1).c_str(), "corrupt-frame round");
-      if (opt.corrupt_round == 0) usage("--corrupt-frame round is 1-based");
-    } else if (arg.rfind("--max-worker-retries=", 0) == 0) {
-      opt.max_worker_retries =
-          parse_u64(arg.c_str() + 21, "max-worker-retries");
-    } else if (arg.rfind("--worker-timeout=", 0) == 0) {
-      char* end = nullptr;
-      opt.worker_timeout = std::strtod(arg.c_str() + 17, &end);
-      if (end == arg.c_str() + 17 || *end != '\0' || opt.worker_timeout < 0) {
-        usage("--worker-timeout takes seconds >= 0");
-      }
-    } else if (arg.rfind("--degrade-after=", 0) == 0) {
-      opt.degrade_after = parse_u64(arg.c_str() + 16, "degrade-after");
-    } else if (arg.rfind("--mem-workers=", 0) == 0) {
-      opt.mem_workers = static_cast<std::size_t>(
-          parse_u64(arg.c_str() + 14, "mem-workers"));
-      if (opt.mem_workers == 0) usage("--mem-workers must be positive");
-    } else if (arg.rfind("--shards=", 0) == 0) {
-      opt.shards =
-          static_cast<std::size_t>(parse_u64(arg.c_str() + 9, "shards"));
-      if (opt.shards == 0) usage("--shards must be positive");
-    } else if (arg.rfind("--stripe-blocks=", 0) == 0) {
-      opt.stripe_blocks = static_cast<std::size_t>(
-          parse_u64(arg.c_str() + 16, "stripe-blocks"));
-      if (opt.stripe_blocks == 0) usage("--stripe-blocks must be positive");
-    } else if (arg.rfind("--batch-blocks=", 0) == 0) {
-      opt.batch_blocks = static_cast<std::size_t>(
-          parse_u64(arg.c_str() + 15, "batch-blocks"));
-    } else if (arg.rfind("--queue-depth=", 0) == 0) {
-      opt.queue_depth = static_cast<std::size_t>(
-          parse_u64(arg.c_str() + 14, "queue-depth"));
-    } else if (arg.rfind("--async=", 0) == 0) {
-      const std::string v = arg.substr(8);
-      if (v == "on") {
-        opt.async = true;
-      } else if (v == "off") {
-        opt.async = false;
-      } else {
-        usage("--async takes on|off");
-      }
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      opt.trace_path = arg.substr(8);
-      if (opt.trace_path.empty()) usage("--trace needs a path");
-    } else if (arg.rfind("--fault-policy=", 0) == 0) {
-      const std::string spec = arg.substr(15);
-      const std::size_t colon = spec.find(':');
-      opt.fault_retries =
-          parse_u64(spec.substr(0, colon).c_str(), "fault-policy retries");
-      if (colon != std::string::npos) {
-        opt.fault_backoff_us =
-            parse_u64(spec.substr(colon + 1).c_str(), "fault-policy backoff");
-      }
-    } else if (arg.rfind("--checksums=", 0) == 0) {
-      const std::string v = arg.substr(12);
-      if (v == "on") {
-        opt.checksums = true;
-      } else if (v == "off") {
-        opt.checksums = false;
-      } else {
-        usage("--checksums takes on|off");
-      }
-    } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
-      opt.checkpoint_dir = arg.substr(17);
-      if (opt.checkpoint_dir.empty()) usage("--checkpoint-dir needs a path");
-    } else if (arg.rfind("--crash-after-pass=", 0) == 0) {
-      opt.crash_after = parse_u64(arg.c_str() + 19, "crash-after-pass");
-    } else {
-      usage(("unknown option " + arg).c_str());
-    }
-  }
+  const int i = parse_global_options(argc, argv, opt);
   if (i >= argc) usage();
   const std::string cmd = argv[i];
-  ++i;
+  const int rest = argc - i - 1;
+  char** rest_argv = argv + i + 1;
   try {
-    if (cmd == "gen") return cmd_gen(opt, argc - i, argv + i);
-    if (cmd == "info") return cmd_info(opt, argc - i, argv + i);
-    if (cmd == "sort") return cmd_sort(opt, argc - i, argv + i);
-    if (cmd == "dsort") return cmd_dsort(opt, argc - i, argv + i);
-    if (cmd == "select") return cmd_select(opt, argc - i, argv + i);
-    if (cmd == "splitters") return cmd_splitters(opt, argc - i, argv + i);
-    if (cmd == "partition") return cmd_partition(opt, argc - i, argv + i);
-    if (cmd == "histogram") return cmd_histogram(opt, argc - i, argv + i);
+    if (cmd == "gen") return cmd_gen(opt, rest, rest_argv);
+    if (cmd == "info") return cmd_info(opt, rest, rest_argv);
+    if (cmd == "sort") return cmd_sort(opt, rest, rest_argv);
+    if (cmd == "dsort") return cmd_dsort(opt, rest, rest_argv);
+    if (cmd == "select") return cmd_select(opt, rest, rest_argv);
+    if (cmd == "splitters") return cmd_splitters(opt, rest, rest_argv);
+    if (cmd == "partition") return cmd_partition(opt, rest, rest_argv);
+    if (cmd == "histogram") return cmd_histogram(opt, rest, rest_argv);
+    if (cmd == "serve") return cmd_serve(opt, rest, rest_argv);
+    if (cmd == "query") return cmd_query(opt, rest, rest_argv);
   } catch (const WorkerDied& e) {
     // Distinct exit code so scripted kill-and-resume runs (CI) can tell a
     // injected worker death from an ordinary failure.

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Render a pass-trace file (`--trace=FILE` JSON lines) as a span table.
+"""Render a trace file (`--trace=FILE` JSON lines) as a span table.
 
 Every engine-run pass emits one JSON object per line (see pass_trace_json in
 em/pass_engine.cpp).  This tool lays the passes out as a timeline — one row
@@ -11,6 +11,14 @@ list one indented sub-row per worker: its share of the pass's I/O, its busy
 seconds, and how long it waited at the closing barrier for the slowest
 peer.  Traces written before the worker layer existed simply lack the
 "workers" key and render exactly as before.
+
+The splitter service appends QueryTrace rows to the same file (see
+query_trace_json in service/splitter_index.cpp); they lead with a "query"
+key where pass rows lead with "job".  Query rows are aggregated into a
+per-kind summary below the pass timeline: request count, admission
+breakdown, logical reads, cache hit rate, and p50/p99 service latency.
+A file with only pass rows renders exactly as before; a file with only
+query rows skips the timeline.
 
 Usage:
     tools/trace_view.py [FILE] [--width=40]
@@ -65,6 +73,52 @@ def span_bar(start, dur, total, width):
     hi = max(lo + 1, round(width * (start + dur) / total))
     hi = min(hi, width)
     return "." * lo + "#" * (hi - lo) + "." * (width - hi)
+
+
+def percentile(sorted_vals, frac):
+    """Nearest-rank percentile over an already-sorted list."""
+    if not sorted_vals:
+        return 0.0
+    i = max(0, min(len(sorted_vals) - 1,
+                   int(round(frac * (len(sorted_vals) - 1)))))
+    return sorted_vals[i]
+
+
+def render_queries(rows, out=sys.stdout):
+    """Aggregate QueryTrace rows into a per-kind summary table."""
+    by_kind = {}
+    for r in rows:
+        by_kind.setdefault(str(r.get("query", "?")), []).append(r)
+
+    print(f"  {'query':<10} {'n':>6} {'admit':>6} {'shed':>5} {'err':>5} "
+          f"{'reads':>9} {'hit%':>5} {'p50 ms':>8} {'p99 ms':>8}  epochs",
+          file=out)
+    for kind, qrows in sorted(by_kind.items()):
+        admit = sum(1 for r in qrows
+                    if r.get("admission") in ("admit", "queued"))
+        shed = sum(1 for r in qrows if r.get("admission") == "shed")
+        err = sum(1 for r in qrows if r.get("admission") == "error")
+        reads = sum(int(r.get("reads", 0)) for r in qrows)
+        hits = sum(int(r.get("cache_hits", 0)) for r in qrows)
+        misses = sum(int(r.get("cache_misses", 0)) for r in qrows)
+        hit = f"{100.0 * hits / (hits + misses):.0f}%" if hits + misses \
+            else "-"
+        lat = sorted(float(r.get("seconds", 0)) for r in qrows
+                     if r.get("admission") in ("admit", "queued"))
+        p50 = 1e3 * percentile(lat, 0.50)
+        p99 = 1e3 * percentile(lat, 0.99)
+        epochs = sorted({int(r.get("epoch", 0)) for r in qrows})
+        span = (f"{epochs[0]}" if len(epochs) == 1
+                else f"{epochs[0]}-{epochs[-1]}") if epochs else "-"
+        print(f"  {kind:<10} {len(qrows):>6} {admit:>6} {shed:>5} {err:>5} "
+              f"{reads:>9} {hit:>5} {p50:>8.3f} {p99:>8.3f}  {span}",
+              file=out)
+
+    total = len(rows)
+    served = sum(1 for r in rows
+                 if r.get("admission") in ("admit", "queued"))
+    print(f"  {total} query row(s), {served} served, "
+          f"{total - served} rejected", file=out)
 
 
 def render(rows, width, out=sys.stdout):
@@ -150,7 +204,14 @@ def main(argv):
     if not rows:
         print("trace_view: no trace rows")
         return 0
-    render(rows, width)
+    passes = [r for r in rows if "query" not in r]
+    queries = [r for r in rows if "query" in r]
+    if passes:
+        render(passes, width)
+    if queries:
+        if passes:
+            print()
+        render_queries(queries)
     return 0
 
 
