@@ -22,11 +22,12 @@ BlockCache::BlockCache(MemoryBudget& budget, std::size_t block_bytes,
   if (!probe) return;
   chunks_.push_back(std::move(*probe));
   enabled_ = true;
-  budget_.set_reclaimer([this](std::size_t need) { return shed(need); });
+  reclaimer_id_ =
+      budget_.add_reclaimer([this](std::size_t need) { return shed(need); });
 }
 
 BlockCache::~BlockCache() {
-  if (enabled_) budget_.set_reclaimer(nullptr);
+  if (enabled_) budget_.remove_reclaimer(reclaimer_id_);
 }
 
 std::size_t BlockCache::resident_blocks() const {

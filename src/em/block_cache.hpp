@@ -62,8 +62,8 @@ class BlockCache {
   };
 
   /// A cache of up to `capacity_blocks` blocks of `block_bytes` each, charged
-  /// against `budget`.  Registers itself as the budget's reclaimer (one cache
-  /// per budget); deregisters on destruction.
+  /// against `budget`.  Registers itself as a budget reclaimer; deregisters
+  /// on destruction.
   BlockCache(MemoryBudget& budget, std::size_t block_bytes,
              std::size_t capacity_blocks)
       : BlockCache(budget, block_bytes, Tuning{capacity_blocks}) {}
@@ -163,6 +163,7 @@ class BlockCache {
   const std::size_t block_bytes_;
   Tuning tuning_;
   std::size_t chunk_blocks_ = 0;
+  std::uint64_t reclaimer_id_ = 0;
   bool enabled_ = false;
 
   mutable std::mutex mu_;

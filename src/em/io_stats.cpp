@@ -13,6 +13,7 @@ std::ostream& operator<<(std::ostream& os, const IoStats& s) {
     os << ", cache_hits=" << s.cache_hits << ", cache_misses=" << s.cache_misses;
     if (s.cache_evictions > 0) os << ", cache_evictions=" << s.cache_evictions;
   }
+  if (s.bucket_hits > 0) os << ", bucket_hits=" << s.bucket_hits;
   return os << "}";
 }
 

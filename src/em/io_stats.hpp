@@ -48,6 +48,14 @@ struct IoStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  /// Service-layer bucket-scan cache traffic (service/splitter_index.hpp).
+  /// A bucket-cache hit is a *logical* read whose blocks were served from a
+  /// decoded per-epoch bucket payload instead of the device — like
+  /// `cache_hits`, the read is still counted in `reads` (per-query reads are
+  /// geometry, wherever the bytes came from), so base counts with the bucket
+  /// cache on equal the uncached run's; this field only explains the
+  /// wall-clock.  Counted in blocks, like everything else here.
+  std::uint64_t bucket_hits = 0;
 
   /// Combined I/O count — the quantity the paper's bounds are stated in.
   [[nodiscard]] std::uint64_t total() const noexcept { return reads + writes; }
@@ -64,6 +72,7 @@ struct IoStats {
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
     cache_evictions += o.cache_evictions;
+    bucket_hits += o.bucket_hits;
     return *this;
   }
   friend IoStats operator-(IoStats a, const IoStats& b) noexcept {
@@ -74,6 +83,7 @@ struct IoStats {
     a.cache_hits -= b.cache_hits;
     a.cache_misses -= b.cache_misses;
     a.cache_evictions -= b.cache_evictions;
+    a.bucket_hits -= b.bucket_hits;
     return a;
   }
   friend bool operator==(const IoStats&, const IoStats&) = default;

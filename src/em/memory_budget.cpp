@@ -11,37 +11,52 @@ MemoryReservation MemoryBudget::reserve(std::size_t bytes) {
 
 std::optional<MemoryReservation> MemoryBudget::try_reserve(std::size_t bytes,
                                                            bool allow_reclaim) {
-  // Up to two rounds: a plain attempt, then one more after the reclaimer has
-  // been asked to shed the shortfall.
+  // Up to two rounds: a plain attempt, then one more after the reclaimers
+  // have been asked to shed the shortfall.
   for (int round = 0; round < 2; ++round) {
-    Reclaimer reclaimer;
+    std::vector<Reclaimer> reclaimers;
     std::size_t shortfall = 0;
     {
       const std::lock_guard<std::mutex> lock(mu_);
       if (commit_locked(bytes)) {
         return MemoryReservation(*this, bytes, MemoryReservation::Adopt{});
       }
-      if (!allow_reclaim || !reclaimer_ || round > 0) return std::nullopt;
-      reclaimer = reclaimer_;
+      if (!allow_reclaim || reclaimers_.empty() || round > 0) {
+        return std::nullopt;
+      }
+      reclaimers.reserve(reclaimers_.size());
+      for (const auto& [id, r] : reclaimers_) reclaimers.push_back(r);
       shortfall = bytes - (capacity_ - used_);
     }
-    if (reclaimer(shortfall) == 0) return std::nullopt;
+    std::size_t got = 0;
+    for (const Reclaimer& r : reclaimers) {
+      got += r(shortfall - std::min(shortfall, got));
+      if (got >= shortfall) break;
+    }
+    if (got == 0) return std::nullopt;
   }
   return std::nullopt;
 }
 
 void MemoryBudget::acquire(std::size_t bytes) {
   for (int round = 0; round < 2; ++round) {
-    Reclaimer reclaimer;
+    std::vector<Reclaimer> reclaimers;
     std::size_t shortfall = 0;
     {
       const std::lock_guard<std::mutex> lock(mu_);
       if (commit_locked(bytes)) return;
-      if (!reclaimer_ || round > 0) throw BudgetExceeded(over_budget_message(bytes));
-      reclaimer = reclaimer_;
+      if (reclaimers_.empty() || round > 0) {
+        throw BudgetExceeded(over_budget_message(bytes));
+      }
+      reclaimers.reserve(reclaimers_.size());
+      for (const auto& [id, r] : reclaimers_) reclaimers.push_back(r);
       shortfall = bytes - (capacity_ - used_);
     }
-    (void)reclaimer(shortfall);
+    std::size_t got = 0;
+    for (const Reclaimer& r : reclaimers) {
+      got += r(shortfall - std::min(shortfall, got));
+      if (got >= shortfall) break;
+    }
   }
   const std::lock_guard<std::mutex> lock(mu_);
   throw BudgetExceeded(over_budget_message(bytes));
@@ -73,10 +88,16 @@ std::string MemoryBudget::over_budget_message(std::size_t bytes) const {
 }
 
 void MemoryBudget::release(std::size_t bytes) noexcept {
-  const std::lock_guard<std::mutex> lock(mu_);
-  used_ -= bytes;
-  const auto it = live_.find(bytes);
-  if (it != live_.end() && --it->second == 0) live_.erase(it);
+  std::function<void()> listener;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    used_ -= bytes;
+    const auto it = live_.find(bytes);
+    if (it != live_.end() && --it->second == 0) live_.erase(it);
+    if (bytes > 0 && release_listener_) listener = release_listener_;
+  }
+  // Outside the lock: the listener (admission wakeup) may try_reserve.
+  if (listener) listener();
 }
 
 }  // namespace emsplit

@@ -15,18 +15,29 @@
 // Reservations are internally synchronized: the block cache
 // (em/block_cache.hpp) charges its entries from I/O worker threads while the
 // main thread reserves algorithm state.  A *reclaimer* callback lets a
-// scavenging consumer (the cache) hold otherwise-idle budget: when a
-// reservation finds the budget short, the reclaimer is asked — outside the
-// budget lock — to give bytes back before the reservation is refused.
+// scavenging consumer (the block cache, the service's bucket-scan cache)
+// hold otherwise-idle budget: when a reservation finds the budget short, the
+// registered reclaimers are asked — outside the budget lock, in registration
+// order — to give bytes back before the reservation is refused.
+//
+// A *release listener* is the inverse hook: a single callback invoked after
+// every release() that frees bytes, outside the budget lock.  The splitter
+// service registers one to wake admission-queued queries the moment budget
+// becomes available, replacing its former 500µs sleep-poll (docs/model.md,
+// "The query hot path").  The listener must be noexcept and must not touch
+// the budget re-entrantly beyond try_reserve/notify.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace emsplit {
 
@@ -75,12 +86,32 @@ class MemoryBudget {
     return capacity_ - used_;
   }
 
-  /// Register (or clear, with nullptr) the scavenger that is asked to release
-  /// budget when a reservation falls short.  One reclaimer at a time; set at
-  /// quiescent points (cache attach/detach).
-  void set_reclaimer(Reclaimer reclaimer) {
+  /// Register a scavenger that is asked to release budget when a reservation
+  /// falls short; returns a token for remove_reclaimer().  Reclaimers are
+  /// consulted in registration order until the shortfall is covered.
+  /// Register/remove at quiescent points (cache attach/detach).
+  [[nodiscard]] std::uint64_t add_reclaimer(Reclaimer reclaimer) {
     const std::lock_guard<std::mutex> lock(mu_);
-    reclaimer_ = std::move(reclaimer);
+    const std::uint64_t id = ++next_reclaimer_id_;
+    reclaimers_.emplace_back(id, std::move(reclaimer));
+    return id;
+  }
+  void remove_reclaimer(std::uint64_t id) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = reclaimers_.begin(); it != reclaimers_.end(); ++it) {
+      if (it->first == id) {
+        reclaimers_.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// Register (or clear, with nullptr) the callback invoked after every
+  /// release() that returns bytes to the budget.  One listener; called
+  /// outside the budget lock and must be noexcept (release() is).
+  void set_release_listener(std::function<void()> listener) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    release_listener_ = std::move(listener);
   }
 
   /// Reserve `bytes`; throws BudgetExceeded if the budget cannot hold them
@@ -117,7 +148,9 @@ class MemoryBudget {
   // Live reservation sizes (size -> count), reported by BudgetExceeded to
   // make over-budget bugs self-diagnosing.
   std::map<std::size_t, std::size_t> live_;
-  Reclaimer reclaimer_;
+  std::vector<std::pair<std::uint64_t, Reclaimer>> reclaimers_;
+  std::uint64_t next_reclaimer_id_ = 0;
+  std::function<void()> release_listener_;
   mutable std::mutex mu_;
 };
 

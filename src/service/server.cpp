@@ -1,9 +1,13 @@
-// server.cpp — SplitterServer: admission, epoch publish/recover, socket.
+// server.cpp — SplitterServer: admission, epoch publish/recover, sockets.
 
 #include "service/server.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -50,12 +54,76 @@ using Clock = std::chrono::steady_clock;
   return true;
 }
 
+/// Write a batch of responses with as few syscalls as possible — one
+/// writev() per up-to-64 iovecs, resuming across short writes.  The strings
+/// must stay alive for the duration of the call.
+[[nodiscard]] bool writev_all(int fd, const std::vector<std::string>& parts) {
+  std::vector<iovec> iov;
+  iov.reserve(parts.size());
+  for (const std::string& s : parts) {
+    if (s.empty()) continue;
+    iov.push_back(iovec{const_cast<char*>(s.data()), s.size()});
+  }
+  std::size_t i = 0;
+  while (i < iov.size()) {
+    const int cnt = static_cast<int>(std::min<std::size_t>(iov.size() - i, 64));
+    const ssize_t w = ::writev(fd, &iov[i], cnt);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    std::size_t left = static_cast<std::size_t>(w);
+    while (i < iov.size() && left >= iov[i].iov_len) {
+      left -= iov[i].iov_len;
+      ++i;
+    }
+    if (i < iov.size() && left > 0) {
+      iov[i].iov_base = static_cast<char*>(iov[i].iov_base) + left;
+      iov[i].iov_len -= left;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 SplitterServer::SplitterServer(Context& ctx, Config cfg)
-    : ctx_(&ctx), cfg_(std::move(cfg)) {}
+    : ctx_(&ctx), cfg_(std::move(cfg)) {
+  // Wake queued queries the moment budget bytes free up (condvar, never a
+  // poll).  The waiters never touch the budget while holding admit_mu_, so
+  // this listener — which may run under arbitrary locks on whatever thread
+  // released the bytes — only bumps a generation and taps the mutex.
+  ctx_->budget().set_release_listener([this]() noexcept {
+    if (admit_waiters_.load(std::memory_order_acquire) == 0) return;
+    admit_gen_.fetch_add(1, std::memory_order_release);
+    { const std::lock_guard<std::mutex> lk(admit_mu_); }
+    admit_cv_.notify_all();
+  });
+  // Forward budget reclaims to the *current* epoch's bucket cache.  The
+  // registration outlives every cache (they turn over per epoch), so a
+  // reclaim can never race a cache destructor.
+  cache_reclaimer_id_ =
+      ctx_->budget().add_reclaimer([this](std::size_t need) -> std::size_t {
+        std::shared_ptr<BucketScanCache<Record>> cache;
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          cache = bucket_cache_;
+        }
+        return cache ? cache->shed(need) : 0;
+      });
+}
 
-SplitterServer::~SplitterServer() = default;
+SplitterServer::~SplitterServer() {
+  ctx_->budget().set_release_listener(nullptr);
+  ctx_->budget().remove_reclaimer(cache_reclaimer_id_);
+  std::shared_ptr<BucketScanCache<Record>> cache;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    cache = std::move(bucket_cache_);
+    current_.reset();  // deleter only signals; owner_ tears down below
+  }
+  if (cache) cache->retire();
+}
 
 bool SplitterServer::persistent() const {
   return ctx_->checkpoint() != nullptr && !cfg_.state_dir.empty();
@@ -108,6 +176,11 @@ std::uint64_t SplitterServer::size() const {
   return current_ ? current_->size() : 0;
 }
 
+std::shared_ptr<BucketScanCache<Record>> SplitterServer::bucket_cache() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return bucket_cache_;
+}
+
 SplitterServer::Index SplitterServer::build_epoch() {
   if (cfg_.source_path.empty()) {
     throw std::invalid_argument("service: no source file configured");
@@ -120,6 +193,33 @@ SplitterServer::Index SplitterServer::build_epoch() {
   return Index::build(*ctx_, data, kk, cfg_.slack);
 }
 
+void SplitterServer::adopt_epoch(
+    std::unique_ptr<Index> built, std::uint64_t epoch,
+    std::shared_ptr<const Index>& out_snapshot, std::unique_ptr<Index>& out_owner,
+    std::shared_ptr<BucketScanCache<Record>>& out_cache) {
+  if (cfg_.bucket_cache_blocks > 0) {
+    const std::size_t bb = ctx_->block_bytes();
+    const std::size_t cap =
+        static_cast<std::size_t>(cfg_.bucket_cache_blocks) * bb;
+    out_cache = std::make_shared<BucketScanCache<Record>>(
+        ctx_->budget(), cap, std::min<std::size_t>(cap, 64 * bb), epoch);
+    if (out_cache->enabled()) {
+      built->attach_bucket_cache(out_cache);
+    } else {
+      out_cache.reset();  // budget declined the probe — run uncached
+    }
+  }
+  // The snapshot's deleter only *signals* drain; out_owner keeps ownership
+  // so the index (and any extent it owns) is destroyed on the publish
+  // thread, preserving the single-allocator-thread rule.
+  Index* raw = built.get();
+  out_owner = std::move(built);
+  out_snapshot = std::shared_ptr<const Index>(raw, [this](const Index*) {
+    { const std::lock_guard<std::mutex> lk(retire_mu_); }
+    retire_cv_.notify_all();
+  });
+}
+
 void SplitterServer::publish(Index idx) {
   std::uint64_t next = 0;
   {
@@ -127,7 +227,7 @@ void SplitterServer::publish(Index idx) {
     next = epoch_ + 1;
   }
   CheckpointJournal* jr = persistent() ? ctx_->checkpoint() : nullptr;
-  std::shared_ptr<const Index> fresh;
+  std::unique_ptr<Index> built;
   if (jr != nullptr) {
     const std::uint64_t fp = epoch_fingerprint(next);
     // A crash between a previous publish and its CURRENT bump leaves an
@@ -153,25 +253,46 @@ void SplitterServer::publish(Index idx) {
     jr->publish_sort_pass(fp, 1, extent, n, payload);
     EmVector<Record> view =
         EmVector<Record>::adopt(*ctx_, extent, n, /*owning=*/false);
-    fresh = std::make_shared<Index>(Index::adopt(
+    built = std::make_unique<Index>(Index::adopt(
         *ctx_, std::move(view), std::move(bounds), std::move(uppers)));
     write_current(next);
   } else {
-    fresh = std::make_shared<Index>(std::move(idx));
+    built = std::make_unique<Index>(std::move(idx));
   }
+  std::shared_ptr<const Index> fresh;
+  std::unique_ptr<Index> fresh_owner;
+  std::shared_ptr<BucketScanCache<Record>> fresh_cache;
+  adopt_epoch(std::move(built), next, fresh, fresh_owner, fresh_cache);
+
   std::shared_ptr<const Index> old;
+  std::unique_ptr<Index> old_owner;
+  std::shared_ptr<BucketScanCache<Record>> old_cache;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     old = std::exchange(current_, std::move(fresh));
+    old_owner = std::exchange(owner_, std::move(fresh_owner));
+    old_cache = std::exchange(bucket_cache_, std::move(fresh_cache));
     epoch_ = next;
   }
+  // Retire the superseded epoch's cache the instant the swap lands: no new
+  // query can reach it (they snapshot the fresh epoch), and queries still in
+  // flight on the old epoch degrade to device scans — a stale payload can
+  // never be served under the new epoch.
+  if (old_cache) old_cache->retire();
   if (old) {
-    // Queries in flight pinned the old snapshot; wait them out, then retire
-    // the superseded epoch's blocks.
-    while (old.use_count() > 1) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
+    // Queries in flight pinned the old snapshot; wait for the drain —
+    // signalled by the snapshot deleter, never sleep-polled — then tear the
+    // superseded index down on this thread and retire its blocks.
+    std::weak_ptr<const Index> gone = old;
     old.reset();
+    if (!gone.expired()) {
+      std::unique_lock<std::mutex> lk(retire_mu_);
+      if (!gone.expired()) {
+        retire_waits_.fetch_add(1, std::memory_order_relaxed);
+        retire_cv_.wait(lk, [&] { return gone.expired(); });
+      }
+    }
+    old_owner.reset();
     if (jr != nullptr) {
       const std::uint64_t pfp = epoch_fingerprint(next - 1);
       if (jr->resume_sort(pfp)) {
@@ -213,11 +334,17 @@ bool SplitterServer::recover() {
   }
   EmVector<Record> view = EmVector<Record>::adopt(
       *ctx_, st->extent, static_cast<std::size_t>(st->size), /*owning=*/false);
-  auto idx = std::make_shared<Index>(Index::adopt(
+  auto built = std::make_unique<Index>(Index::adopt(
       *ctx_, std::move(view), std::move(bounds), std::move(uppers)));
+  std::shared_ptr<const Index> snap;
+  std::unique_ptr<Index> own;
+  std::shared_ptr<BucketScanCache<Record>> cache;
+  adopt_epoch(std::move(built), e, snap, own, cache);
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    current_ = std::move(idx);
+    current_ = std::move(snap);
+    owner_ = std::move(own);
+    bucket_cache_ = std::move(cache);
     epoch_ = e;
   }
   // A crash mid-refresh may have left the *next* epoch published in the
@@ -244,9 +371,29 @@ std::uint64_t SplitterServer::refresh() {
 
 SplitterServer::Reply SplitterServer::query(const Request& req,
                                             std::uint64_t client) {
+  std::uint64_t epoch = 0;
+  const std::shared_ptr<const Index> idx = snapshot(epoch);
+  return query_on(idx, epoch, req, client);
+}
+
+std::vector<SplitterServer::Reply> SplitterServer::query_batch(
+    const std::vector<Request>& reqs, std::uint64_t client) {
+  std::vector<Reply> out;
+  out.reserve(reqs.size());
+  std::uint64_t epoch = 0;
+  const std::shared_ptr<const Index> idx = snapshot(epoch);
+  for (const Request& req : reqs) {
+    out.push_back(query_on(idx, epoch, req, client));
+  }
+  return out;
+}
+
+SplitterServer::Reply SplitterServer::query_on(
+    const std::shared_ptr<const Index>& idx, std::uint64_t epoch,
+    const Request& req, std::uint64_t client) {
   const auto t0 = Clock::now();
   Reply rep;
-  std::shared_ptr<const Index> idx = snapshot(rep.epoch);
+  rep.epoch = epoch;
   QueryTrace row;
   row.kind = query_kind_name(req.kind);
   row.client = client;
@@ -263,15 +410,32 @@ SplitterServer::Reply SplitterServer::query(const Request& req,
     return rep;
   }
 
-  // Admission: cost the request, charge the budget, queue briefly, shed.
+  // Admission: cost the request, charge the budget; over budget, queue on
+  // the condvar — woken by the budget's release listener — until admitted
+  // or the deadline sheds the query.  try_reserve is never called while
+  // holding admit_mu_ (lock-order discipline vs. budget reclaimers); the
+  // generation counter closes the wakeup race instead.
   const std::uint64_t need = idx->footprint_bytes(req.kind, req.k);
   rep.admission = "admit";
   std::optional<MemoryReservation> ticket = ctx_->budget().try_reserve(need);
-  while (!ticket && !stop_.load()) {
-    if (seconds_since(t0) >= cfg_.queue_wait) break;
+  if (!ticket && cfg_.queue_wait > 0) {
     rep.admission = "queued";
-    std::this_thread::sleep_for(std::chrono::microseconds(500));
-    ticket = ctx_->budget().try_reserve(need);
+    const auto deadline =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(cfg_.queue_wait));
+    admit_waiters_.fetch_add(1, std::memory_order_release);
+    while (!ticket && !stop_.load() && Clock::now() < deadline) {
+      const std::uint64_t gen = admit_gen_.load(std::memory_order_acquire);
+      ticket = ctx_->budget().try_reserve(need);
+      if (ticket) break;
+      std::unique_lock<std::mutex> lk(admit_mu_);
+      admit_cv_.wait_until(lk, deadline, [&] {
+        return admit_gen_.load(std::memory_order_acquire) != gen ||
+               stop_.load();
+      });
+    }
+    admit_waiters_.fetch_sub(1, std::memory_order_release);
+    if (!ticket) ticket = ctx_->budget().try_reserve(need);  // deadline race
   }
   rep.queue_seconds = seconds_since(t0);
   if (!ticket) {
@@ -313,6 +477,9 @@ SplitterServer::Reply SplitterServer::query(const Request& req,
       }
       rep.ok = true;
       served_.fetch_add(1);
+      if (rep.io.bucket_hits > 0 && idx->bucket_cache()) {
+        rep.cache_epoch = idx->bucket_cache()->epoch();
+      }
     } catch (const BudgetExceeded& ex) {
       rep.admission = "shed";
       rep.error = ex.what();
@@ -335,88 +502,138 @@ SplitterServer::Reply SplitterServer::query(const Request& req,
   return rep;
 }
 
-std::string SplitterServer::handle_line(const std::string& line,
-                                        std::uint64_t client,
-                                        bool& close_conn) {
+SplitterServer::ParseKind SplitterServer::parse_query(const std::string& line,
+                                                      Request& req,
+                                                      std::string& err) const {
   std::istringstream in(line);
   std::string cmd;
   in >> cmd;
-
-  const auto bad = [&](const std::string& why) {
-    QueryTrace row;
-    row.kind = "?";
-    row.client = client;
-    row.epoch = epoch();
-    row.admission = "error";
-    row.detail = why + ": " + line;
-    trace_.record(std::move(row));
-    return "ERR " + why + "\n";
-  };
   const auto u64_arg = [&](std::uint64_t& out) {
     std::string tok;
     return static_cast<bool>(in >> tok) && parse_u64(tok, out);
   };
 
   if (cmd == "RANK" || cmd == "RANGE") {
-    Request req;
     req.kind = cmd == "RANK" ? QueryKind::kRank : QueryKind::kRange;
     std::uint64_t lo = 0;
-    if (!u64_arg(lo)) return bad("usage: " + cmd + " <key> [<key>]");
+    if (!u64_arg(lo)) {
+      err = "usage: " + cmd + " <key> [<key>]";
+      return ParseKind::kBad;
+    }
     // Key-level probes: payload saturated, so rank(key) counts every record
     // with a key <= the probe regardless of payload.
     req.lo = Record{lo, ~0ULL};
     if (req.kind == QueryKind::kRange) {
       std::uint64_t hi = 0;
-      if (!u64_arg(hi)) return bad("usage: RANGE <lo-key> <hi-key>");
+      if (!u64_arg(hi)) {
+        err = "usage: RANGE <lo-key> <hi-key>";
+        return ParseKind::kBad;
+      }
       req.hi = Record{hi, ~0ULL};
     }
-    const Reply rep = query(req, client);
-    if (!rep.ok) return (rep.admission == "shed" ? "SHED " : "ERR ") + rep.error + "\n";
-    return "OK " + std::to_string(rep.value) + "\n";
+    return ParseKind::kQuery;
   }
   if (cmd == "HIST") {
-    Request req;
     req.kind = QueryKind::kHistogram;
-    if (!u64_arg(req.k)) return bad("usage: HIST <k>");
-    const Reply rep = query(req, client);
-    if (!rep.ok) return (rep.admission == "shed" ? "SHED " : "ERR ") + rep.error + "\n";
-    std::string out = "OK " + std::to_string(rep.hist.buckets()) + " " +
-                      std::to_string(rep.hist.total) + "\n";
-    for (std::size_t i = 0; i < rep.hist.buckets(); ++i) {
-      out += "BUCKET " + std::to_string(rep.hist.sizes[i]);
-      if (i < rep.hist.boundaries.size()) {
-        out += " " + std::to_string(rep.hist.boundaries[i].key);
-      }
-      out += "\n";
+    if (!u64_arg(req.k)) {
+      err = "usage: HIST <k>";
+      return ParseKind::kBad;
     }
-    return out + "END\n";
+    return ParseKind::kQuery;
   }
   if (cmd == "TOPK") {
-    Request req;
     req.kind = QueryKind::kTopK;
-    if (!u64_arg(req.k)) return bad("usage: TOPK <k> [MIN]");
+    if (!u64_arg(req.k)) {
+      err = "usage: TOPK <k> [MIN]";
+      return ParseKind::kBad;
+    }
     std::string dir;
     if (in >> dir) {
       if (dir == "MIN") {
         req.largest = false;
       } else if (dir != "MAX") {
-        return bad("usage: TOPK <k> [MIN]");
+        err = "usage: TOPK <k> [MIN]";
+        return ParseKind::kBad;
       }
     }
-    const Reply rep = query(req, client);
-    if (!rep.ok) return (rep.admission == "shed" ? "SHED " : "ERR ") + rep.error + "\n";
-    std::string out = "OK " + std::to_string(rep.records.size()) + "\n";
-    for (const Record& r : rep.records) {
-      out += "REC " + std::to_string(r.key) + " " + std::to_string(r.payload) +
-             "\n";
-    }
-    return out + "END\n";
+    return ParseKind::kQuery;
   }
+  return ParseKind::kOther;
+}
+
+std::string SplitterServer::format_reply(const Request& req,
+                                         const Reply& rep) const {
+  if (!rep.ok) {
+    return (rep.admission == "shed" ? "SHED " : "ERR ") + rep.error + "\n";
+  }
+  switch (req.kind) {
+    case QueryKind::kRank:
+    case QueryKind::kRange:
+      return "OK " + std::to_string(rep.value) + "\n";
+    case QueryKind::kHistogram: {
+      std::string out = "OK " + std::to_string(rep.hist.buckets()) + " " +
+                        std::to_string(rep.hist.total) + "\n";
+      for (std::size_t i = 0; i < rep.hist.buckets(); ++i) {
+        out += "BUCKET " + std::to_string(rep.hist.sizes[i]);
+        if (i < rep.hist.boundaries.size()) {
+          out += " " + std::to_string(rep.hist.boundaries[i].key);
+        }
+        out += "\n";
+      }
+      return out + "END\n";
+    }
+    case QueryKind::kTopK: {
+      std::string out = "OK " + std::to_string(rep.records.size()) + "\n";
+      for (const Record& r : rep.records) {
+        out += "REC " + std::to_string(r.key) + " " +
+               std::to_string(r.payload) + "\n";
+      }
+      return out + "END\n";
+    }
+  }
+  return "ERR internal\n";
+}
+
+std::string SplitterServer::bad_line(const std::string& line,
+                                     std::uint64_t client,
+                                     const std::string& why) {
+  QueryTrace row;
+  row.kind = "?";
+  row.client = client;
+  row.epoch = epoch();
+  row.admission = "error";
+  row.detail = why + ": " + line;
+  trace_.record(std::move(row));
+  return "ERR " + why + "\n";
+}
+
+std::string SplitterServer::handle_line(const std::string& line,
+                                        std::uint64_t client,
+                                        bool& close_conn) {
+  Request req;
+  std::string err;
+  switch (parse_query(line, req, err)) {
+    case ParseKind::kQuery:
+      return format_reply(req, query(req, client));
+    case ParseKind::kBad:
+      return bad_line(line, client, err);
+    case ParseKind::kOther:
+      break;
+  }
+
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
   if (cmd == "STATS") {
-    return "OK epoch=" + std::to_string(epoch()) +
-           " n=" + std::to_string(size()) +
-           " served=" + std::to_string(served_.load()) +
-           " shed=" + std::to_string(shed_.load()) + "\n";
+    std::string out = "OK epoch=" + std::to_string(epoch()) +
+                      " n=" + std::to_string(size()) +
+                      " served=" + std::to_string(served_.load()) +
+                      " shed=" + std::to_string(shed_.load());
+    if (const auto cache = bucket_cache()) {
+      out += " bucket_hits=" + std::to_string(cache->hits()) +
+             " bucket_coalesced=" + std::to_string(cache->coalesced());
+    }
+    return out + "\n";
   }
   if (cmd == "EPOCH") {
     return "OK " + std::to_string(epoch()) + "\n";
@@ -433,16 +650,64 @@ std::string SplitterServer::handle_line(const std::string& line,
     stop();
     return "OK bye\n";
   }
-  return bad("unknown command");
+  return bad_line(line, client, "unknown command");
+}
+
+std::vector<std::string> SplitterServer::handle_batch(
+    const std::vector<std::string>& lines, std::uint64_t client,
+    bool& close_conn) {
+  std::vector<std::string> outs;
+  outs.reserve(lines.size());
+  std::shared_ptr<const Index> pinned;
+  std::uint64_t pinned_epoch = 0;
+  for (const std::string& line : lines) {
+    if (close_conn) break;  // nothing after SHUTDOWN
+    Request req;
+    std::string err;
+    switch (parse_query(line, req, err)) {
+      case ParseKind::kQuery:
+        // Consecutive query lines share one pinned snapshot: every reply in
+        // the run carries the same epoch, and the bucket cache serves the
+        // whole run from one generation.
+        if (!pinned) pinned = snapshot(pinned_epoch);
+        outs.push_back(
+            format_reply(req, query_on(pinned, pinned_epoch, req, client)));
+        break;
+      case ParseKind::kBad:
+        outs.push_back(bad_line(line, client, err));
+        break;
+      case ParseKind::kOther:
+        // Control lines run unpinned: REFRESH waits for every snapshot pin
+        // to drain, and a connection must never deadlock against its own.
+        pinned.reset();
+        outs.push_back(handle_line(line, client, close_conn));
+        break;
+    }
+  }
+  return outs;
 }
 
 void SplitterServer::serve_conn(int fd, std::uint64_t client) {
   std::string buf;
-  char tmp[4096];
+  char tmp[8192];
   bool close_conn = false;
   while (!close_conn && !stop_.load()) {
-    const auto nl = buf.find('\n');
-    if (nl == std::string::npos) {
+    // Pipelining: drain every complete line currently buffered — one read
+    // may carry many requests — and answer the batch with one writev.
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    for (std::size_t nl; (nl = buf.find('\n', pos)) != std::string::npos;
+         pos = nl + 1) {
+      std::string line = buf.substr(pos, nl - pos);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) lines.push_back(std::move(line));
+    }
+    buf.erase(0, pos);
+    if (lines.empty()) {
+      if (buf.size() > kMaxLineBytes) {
+        (void)write_all(fd, "ERR line too long\n");
+        break;
+      }
       pollfd p{};
       p.fd = fd;
       p.events = POLLIN;
@@ -454,14 +719,35 @@ void SplitterServer::serve_conn(int fd, std::uint64_t client) {
       buf.append(tmp, static_cast<std::size_t>(r));
       continue;
     }
-    std::string line = buf.substr(0, nl);
-    buf.erase(0, nl + 1);
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    const std::string out = handle_line(line, client, close_conn);
-    if (!out.empty() && !write_all(fd, out)) break;
+    const std::vector<std::string> outs = handle_batch(lines, client, close_conn);
+    if (!writev_all(fd, outs)) break;
   }
   ::close(fd);
+}
+
+void SplitterServer::accept_loop(int lfd, bool tcp) {
+  std::vector<std::thread> conns;
+  while (!stop_.load()) {
+    pollfd p{};
+    p.fd = lfd;
+    p.events = POLLIN;
+    const int pr = ::poll(&p, 1, 100);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0) continue;
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    if (tcp) {
+      // Pipelined request/response lines are latency-bound: never Nagle.
+      const int one = 1;
+      (void)::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    const std::uint64_t id = next_client_.fetch_add(1) + 1;
+    conns.emplace_back(&SplitterServer::serve_conn, this, cfd, id);
+  }
+  for (std::thread& t : conns) t.join();
 }
 
 void SplitterServer::serve_unix(const std::string& socket_path) {
@@ -482,26 +768,42 @@ void SplitterServer::serve_unix(const std::string& socket_path) {
     throw std::runtime_error("service: cannot listen on " + socket_path);
   }
 
-  std::vector<std::thread> conns;
-  std::uint64_t next_client = 0;
-  while (!stop_.load()) {
-    pollfd p{};
-    p.fd = lfd;
-    p.events = POLLIN;
-    const int pr = ::poll(&p, 1, 100);
-    if (pr < 0 && errno != EINTR) break;
-    if (pr <= 0) continue;
-    const int cfd = ::accept(lfd, nullptr, nullptr);
-    if (cfd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
-    }
-    ++next_client;
-    conns.emplace_back(&SplitterServer::serve_conn, this, cfd, next_client);
-  }
-  for (std::thread& t : conns) t.join();
+  accept_loop(lfd, /*tcp=*/false);
   ::close(lfd);
   ::unlink(socket_path.c_str());
+}
+
+void SplitterServer::serve_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "*" || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else {
+    const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+      throw std::invalid_argument("service: bad listen host " + host);
+    }
+  }
+
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) throw std::runtime_error("service: socket() failed");
+  const int one = 1;
+  (void)::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(lfd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(lfd, 64) < 0) {
+    ::close(lfd);
+    throw std::runtime_error("service: cannot listen on " + host + ":" +
+                             std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(lfd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+    tcp_port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  }
+
+  accept_loop(lfd, /*tcp=*/true);
+  ::close(lfd);
 }
 
 }  // namespace emsplit

@@ -29,18 +29,33 @@
 // service-layer analogue of "geometry, never output".
 //
 // Thread-safety: every query method is const and touches only immutable
-// index state plus the device's internally synchronized transfer path.  N
-// threads may query one index concurrently; build/adopt are main-thread.
+// index state plus the device's internally synchronized transfer path (and
+// the internally synchronized BucketScanCache when one is attached).  N
+// threads may query one index concurrently; build/adopt/attach_bucket_cache
+// are main-thread.
+//
+// BucketScanCache (below) is the query hot path's second cache level: decoded
+// bucket payloads keyed to one index epoch, single-flight loaded, retired
+// atomically when the next epoch publishes.  Hits are charged as the same
+// geometric reads a device scan would cost (IoStats::bucket_hits attribution),
+// so the cache is geometry, never output.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <list>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/partitioning.hpp"
@@ -237,6 +252,239 @@ class QueryTraceLog {
 bool append_query_trace_jsonl(const QueryTraceLog& log,
                               const std::string& path);
 
+/// BucketScanCache — epoch-keyed decoded-bucket payload cache for the query
+/// hot path (docs/model.md, "The query hot path").
+///
+/// One instance serves exactly one published index epoch: the server creates
+/// it at publish time, attaches it to that epoch's SplitterIndex, and calls
+/// retire() the moment the *next* epoch publishes — so a payload can never
+/// outlive the epoch whose bytes it decodes, and a query that pinned epoch E
+/// only ever sees E's cache (the kill-mid-refresh sweep asserts cache-hit
+/// epoch == reply epoch per query).
+///
+/// Like BlockCache, the cache is invisible to the cost model: a hit is still
+/// charged as the bucket's geometric block reads (IoStats::reads), attributed
+/// separately as IoStats::bucket_hits, so per-query base I/O with the cache
+/// on is bit-identical to the uncached run.  Memory is chunk-reserved from
+/// the MemoryBudget (try_reserve, never reclaiming from peers) and shed back
+/// through shed() — the server registers a budget reclaimer that forwards to
+/// the current epoch's cache, so algorithm reservations (a refresh build)
+/// push the cache out before they are refused.
+///
+/// Scan sharing: lookup() is single-flight.  The first thread to miss a
+/// bucket becomes its *loader* (scans the device, publishes the payload);
+/// concurrent queries straddling the same bucket wait on the condvar and are
+/// served the loader's payload as a coalesced hit — one device scan, N
+/// answers, every query still charged its own geometric reads.
+///
+/// All methods are thread-safe (one internal mutex).  Payloads are handed
+/// out as shared_ptr so retirement/eviction never invalidates a scan in
+/// flight.
+template <EmRecord T>
+class BucketScanCache {
+ public:
+  /// What lookup() resolved to.  Exactly one of three shapes: `payload` set
+  /// (hit — `coalesced` when a concurrent loader produced it while we
+  /// waited), `loader` true (caller must scan the device and then publish()
+  /// or abort_load()), or neither (cache disabled/retired: plain device
+  /// scan, no cache interaction).
+  struct Lookup {
+    std::shared_ptr<const std::vector<T>> payload;
+    bool loader = false;
+    bool coalesced = false;
+  };
+
+  /// A cache of up to `capacity_bytes` of decoded payloads for `epoch`,
+  /// charged against `budget` in `chunk_bytes` reservations.  If the budget
+  /// cannot spare even one chunk now, the cache disables itself permanently
+  /// (queries then scan the device, answers unchanged).
+  BucketScanCache(MemoryBudget& budget, std::size_t capacity_bytes,
+                  std::size_t chunk_bytes, std::uint64_t epoch)
+      : budget_(budget),
+        capacity_bytes_(capacity_bytes),
+        chunk_bytes_(std::max<std::size_t>(
+            1, std::min(chunk_bytes, std::max<std::size_t>(1, capacity_bytes)))),
+        epoch_(epoch) {
+    if (capacity_bytes_ == 0) return;
+    auto probe = budget_.try_reserve(chunk_bytes_, /*allow_reclaim=*/false);
+    if (!probe) return;
+    chunks_.push_back(std::move(*probe));
+    enabled_.store(true, std::memory_order_release);
+  }
+
+  BucketScanCache(const BucketScanCache&) = delete;
+  BucketScanCache& operator=(const BucketScanCache&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_acquire);
+  }
+  /// The index epoch this cache serves — fixed for life; hits can only ever
+  /// carry this epoch.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Single-flight bucket lookup (see Lookup).  May block while another
+  /// thread loads the same bucket.
+  [[nodiscard]] Lookup lookup(std::size_t bucket) {
+    std::unique_lock<std::mutex> lk(mu_);
+    bool waited = false;
+    for (;;) {
+      if (!enabled_.load(std::memory_order_relaxed)) return {};
+      const auto it = map_.find(bucket);
+      if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (waited) coalesced_.fetch_add(1, std::memory_order_relaxed);
+        return {it->second->payload, /*loader=*/false, /*coalesced=*/waited};
+      }
+      if (loading_.insert(bucket).second) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return {nullptr, /*loader=*/true, /*coalesced=*/false};
+      }
+      waited = true;
+      cv_.wait(lk);
+    }
+  }
+
+  /// Loader hand-off: insert the decoded payload (evicting LRU entries /
+  /// growing by chunks as the budget allows — on no room the payload is
+  /// simply dropped) and wake the bucket's waiters.
+  void publish(std::size_t bucket, std::shared_ptr<const std::vector<T>> payload) {
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      loading_.erase(bucket);
+      const std::size_t bytes = payload->size() * sizeof(T);
+      if (enabled_.load(std::memory_order_relaxed) && bytes > 0 &&
+          bytes <= capacity_bytes_ && make_room_locked(bytes)) {
+        lru_.push_front(Entry{bucket, bytes, std::move(payload)});
+        map_[bucket] = lru_.begin();
+        used_bytes_ += bytes;
+      }
+    }
+    cv_.notify_all();
+  }
+
+  /// Loader backed out (budget declined the payload buffer, or the scan
+  /// threw): drop the marker so a waiter can take over.  Idempotent.
+  void abort_load(std::size_t bucket) {
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      loading_.erase(bucket);
+    }
+    cv_.notify_all();
+  }
+
+  /// Retire the whole cache atomically: the epoch was superseded.  Drops
+  /// every entry and marker, returns every budget chunk, disables the cache
+  /// permanently and wakes all waiters (they fall back to the device —
+  /// queries still in flight on the old epoch stay correct, just uncached).
+  void retire() {
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      enabled_.store(false, std::memory_order_release);
+      map_.clear();
+      lru_.clear();
+      loading_.clear();
+      used_bytes_ = 0;
+      chunks_.clear();
+    }
+    cv_.notify_all();
+  }
+
+  /// MemoryBudget reclaimer entry (forwarded by the server): evict LRU
+  /// entries until whole chunks idle, return them, report bytes released.
+  std::size_t shed(std::size_t bytes_needed) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    std::size_t freed = 0;
+    while (freed < bytes_needed && !chunks_.empty()) {
+      while (used_bytes_ + chunk_bytes_ > granted_bytes() &&
+             evict_tail_locked()) {
+      }
+      if (used_bytes_ + chunk_bytes_ > granted_bytes()) break;
+      chunks_.pop_back();
+      freed += chunk_bytes_;
+    }
+    return freed;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Lookups that waited out a concurrent loader and were then served its
+  /// payload — the scan-sharing counter (a subset of hits()).
+  [[nodiscard]] std::uint64_t coalesced() const noexcept {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t resident_bytes() const {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return used_bytes_;
+  }
+
+ private:
+  struct Entry {
+    std::size_t bucket = 0;
+    std::size_t bytes = 0;
+    std::shared_ptr<const std::vector<T>> payload;
+  };
+  using Lru = std::list<Entry>;  // front = most recent
+
+  [[nodiscard]] std::size_t granted_bytes() const {
+    return chunks_.size() * chunk_bytes_;
+  }
+
+  bool evict_tail_locked() {
+    if (lru_.empty()) return false;
+    const Entry& victim = lru_.back();
+    used_bytes_ -= victim.bytes;
+    map_.erase(victim.bucket);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Make `bytes` of room under the capacity cap: grow by chunks while the
+  /// budget grants them (never reclaiming from peers — a scavenger does not
+  /// steal), else evict LRU entries.
+  bool make_room_locked(std::size_t bytes) {
+    while (used_bytes_ + bytes > capacity_bytes_ && evict_tail_locked()) {
+    }
+    if (used_bytes_ + bytes > capacity_bytes_) return false;
+    for (;;) {
+      if (used_bytes_ + bytes <= granted_bytes()) return true;
+      auto grown = budget_.try_reserve(chunk_bytes_, /*allow_reclaim=*/false);
+      if (grown) {
+        chunks_.push_back(std::move(*grown));
+        continue;
+      }
+      if (!evict_tail_locked()) return false;
+    }
+  }
+
+  MemoryBudget& budget_;
+  const std::size_t capacity_bytes_;
+  const std::size_t chunk_bytes_;
+  const std::uint64_t epoch_;
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Lru lru_;
+  std::map<std::size_t, typename Lru::iterator> map_;  // bucket -> entry
+  std::set<std::size_t> loading_;  // buckets with a loader in flight
+  std::vector<MemoryReservation> chunks_;
+  std::size_t used_bytes_ = 0;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
 template <EmRecord T, typename Less = std::less<T>>
 class SplitterIndex {
  public:
@@ -306,6 +554,17 @@ class SplitterIndex {
   }
   [[nodiscard]] EmVector<T>& data() noexcept { return data_; }
   [[nodiscard]] const EmVector<T>& data() const noexcept { return data_; }
+
+  /// Attach this epoch's bucket-scan cache (main-thread, before queries are
+  /// served on this index); nullptr detaches.  The cache's own epoch tag is
+  /// the caller's responsibility to match the epoch this index serves.
+  void attach_bucket_cache(std::shared_ptr<BucketScanCache<T>> cache) {
+    bucket_cache_ = std::move(cache);
+  }
+  [[nodiscard]] const std::shared_ptr<BucketScanCache<T>>& bucket_cache()
+      const noexcept {
+    return bucket_cache_;
+  }
 
   /// Exact rank of `x`: #{e in S : e <= x}.  Scans only the straddled
   /// bucket; a probe above the global maximum (or below everything) costs
@@ -430,11 +689,64 @@ class SplitterIndex {
     return std::max<std::size_t>(1, ctx_->io_tuning().batch_blocks);
   }
 
-  /// Visit every record of bucket `j`, reading its blocks in counted
-  /// batches through the device (and so through the cache); charges the
-  /// reads and the thread's cache hits to `io`.
+  /// Visit every record of bucket `j`, serving from the epoch's bucket-scan
+  /// cache when one is attached, else scanning the device.  Per-query reads
+  /// are geometry either way: a cache hit charges the same block count the
+  /// device scan would (attributed as IoStats::bucket_hits), so base() sums
+  /// are identical with the cache on or off.  Cache misses make this thread
+  /// the bucket's single-flight loader: it scans the device once, answers
+  /// its own query from the scan, and publishes the decoded payload for the
+  /// bucket's waiters (scan sharing) and later queries.
   template <typename Visit>
   void scan_bucket(std::size_t j, Visit visit, IoStats& io) const {
+    const std::uint64_t lo = bounds_[j], hi = bounds_[j + 1];
+    if (lo == hi) return;
+    BucketScanCache<T>* cache = bucket_cache_.get();
+    if (cache != nullptr && cache->enabled()) {
+      auto l = cache->lookup(j);
+      if (l.payload != nullptr) {
+        const std::size_t per = data_.block_records();
+        const std::uint64_t nb = (hi - 1) / per - lo / per + 1;
+        io.reads += nb;
+        io.bucket_hits += nb;
+        for (const T& e : *l.payload) visit(e);
+        return;
+      }
+      if (l.loader) {
+        bool cached = false;
+        try {
+          // The payload buffer is optional state: charged like any other
+          // reservation, but a decline degrades to a plain scan instead of
+          // shedding the query.
+          auto res = ctx_->budget().try_reserve(bucket_size(j) * sizeof(T),
+                                                /*allow_reclaim=*/false);
+          if (res) {
+            auto payload = std::make_shared<std::vector<T>>();
+            payload->reserve(static_cast<std::size_t>(bucket_size(j)));
+            scan_bucket_device(j, [&](const T& e) {
+              payload->push_back(e);
+              visit(e);
+            }, io);
+            cache->publish(j, std::move(payload));
+            cached = true;
+          }
+        } catch (...) {
+          cache->abort_load(j);
+          throw;
+        }
+        if (cached) return;
+        cache->abort_load(j);
+      }
+      // Not a loader and no payload: the cache was retired mid-wait.
+    }
+    scan_bucket_device(j, visit, io);
+  }
+
+  /// The device path of scan_bucket: read bucket `j`'s blocks in counted
+  /// batches through the device (and so through the block cache); charges
+  /// the reads and the thread's cache hits to `io`.
+  template <typename Visit>
+  void scan_bucket_device(std::size_t j, Visit visit, IoStats& io) const {
     const std::size_t per = data_.block_records();
     const std::uint64_t lo = bounds_[j], hi = bounds_[j + 1];
     if (lo == hi) return;
@@ -520,6 +832,7 @@ class SplitterIndex {
   EmVector<T> data_;                  ///< bucket-partitioned records
   std::vector<std::uint64_t> bounds_;  ///< K+1 record offsets
   std::vector<T> uppers_;              ///< K per-bucket maxima (resident)
+  std::shared_ptr<BucketScanCache<T>> bucket_cache_;  ///< this epoch's, or null
 };
 
 }  // namespace emsplit

@@ -172,8 +172,11 @@ Machine make_machine(const Options& opt) {
                "  histogram <file> <buckets> [slack]       nearly equi-depth histogram\n"
                "  info      <file>                         dataset summary\n"
                "  serve     <file> <socket> [--buckets=K] [--slack=F] [--queue-wait=S]\n"
+               "            [--listen=host:port] [--bucket-cache-blocks=N]\n"
                "                                           resident splitter service\n"
-               "  query     <socket> <REQUEST...>          one service request\n"
+               "  query     <target> [--repeat=N] [--pipeline] <REQUEST...>\n"
+               "                                           service client; <target> is\n"
+               "                                           a socket path or host:port\n"
                "            requests: RANK <key> | RANGE <lo> <hi> | HIST <k>\n"
                "                      TOPK <k> [MIN] | STATS | EPOCH | REFRESH |"
                " SHUTDOWN\n"

@@ -13,8 +13,10 @@
 //   emsplit partition <in> <out> <K> <a> <b>
 //   emsplit histogram <file> <buckets> [slack]
 //   emsplit info      <file>
-//   emsplit serve     <file> <socket> [--buckets=K] [--slack=F] [--queue-wait=S]
-//   emsplit query     <socket> <REQUEST...>
+//   emsplit serve     <file> <socket> [--buckets=K] [--slack=F]
+//                     [--queue-wait=S] [--listen=host:port]
+//                     [--bucket-cache-blocks=N]
+//   emsplit query     <target> [--repeat=N] [--pipeline] <REQUEST...>
 //
 // Global options (before the subcommand) describe the simulated machine —
 // see tools/cli_common.cpp (usage()) or docs/cli.md for the full list; the
@@ -22,9 +24,15 @@
 //
 // serve keeps a SplitterIndex resident and answers the line protocol on a
 // Unix-domain socket (RANK / RANGE / HIST / TOPK / STATS / EPOCH / REFRESH /
-// SHUTDOWN); query is the thin client.  With --checkpoint-dir the service's
-// epoch publishes are crash-consistent: kill it mid-refresh, restart, and it
-// serves the last published epoch (the CI smoke leg's assertion).
+// SHUTDOWN); --listen=host:port opens the same protocol on TCP beside it
+// (port 0 binds an ephemeral port, reported on the readiness line), and
+// --bucket-cache-blocks gives each epoch a decoded-bucket cache.  query is
+// the thin client: <target> is a Unix socket path, or host:port for TCP;
+// --repeat=N sends the request N times and --pipeline sends them all before
+// reading any reply (the server answers batches against one pinned
+// snapshot).  With --checkpoint-dir the service's epoch publishes are
+// crash-consistent: kill it mid-refresh, restart, and it serves the last
+// published epoch (the CI smoke leg's assertion).
 //
 // --threads is pure execution width: for any value, the reported I/O cost
 // and the output bytes are identical (the determinism contract in
@@ -35,15 +43,20 @@
 // (docs/model.md, "Sharded devices and the D-disk model").  Transient
 // retries never change the base I/O counts either — `[cost]` reports them
 // separately (docs/model.md, "Failure model, retries, and recovery").
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/histogram.hpp"
@@ -214,6 +227,8 @@ int cmd_serve(const Options& opt, int argc, char** argv) {
   cfg.source_path = argv[0];
   const std::string socket_path = argv[1];
   cfg.state_dir = opt.checkpoint_dir;
+  std::string listen_host;
+  int listen_port = -1;  // -1 = no TCP front end
   for (int a = 2; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg.rfind("--buckets=", 0) == 0) {
@@ -225,6 +240,17 @@ int cmd_serve(const Options& opt, int argc, char** argv) {
     } else if (arg.rfind("--queue-wait=", 0) == 0) {
       cfg.queue_wait = std::strtod(arg.c_str() + 13, nullptr);
       if (cfg.queue_wait < 0) usage("--queue-wait must be >= 0");
+    } else if (arg.rfind("--bucket-cache-blocks=", 0) == 0) {
+      cfg.bucket_cache_blocks =
+          parse_u64(arg.c_str() + 22, "bucket-cache-blocks");
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      const std::string hp = arg.substr(9);
+      const auto colon = hp.rfind(':');
+      if (colon == std::string::npos) usage("--listen needs host:port");
+      listen_host = hp.substr(0, colon);
+      const std::uint64_t port = parse_u64(hp.c_str() + colon + 1, "port");
+      if (port > 65535) usage("--listen port out of range");
+      listen_port = static_cast<int>(port);
     } else {
       usage(("unknown serve option " + arg).c_str());
     }
@@ -237,9 +263,32 @@ int cmd_serve(const Options& opt, int argc, char** argv) {
               " buckets\n",
               server.epoch(), server.recovered() ? "recovered" : "built",
               server.size(), cfg.buckets);
+  std::thread tcp_thread;
+  if (listen_port >= 0) {
+    tcp_thread = std::thread([&] {
+      try {
+        server.serve_tcp(listen_host, static_cast<std::uint16_t>(listen_port));
+      } catch (const std::exception& ex) {
+        std::fprintf(stderr, "error: %s\n", ex.what());
+        server.stop();
+      }
+    });
+    // Wait for the listener to bind so the readiness line reports the real
+    // port (--listen=host:0 binds an ephemeral one).
+    for (int spin = 0; spin < 400 && server.tcp_port() == 0; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (server.tcp_port() != 0) {
+      std::printf("[serve] listening on tcp %s:%u\n",
+                  listen_host.empty() ? "0.0.0.0" : listen_host.c_str(),
+                  static_cast<unsigned>(server.tcp_port()));
+    }
+  }
   std::printf("[serve] listening on %s\n", socket_path.c_str());
   std::fflush(stdout);  // readiness marker: scripts wait for this line
   server.serve_unix(socket_path);
+  server.stop();  // SHUTDOWN on either front end winds down the other
+  if (tcp_thread.joinable()) tcp_thread.join();
   // Trace: the machine's pass rows (build/refresh passes) first, then the
   // query rows appended into the same JSON-lines file — trace_view.py
   // renders the mix.  Cleared so the Machine destructor doesn't re-truncate.
@@ -258,28 +307,78 @@ int cmd_serve(const Options& opt, int argc, char** argv) {
   return 0;
 }
 
-int cmd_query(const Options&, int argc, char** argv) {
-  if (argc < 2) usage("query needs <socket> <REQUEST...>");
-  const std::string socket_path = argv[0];
-  std::string line;
-  for (int a = 1; a < argc; ++a) {
-    if (a > 1) line += ' ';
-    line += argv[a];
+/// Connect to a query target: host:port (contains ':', no '/') dials TCP,
+/// anything else is a Unix-domain socket path.  Returns -1 on failure.
+int connect_target(const std::string& target) {
+  const auto colon = target.rfind(':');
+  if (colon != std::string::npos && target.find('/') == std::string::npos) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    std::uint64_t port = 0;
+    try {
+      port = parse_u64(target.c_str() + colon + 1, "port");
+    } catch (...) {
+      return -1;
+    }
+    if (port == 0 || port > 65535) return -1;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    std::string host = target.substr(0, colon);
+    if (host.empty() || host == "localhost" || host == "*") host = "127.0.0.1";
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
   }
-  line += '\n';
-  const std::string word = argv[1];
-
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) usage("socket path too long");
-  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
-                socket_path.c_str());
+  if (target.size() >= sizeof(addr.sun_path)) usage("socket path too long");
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", target.c_str());
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0 ||
-      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-          0) {
-    std::fprintf(stderr, "error: cannot connect to %s\n", socket_path.c_str());
-    if (fd >= 0) ::close(fd);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int cmd_query(const Options&, int argc, char** argv) {
+  if (argc < 2) usage("query needs <target> <REQUEST...>");
+  const std::string target = argv[0];
+  std::uint64_t repeat = 1;
+  bool pipeline = false;
+  std::vector<std::string> words;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = parse_u64(arg.c_str() + 9, "repeat");
+      if (repeat == 0) usage("--repeat must be positive");
+    } else if (arg == "--pipeline") {
+      pipeline = true;
+    } else {
+      words.push_back(arg);
+    }
+  }
+  if (words.empty()) usage("query needs a REQUEST");
+  std::string line;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    if (w > 0) line += ' ';
+    line += words[w];
+  }
+  line += '\n';
+  const std::string& word = words[0];
+
+  const int fd = connect_target(target);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to %s\n", target.c_str());
     return 1;
   }
   std::FILE* f = ::fdopen(fd, "r+");
@@ -287,28 +386,68 @@ int cmd_query(const Options&, int argc, char** argv) {
     ::close(fd);
     return 1;
   }
-  std::fputs(line.c_str(), f);
-  std::fflush(f);
 
-  int rc = 1;
-  char buf[4096];
-  if (std::fgets(buf, sizeof(buf), f) != nullptr) {
-    std::fputs(buf, stdout);
+  // Reply grammar: one status line; HIST / TOPK stream more until END.
+  // Returns 0 = OK, 3 = SHED (structured admission reject), 1 = error.
+  const auto read_reply = [&](bool print) {
+    char buf[4096];
+    if (std::fgets(buf, sizeof(buf), f) == nullptr) return 1;
+    if (print) std::fputs(buf, stdout);
+    int rc = 1;
     if (std::strncmp(buf, "OK", 2) == 0) {
       rc = 0;
     } else if (std::strncmp(buf, "SHED", 4) == 0) {
-      rc = 3;  // distinct exit code: structured admission reject, not an error
+      rc = 3;
     }
-    // Vector replies (HIST / TOPK) stream lines until their END sentinel.
     if (rc == 0 && (word == "HIST" || word == "TOPK")) {
       while (std::fgets(buf, sizeof(buf), f) != nullptr) {
-        std::fputs(buf, stdout);
+        if (print) std::fputs(buf, stdout);
         if (std::strcmp(buf, "END\n") == 0) break;
       }
     }
+    return rc;
+  };
+
+  const bool print_replies = repeat == 1;
+  std::uint64_t ok = 0, shed = 0, err = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (pipeline) {
+    // Pipelined mode: every request on the wire before any reply is read —
+    // the server parses them as one batch and answers in request order.
+    for (std::uint64_t i = 0; i < repeat; ++i) std::fputs(line.c_str(), f);
+    std::fflush(f);
+    for (std::uint64_t i = 0; i < repeat; ++i) {
+      switch (read_reply(print_replies)) {
+        case 0: ++ok; break;
+        case 3: ++shed; break;
+        default: ++err; break;
+      }
+    }
+  } else {
+    for (std::uint64_t i = 0; i < repeat; ++i) {
+      std::fputs(line.c_str(), f);
+      std::fflush(f);
+      switch (read_reply(print_replies)) {
+        case 0: ++ok; break;
+        case 3: ++shed; break;
+        default: ++err; break;
+      }
+    }
   }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   std::fclose(f);  // closes fd too
-  return rc;
+  if (repeat > 1) {
+    std::printf("[query] %" PRIu64 " requests (%s): ok=%" PRIu64 " shed=%"
+                PRIu64 " err=%" PRIu64 " seconds=%.6f qps=%.0f\n",
+                repeat, pipeline ? "pipelined" : "serial", ok, shed, err,
+                seconds, seconds > 0 ? static_cast<double>(repeat) / seconds
+                                     : 0.0);
+  }
+  if (err > 0) return 1;
+  if (shed > 0) return 3;
+  return 0;
 }
 
 }  // namespace

@@ -17,8 +17,12 @@ query_trace_json in service/splitter_index.cpp); they lead with a "query"
 key where pass rows lead with "job".  Query rows are aggregated into a
 per-kind summary below the pass timeline: request count, admission
 breakdown, logical reads, cache hit rate, and p50/p99 service latency.
-A file with only pass rows renders exactly as before; a file with only
-query rows skips the timeline.
+Below that, a per-epoch summary shows each served epoch's query count,
+p50/p99 latency, bucket-cache hit rate (bucket_hits / reads) and summed
+admission queueing — traces written before the bucket cache existed simply
+lack the "bucket_hits" key and render a "-" hit rate.  A file with only
+pass rows renders exactly as before; a file with only query rows skips the
+timeline.
 
 Usage:
     tools/trace_view.py [FILE] [--width=40]
@@ -121,6 +125,27 @@ def render_queries(rows, out=sys.stdout):
           f"{total - served} rejected", file=out)
 
 
+def render_epochs(rows, out=sys.stdout):
+    """Per-epoch query summary.  The bucket_hits key is newer than the
+    query-row format; older traces render a '-' hit rate via the default."""
+    by_epoch = {}
+    for r in rows:
+        by_epoch.setdefault(int(r.get("epoch", 0)), []).append(r)
+    print(f"  {'epoch':<6} {'n':>6} {'p50 ms':>8} {'p99 ms':>8} "
+          f"{'bhit%':>6} {'queue s':>8}", file=out)
+    for epoch, qrows in sorted(by_epoch.items()):
+        lat = sorted(float(r.get("seconds", 0)) for r in qrows
+                     if r.get("admission") in ("admit", "queued"))
+        p50 = 1e3 * percentile(lat, 0.50)
+        p99 = 1e3 * percentile(lat, 0.99)
+        reads = sum(int(r.get("reads", 0)) for r in qrows)
+        bhits = sum(int(r.get("bucket_hits", 0)) for r in qrows)
+        bhit = f"{100.0 * bhits / reads:.0f}%" if reads else "-"
+        queue = sum(float(r.get("queue_seconds", 0)) for r in qrows)
+        print(f"  {epoch:<6} {len(qrows):>6} {p50:>8.3f} {p99:>8.3f} "
+              f"{bhit:>6} {queue:>8.3f}", file=out)
+
+
 def render(rows, width, out=sys.stdout):
     timed = [r for r in rows if not r.get("resumed", False)]
     total = sum(float(r.get("seconds", 0)) for r in timed)
@@ -212,6 +237,8 @@ def main(argv):
         if passes:
             print()
         render_queries(queries)
+        print()
+        render_epochs(queries)
     return 0
 
 
